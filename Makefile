@@ -1,0 +1,25 @@
+# Convenience targets for the reproduction.
+
+PY ?= python3
+
+.PHONY: install test bench experiments experiments-full clean
+
+install:
+	pip install -e .
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# EXPERIMENTS.md at the default (quick) scale; standard takes ~1 h.
+experiments:
+	$(PY) scripts/run_experiments.py quick EXPERIMENTS.md
+
+experiments-full:
+	$(PY) scripts/run_experiments.py standard EXPERIMENTS.md
+
+clean:
+	rm -rf .pytest_cache .benchmarks results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,28 @@
+"""Benchmark fixtures.
+
+The campaign data is produced once per session (``REPRO_BENCH_SCALE``
+selects the preset, default "tiny"); each benchmark then regenerates its
+paper exhibit from that shared state and prints the rows it reproduces.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    context = ExperimentContext(scale=scale, results_dir=cache_dir,
+                                verbose=bool(os.environ.get(
+                                    "REPRO_BENCH_VERBOSE")))
+    return context
+
+
+@pytest.fixture(scope="session")
+def campaigns(ctx):
+    """Force all three campaigns to run before timing starts."""
+    return ctx.all_campaigns()

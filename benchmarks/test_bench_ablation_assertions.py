@@ -1,0 +1,94 @@
+"""Ablation: how much of campaign C's failure profile do the kernel's
+BUG() assertions explain?
+
+DESIGN.md calls out assertion density as the mechanism behind the
+paper's campaign-C invalid-opcode dominance (Figure 6) and its
+§7.4 suggestion that well-placed assertions catch propagating errors.
+This bench builds a second kernel with every BUG() compiled out and
+reruns a slice of campaign C against both kernels.
+"""
+
+import pytest
+
+from repro.cc.compiler import compile_unit
+from repro.injection.campaigns import plan_campaign, select_targets
+from repro.injection.runner import InjectionHarness
+from repro.isa.assembler import assemble
+from repro.kernel import build as kbuild
+from repro.kernel.build import KernelImage
+from repro.kernel.layout import PAGE_SIZE, KernelLayout
+from repro.analysis.stats import crash_cause_distribution, outcome_pie
+
+SLICE = 120
+
+
+def build_kernel_without_assertions():
+    """Build the kernel with BUG() bodies compiled to no-ops."""
+    layout = KernelLayout()
+    sources = [("include/generated.h", "lib", layout.minc_header()),
+               ("include/defs.h", "lib",
+                kbuild.defs_src.SOURCE)]
+    for unit_name, subsystem, module in kbuild.KERNEL_UNITS:
+        text = module.SOURCE.replace("BUG();", ";")
+        sources.append((unit_name, subsystem, text))
+    unit = compile_unit(sources, externs=kbuild.ASM_SYMBOLS)
+    stubs = kbuild.arch_src.ASM_STUBS % {
+        "boot_stack_top": layout.BOOT_STACK_TOP,
+        "user_cs": layout.USER_CS,
+        "user_ds": layout.USER_DS,
+    }
+    full_asm = (stubs + "\n" + unit.text
+                + "\n.align %d\n" % PAGE_SIZE
+                + ".global __data_start\n" + unit.data
+                + "\n.align 4\n.global __kernel_end\n.long 0\n")
+    program = assemble(full_asm, base=layout.KERNEL_TEXT)
+    return KernelImage(code=program.code, base=layout.KERNEL_TEXT,
+                       symbols=program.symbols,
+                       functions=program.functions, layout=layout,
+                       source_lines=kbuild.kernel_source_inventory())
+
+
+def run_slice(kernel, binaries, profile):
+    harness = InjectionHarness(kernel, binaries, profile)
+    functions = select_targets(kernel, profile, "C")
+    specs = plan_campaign(kernel, "C", functions)[:SLICE]
+    return [harness.run_spec(spec, grade=False) for spec in specs]
+
+
+@pytest.fixture(scope="module")
+def ablation_results(ctx):
+    from repro.profiling.sampler import profile_kernel
+    from repro.userland.programs import WORKLOADS
+    baseline = run_slice(ctx.kernel, ctx.binaries, ctx.profile)
+    stripped_kernel = build_kernel_without_assertions()
+    stripped_profile = profile_kernel(stripped_kernel, ctx.binaries,
+                                      WORKLOADS)
+    stripped = run_slice(stripped_kernel, ctx.binaries, stripped_profile)
+    return baseline, stripped
+
+
+def _invalid_opcode_share(results):
+    causes = crash_cause_distribution(results)
+    total = sum(causes.values())
+    if not total:
+        return 0.0
+    return causes.get("invalid_opcode", 0) / total
+
+
+def test_bench_assertion_ablation(ablation_results, benchmark):
+    baseline, stripped = ablation_results
+
+    def analyze():
+        return (_invalid_opcode_share(baseline),
+                _invalid_opcode_share(stripped),
+                outcome_pie(baseline), outcome_pie(stripped))
+
+    with_share, without_share, with_pie, without_pie = benchmark(analyze)
+    print("\nAblation: campaign C invalid-opcode share of dumped crashes")
+    print("  with BUG() assertions:    %5.1f%%" % (100 * with_share))
+    print("  without BUG() assertions: %5.1f%%" % (100 * without_share))
+    print("  outcomes with:    %s" % dict(with_pie))
+    print("  outcomes without: %s" % dict(without_pie))
+    # The paper's mechanism: assertions convert silent corruption into
+    # immediate invalid-opcode crashes.
+    assert with_share >= without_share

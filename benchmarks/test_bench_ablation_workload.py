@@ -1,0 +1,52 @@
+"""Ablation: workload size vs error-activation rate.
+
+The paper's §5.2 'Location' attribute argues that profiling-driven
+target selection achieves "a sufficiently high error activation rate".
+This bench quantifies the other half of that trade: how activation
+scales with how long the driving benchmark runs (more iterations =>
+more of each function's paths execute).
+"""
+
+from repro.injection.campaigns import plan_campaign, select_targets
+from repro.injection.runner import InjectionHarness
+from repro.userland.build import build_program
+
+
+def activation_rate(harness, kernel, profile):
+    functions = select_targets(kernel, profile, "A")
+    specs = plan_campaign(kernel, "A", functions, byte_stride=7)
+    covered = 0
+    for spec in specs:
+        if harness.assign_workload(spec):
+            covered += 1
+    return covered / len(specs), len(specs)
+
+
+def test_bench_activation_vs_workload_size(ctx, benchmark):
+    kernel = ctx.kernel
+    profile = ctx.profile
+    small = ctx.binaries
+    # Double every workload's iteration count.
+    big = dict(small)
+    for name in ("syscall", "pipe", "context1", "spawn", "fstime",
+                 "dhry", "hanoi", "looper"):
+        default = small[name]
+        big[name] = build_program(name)  # rebuilt for isolation
+    for name in ("syscall", "pipe", "dhry"):
+        big[name] = build_program(name, iters=60)
+
+    harness_small = InjectionHarness(kernel, small, profile)
+    harness_big = InjectionHarness(kernel, big, profile)
+
+    def measure():
+        rate_small, n = activation_rate(harness_small, kernel, profile)
+        rate_big, _ = activation_rate(harness_big, kernel, profile)
+        return rate_small, rate_big, n
+
+    rate_small, rate_big, n = benchmark.pedantic(measure, rounds=1,
+                                                 iterations=1)
+    print("\nAblation: activation rate vs workload size (%d specs)" % n)
+    print("  default iterations:  %5.1f%%" % (100 * rate_small))
+    print("  enlarged iterations: %5.1f%%" % (100 * rate_big))
+    # more workload activity can only widen coverage
+    assert rate_big >= rate_small - 0.01

@@ -1,0 +1,15 @@
+"""Benchmark for the availability model and sensitivity exhibits."""
+
+from repro.experiments import availability_model, sensitivity
+
+
+def test_bench_availability_model(benchmark):
+    text = benchmark(availability_model.run)
+    print("\n" + text)
+    assert "most_severe" in text
+
+
+def test_bench_function_sensitivity(ctx, campaigns, benchmark):
+    text = benchmark(sensitivity.run, ctx)
+    print("\n" + text)
+    assert "arch" in text

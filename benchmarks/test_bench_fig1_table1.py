@@ -1,0 +1,17 @@
+"""Benchmarks regenerating Figure 1 and Table 1."""
+
+from repro.experiments import fig1_subsystem_sizes, table1_profile
+
+
+def test_bench_fig1_subsystem_sizes(benchmark):
+    text = benchmark(fig1_subsystem_sizes.run)
+    print("\n" + text)
+    assert "fs" in text and "total" in text
+
+
+def test_bench_table1_function_distribution(ctx, benchmark):
+    ctx.profile  # build outside the timed region
+    text = benchmark(table1_profile.run, ctx)
+    print("\n" + text)
+    assert "Table 1" in text
+    assert "Total" in text

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Figure 4 (activation/failure distribution)."""
+
+from repro.experiments import fig4_outcomes
+
+
+def test_bench_fig4_outcome_distribution(ctx, campaigns, benchmark):
+    text = benchmark(fig4_outcomes.run, ctx)
+    print("\n" + text)
+    for campaign in ("A", "B", "C"):
+        assert "Figure 4 (%s" % campaign in text
+    assert "Not Manifested" in text

@@ -1,0 +1,15 @@
+"""Benchmarks for the severity exhibits (Table 5 + Figure 5)."""
+
+from repro.experiments import fig5_case_study, table5_severe
+
+
+def test_bench_table5_most_severe(ctx, campaigns, benchmark):
+    text = benchmark(table5_severe.run, ctx)
+    print("\n" + text)
+    assert "Table 5" in text
+
+
+def test_bench_fig5_case_study(ctx, campaigns, benchmark):
+    text = benchmark(fig5_case_study.run, ctx)
+    print("\n" + text)
+    assert "Figure 5" in text

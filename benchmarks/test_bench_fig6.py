@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 6 (crash causes)."""
+
+from repro.experiments import fig6_crash_causes
+
+
+def test_bench_fig6_crash_causes(ctx, campaigns, benchmark):
+    text = benchmark(fig6_crash_causes.run, ctx)
+    print("\n" + text)
+    assert "Figure 6" in text
+    assert "dominant causes" in text

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 7 (crash latency histograms)."""
+
+from repro.experiments import fig7_latency
+
+
+def test_bench_fig7_crash_latency(ctx, campaigns, benchmark):
+    text = benchmark(fig7_latency.run, ctx)
+    print("\n" + text)
+    assert "Figure 7" in text
+    assert "0-10" in text

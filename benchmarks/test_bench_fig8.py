@@ -1,0 +1,10 @@
+"""Benchmark regenerating Figure 8 (error propagation graphs)."""
+
+from repro.experiments import fig8_propagation
+
+
+def test_bench_fig8_propagation(ctx, campaigns, benchmark):
+    text = benchmark(fig8_propagation.run, ctx)
+    print("\n" + text)
+    assert "Figure 8" in text
+    assert "propagation rate" in text

@@ -1,0 +1,49 @@
+"""Stability: campaign outcome shares should not depend on the RNG seed.
+
+Campaign A picks a random bit per instruction byte; if the reported
+distributions were seed-sensitive, the reproduction's claims would be
+fragile.  This bench runs the same slice under two seeds and checks the
+crash/hang share difference is statistically unsurprising.
+"""
+
+from repro.analysis.confidence import proportion_diff_pvalue
+from repro.analysis.stats import outcome_pie
+from repro.injection.campaigns import plan_campaign, select_targets
+
+SLICE = 150
+
+
+def run_seeded(ctx, seed):
+    harness = ctx.harness
+    functions = select_targets(ctx.kernel, ctx.profile, "A")
+    specs = plan_campaign(ctx.kernel, "A", functions, seed=seed,
+                          byte_stride=11)[:SLICE]
+    return [harness.run_spec(spec, grade=False) for spec in specs]
+
+
+def test_bench_seed_stability(ctx, benchmark):
+    first = run_seeded(ctx, seed=1)
+    second = run_seeded(ctx, seed=2)
+
+    def analyze():
+        pies = []
+        for results in (first, second):
+            pie = outcome_pie(results)
+            activated = pie.pop("activated", 0)
+            crash = (pie.get("crash_dumped", 0)
+                     + pie.get("crash_unknown", 0) + pie.get("hang", 0))
+            pies.append((crash, activated))
+        (crash_a, act_a), (crash_b, act_b) = pies
+        p = proportion_diff_pvalue(crash_a, act_a, crash_b, act_b)
+        return crash_a, act_a, crash_b, act_b, p
+
+    crash_a, act_a, crash_b, act_b, p = benchmark.pedantic(
+        analyze, rounds=1, iterations=1)
+    print("\nSeed stability (crash+hang share of activated):")
+    print("  seed 1: %d/%d = %.1f%%"
+          % (crash_a, act_a, 100 * crash_a / max(1, act_a)))
+    print("  seed 2: %d/%d = %.1f%%"
+          % (crash_b, act_b, 100 * crash_b / max(1, act_b)))
+    print("  two-proportion p-value: %.3f" % p)
+    # would only fail on a real seed-dependence pathology
+    assert p > 0.001

@@ -1,0 +1,48 @@
+"""Simulator-throughput benchmarks (the substrate's own performance)."""
+
+import pytest
+
+from repro.machine.machine import Machine, build_standard_disk
+
+
+@pytest.mark.benchmark(min_rounds=3, max_time=1.0)
+def test_bench_kernel_build(benchmark):
+    from repro.kernel.build import build_kernel
+    image = benchmark(build_kernel)
+    assert len(image.code) > 10_000
+
+
+@pytest.mark.benchmark(min_rounds=3, max_time=1.0)
+def test_bench_boot_to_shutdown(ctx, benchmark):
+    disk = build_standard_disk(ctx.binaries, None)
+
+    def boot():
+        machine = Machine(ctx.kernel, disk)
+        return machine.run(max_cycles=10_000_000)
+
+    result = benchmark(boot)
+    assert result.status == "shutdown"
+
+
+@pytest.mark.benchmark(min_rounds=3, max_time=1.0)
+def test_bench_syscall_workload(ctx, benchmark):
+    disk = build_standard_disk(ctx.binaries, "syscall")
+
+    def run():
+        machine = Machine(ctx.kernel, disk)
+        return machine.run(max_cycles=60_000_000)
+
+    result = benchmark(run)
+    assert result.exit_code == 0
+
+
+@pytest.mark.benchmark(min_rounds=3, max_time=1.0)
+def test_bench_one_injection_experiment(ctx, benchmark):
+    from repro.injection.campaigns import plan_campaign, select_targets
+    harness = ctx.harness
+    functions = select_targets(ctx.kernel, ctx.profile, "C")
+    spec = plan_campaign(ctx.kernel, "C", functions)[0]
+    harness.golden(harness.workload_priority(spec.function)[0])
+
+    result = benchmark(harness.run_spec, spec)
+    assert result.outcome is not None

@@ -1,0 +1,15 @@
+"""Benchmarks regenerating the case-study tables (6 and 7)."""
+
+from repro.experiments import table6_cases, table7_cases
+
+
+def test_bench_table6_not_manifested_cases(ctx, campaigns, benchmark):
+    text = benchmark(table6_cases.run, ctx)
+    print("\n" + text)
+    assert "Table 6" in text
+
+
+def test_bench_table7_crash_cases(ctx, campaigns, benchmark):
+    text = benchmark(table7_cases.run, ctx)
+    print("\n" + text)
+    assert "Table 7" in text

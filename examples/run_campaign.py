@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Run a full fault-injection campaign and print the paper's exhibits.
+
+    python3 examples/run_campaign.py [A|B|C] [tiny|quick|standard|full]
+
+Reproduces one of the paper's three campaigns end to end — profiling,
+target selection, debug-register-triggered bit flips, golden-run
+classification — then prints the Figure 4 block, the Figure 6 crash
+causes, the Figure 7 latency histogram and the Figure 8 propagation
+graphs for that campaign.
+
+Rough costs on one core: tiny ≈ 1-2 min, quick ≈ 5-10 min,
+standard ≈ 15-30 min, full ≈ 30-60 min.
+"""
+
+import sys
+import time
+
+from repro.analysis.tables import (
+    crash_hang_split,
+    format_fig4,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+)
+from repro.experiments.context import SCALES, ExperimentContext
+
+
+def main():
+    campaign = sys.argv[1].upper() if len(sys.argv) > 1 else "C"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "tiny"
+    if campaign not in ("A", "B", "C") or scale not in SCALES:
+        raise SystemExit(__doc__)
+    ctx = ExperimentContext(scale=scale, verbose=True)
+    started = time.time()
+    results = ctx.campaign(campaign).results
+    print("\ncampaign %s at scale %r: %d injections in %.0f s\n"
+          % (campaign, scale, len(results), time.time() - started))
+    print(format_fig4(campaign, results))
+    dumped, unknown, hangs = crash_hang_split(results)
+    print("(crash/hang split: %d dumped, %d unknown, %d hang)\n"
+          % (dumped, unknown, hangs))
+    print(format_fig6(campaign, results))
+    print()
+    print(format_fig7(campaign, results))
+    print()
+    for source in ("fs", "kernel"):
+        print(format_fig8(campaign, results, source))
+        print()
+
+
+if __name__ == "__main__":
+    main()

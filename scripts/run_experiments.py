@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: run every exhibit and record the results.
+
+    python3 scripts/run_experiments.py [scale] [output]
+
+Scale is one of tiny/quick/standard/full (see repro.experiments.SCALES).
+The standard scale runs a few thousand injections and takes tens of
+minutes on one core; results are cached under results/ so re-rendering
+is cheap.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
+                                "src"))
+
+from repro.experiments import ExperimentContext, build_report  # noqa: E402
+from repro.experiments.comparison import build_comparison  # noqa: E402
+
+
+def main():
+    scale = sys.argv[1] if len(sys.argv) > 1 else "quick"
+    output = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+    root = os.path.join(os.path.dirname(__file__), os.pardir)
+    ctx = ExperimentContext(scale=scale, verbose=True,
+                            results_dir=os.path.join(root, "results"))
+    report = build_report(ctx)
+    comparison = build_comparison(ctx)
+    with open(os.path.join(root, output), "w") as fh:
+        fh.write(comparison)
+        fh.write("\n\n---\n\n")
+        fh.write(report)
+    print("wrote %s" % output)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""linux-sim-fi: reproduction of "Characterization of Linux Kernel
+Behavior under Errors" (Gu, Kalbarczyk, Iyer, Yang — DSN 2003).
+
+Subpackages, bottom-up:
+
+- ``repro.isa`` / ``repro.cpu`` — IA-32-subset simulator (the hardware)
+- ``repro.cc`` — the MinC compiler
+- ``repro.kernel`` / ``repro.userland`` — the mini-Linux + workloads
+- ``repro.machine`` — boot rig, disk image tools (mkfs/fsck)
+- ``repro.profiling`` — Kernprof-style PC sampling (Table 1)
+- ``repro.injection`` — campaigns A/B/C (+R), injector, classification
+- ``repro.analysis`` — statistics, propagation, severity, availability
+- ``repro.experiments`` — one module per paper table/figure
+- ``repro.tools`` — objdump / ksymoops command-line equivalents
+
+Start with ``repro.experiments.ExperimentContext`` or the examples/.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,62 @@
+"""Statistical analysis and paper-style reporting of campaign results."""
+
+from repro.analysis.stats import (
+    activation_stats,
+    crash_cause_distribution,
+    crash_hang_count,
+    latency_histogram,
+    outcome_pie,
+    per_function_crash_shares,
+    subsystem_outcome_table,
+)
+from repro.analysis.propagation import propagation_graph, \
+    propagation_matrix
+from repro.analysis.availability import allowed_failures_per_year, \
+    availability_given_rates
+from repro.analysis.tables import (
+    format_fig4,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_severity_table,
+)
+from repro.analysis.cases import find_case_studies, format_case_study
+from repro.analysis.oops import annotate_crash, call_trace, symbolize
+from repro.analysis.assertions import format_recommendations, \
+    recommend_assertion_sites
+from repro.analysis.confidence import (
+    format_intervals,
+    outcome_intervals,
+    proportion_diff_pvalue,
+    wilson_interval,
+)
+
+__all__ = [
+    "activation_stats",
+    "crash_cause_distribution",
+    "crash_hang_count",
+    "latency_histogram",
+    "outcome_pie",
+    "per_function_crash_shares",
+    "subsystem_outcome_table",
+    "propagation_graph",
+    "propagation_matrix",
+    "allowed_failures_per_year",
+    "availability_given_rates",
+    "format_fig4",
+    "format_fig6",
+    "format_fig7",
+    "format_fig8",
+    "format_severity_table",
+    "find_case_studies",
+    "format_case_study",
+    "annotate_crash",
+    "call_trace",
+    "symbolize",
+    "recommend_assertion_sites",
+    "format_recommendations",
+    "wilson_interval",
+    "proportion_diff_pvalue",
+    "outcome_intervals",
+    "format_intervals",
+]

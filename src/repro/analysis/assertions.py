@@ -1,0 +1,97 @@
+"""Strategic assertion placement (the paper's §7.4 recommendation).
+
+The paper closes its propagation analysis by arguing that the observed
+propagation paths identify *where* additional executable assertions
+would stop errors before they escape a subsystem ("placing of assertions
+based on error propagation analysis").  This module turns campaign data
+into that recommendation: rank functions by how many crashes they
+*launder* — errors injected in them that crash elsewhere — and by the
+damage class of those crashes.
+"""
+
+from collections import Counter
+
+from repro.injection.outcomes import CRASH_DUMPED
+
+#: weight per crash by where/ how it landed (escaped crashes and severe
+#: damage are what assertions are meant to prevent).
+_SEVERITY_WEIGHT = {"most_severe": 8.0, "severe": 3.0, "normal": 1.0,
+                    None: 1.0}
+
+
+class AssertionSite:
+    """One recommended hardening location."""
+
+    __slots__ = ("function", "subsystem", "escapes", "total_crashes",
+                 "score", "destinations")
+
+    def __init__(self, function, subsystem):
+        self.function = function
+        self.subsystem = subsystem
+        self.escapes = 0
+        self.total_crashes = 0
+        self.score = 0.0
+        self.destinations = Counter()
+
+    @property
+    def escape_rate(self):
+        return self.escapes / self.total_crashes if self.total_crashes \
+            else 0.0
+
+    def __repr__(self):
+        return ("AssertionSite(%s/%s, %d/%d escaped, score %.1f)"
+                % (self.subsystem, self.function, self.escapes,
+                   self.total_crashes, self.score))
+
+
+def recommend_assertion_sites(results, min_crashes=2):
+    """Rank functions where new assertions would pay off most.
+
+    A function scores by (a) crashes that *propagated out* of its
+    subsystem after an injection into it and (b) the severity of the
+    damage its failures caused — both signals that the error travelled
+    uncontained, which is exactly what an assertion at the source would
+    intercept.
+
+    Returns AssertionSite list, highest score first.
+    """
+    sites = {}
+    for result in results:
+        if result.outcome != CRASH_DUMPED:
+            continue
+        site = sites.get(result.function)
+        if site is None:
+            site = sites[result.function] = AssertionSite(
+                result.function, result.subsystem)
+        site.total_crashes += 1
+        destination = result.crash_subsystem or "(wild)"
+        site.destinations[destination] += 1
+        weight = _SEVERITY_WEIGHT.get(result.severity, 1.0)
+        if destination != result.subsystem:
+            site.escapes += 1
+            weight *= 2.0
+        site.score += weight
+    ranked = [site for site in sites.values()
+              if site.total_crashes >= min_crashes]
+    ranked.sort(key=lambda s: (-s.score, -s.escapes, s.function))
+    return ranked
+
+
+def format_recommendations(results, top=10):
+    """Render the §7.4-style hardening report."""
+    sites = recommend_assertion_sites(results)
+    lines = ["Strategic assertion placement (derived from propagation "
+             "analysis, paper §7.4):"]
+    lines.append("%-26s %-8s %8s %8s %8s  %s"
+                 % ("function", "subsys", "crashes", "escaped",
+                    "score", "crash destinations"))
+    for site in sites[:top]:
+        destinations = ", ".join("%s:%d" % kv
+                                 for kv in site.destinations.most_common())
+        lines.append("%-26s %-8s %8d %8d %8.1f  %s"
+                     % (site.function, site.subsystem,
+                        site.total_crashes, site.escapes, site.score,
+                        destinations))
+    if not sites:
+        lines.append("  (no dumped crashes to analyze)")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Availability arithmetic from §7.1.
+
+The paper closes its severity analysis with a budget argument: at five
+nines (≈5 min/yr of downtime) one can afford roughly one *most severe*
+crash (≈1 h recovery) every 12 years, one *severe* crash (>5 min) every
+two years, and one *normal* crash (<4 min reboot) per year.  These
+helpers reproduce that arithmetic for arbitrary targets.
+"""
+
+SECONDS_PER_YEAR = 365 * 24 * 3600
+
+#: "Five nines" and friends: availability -> allowed seconds of downtime.
+NINES = {
+    3: 0.999,
+    4: 0.9999,
+    5: 0.99999,
+}
+
+
+def downtime_budget(availability):
+    """Allowed downtime in seconds/year for an availability fraction."""
+    if not 0.0 < availability < 1.0:
+        raise ValueError("availability must be in (0, 1)")
+    return (1.0 - availability) * SECONDS_PER_YEAR
+
+
+def allowed_failures_per_year(availability, downtime_per_failure):
+    """How many failures of a given recovery time fit the budget."""
+    if downtime_per_failure <= 0:
+        raise ValueError("downtime per failure must be positive")
+    return downtime_budget(availability) / downtime_per_failure
+
+
+def years_between_failures(availability, downtime_per_failure):
+    """Mean years between failures to stay within the budget."""
+    per_year = allowed_failures_per_year(availability,
+                                         downtime_per_failure)
+    if per_year == 0:
+        return float("inf")
+    return 1.0 / per_year
+
+
+def availability_given_rates(failures_per_year):
+    """Availability from a dict severity -> (rate/yr, downtime seconds).
+
+    Example::
+
+        availability_given_rates({"normal": (1, 240),
+                                  "severe": (0.5, 480),
+                                  "most_severe": (1/12, 3300)})
+    """
+    downtime = 0.0
+    for rate, seconds in failures_per_year.values():
+        downtime += rate * seconds
+    return 1.0 - downtime / SECONDS_PER_YEAR

@@ -1,0 +1,88 @@
+"""Case-study extraction (the paper's Tables 6 and 7, Figure 5).
+
+For a given injection result, re-derive the before/after machine code:
+decode the original instruction bytes and the bytes with the injected
+bit flipped, exactly as the paper's tables show (``je -> jl``,
+``mov -> lret``, byte-stream resequencing...).
+"""
+
+from repro.isa.decoder import decode_all
+from repro.isa.disasm import format_instr
+
+
+def _disasm_window(data, base):
+    lines = []
+    for ins in decode_all(data, base=base):
+        hex_bytes = " ".join("%02x" % b for b in ins.raw)
+        lines.append("%-22s %s" % (hex_bytes, format_instr(ins)))
+    return lines
+
+
+def case_study(kernel, result, window=12):
+    """Before/after disassembly around one injection.
+
+    Returns a dict with ``before``/``after`` line lists and metadata.
+    """
+    start = result.addr - kernel.base
+    end = min(start + window, len(kernel.code))
+    original = bytearray(kernel.code[start:end])
+    mutated = bytearray(original)
+    mutated[result.byte_offset] ^= 1 << result.bit
+    return {
+        "function": result.function,
+        "subsystem": result.subsystem,
+        "campaign": result.campaign,
+        "addr": result.addr,
+        "outcome": result.outcome,
+        "crash_cause": result.crash_cause,
+        "before": _disasm_window(bytes(original), result.addr),
+        "after": _disasm_window(bytes(mutated), result.addr),
+    }
+
+
+def format_case_study(kernel, result, window=12):
+    """Render one before/after case in the paper's Table 6/7 style."""
+    case = case_study(kernel, result, window=window)
+    lines = []
+    lines.append("%s campaign, %s:%s at %#x -> %s%s"
+                 % (case["campaign"], case["subsystem"],
+                    case["function"], case["addr"], case["outcome"],
+                    " (%s)" % case["crash_cause"]
+                    if case["crash_cause"] else ""))
+    lines.append("  before:")
+    for line in case["before"][:4]:
+        lines.append("    " + line)
+    lines.append("  after bit %d of byte %d flipped:"
+                 % (result.bit, result.byte_offset))
+    for line in case["after"][:5]:
+        lines.append("    " + line)
+    return "\n".join(lines)
+
+
+def find_case_studies(kernel, results, kinds=("not_manifested_branch",
+                                              "null_pointer",
+                                              "paging_request",
+                                              "gpf",
+                                              "invalid_opcode")):
+    """Pick representative cases for Tables 6 and 7.
+
+    Returns dict kind -> InjectionResult (missing kinds omitted):
+
+    * ``not_manifested_branch`` — an activated branch-bit flip with no
+      effect (Table 6).
+    * ``null_pointer`` / ``paging_request`` / ``gpf`` /
+      ``invalid_opcode`` — dumped crashes per cause (Table 7).
+    """
+    found = {}
+    for result in results:
+        if not result.activated:
+            continue
+        if ("not_manifested_branch" in kinds
+                and "not_manifested_branch" not in found
+                and result.outcome == "not_manifested"
+                and result.mnemonic == "jcc"):
+            found["not_manifested_branch"] = result
+        if result.outcome == "crash_dumped" and result.crash_cause in kinds \
+                and result.crash_cause not in found:
+            found[result.crash_cause] = result
+    return found

@@ -1,0 +1,27 @@
+"""Small ASCII chart helpers used by the table renderers."""
+
+
+def bar(fraction, width=32, fill="#", empty="."):
+    """Render a 0..1 fraction as a fixed-width bar."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return fill * filled + empty * (width - filled)
+
+
+def percent(part, whole):
+    """``100*part/whole`` (0 when whole is 0)."""
+    if not whole:
+        return 0.0
+    return 100.0 * part / whole
+
+
+def ascii_pie(counter, total=None, width=32):
+    """Render a Counter as labelled percentage bars (our pie chart)."""
+    if total is None:
+        total = sum(counter.values())
+    lines = []
+    for label, count in counter.most_common():
+        share = (count / total) if total else 0.0
+        lines.append("  %-24s %6.1f%% |%s| (%d)"
+                     % (label, share * 100, bar(share, width), count))
+    return "\n".join(lines)

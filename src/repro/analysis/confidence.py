@@ -1,0 +1,75 @@
+"""Confidence intervals for campaign proportions.
+
+The paper justifies its target selection by the need for "a
+sufficiently high error activation rate to obtain statistically valid
+results" (§5.2).  These helpers quantify that validity for our (much
+smaller) campaigns: Wilson score intervals for outcome proportions and
+a two-proportion z-test for comparing campaigns.
+"""
+
+import math
+
+from scipy import stats
+
+
+def wilson_interval(successes, total, confidence=0.95):
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)`` in [0, 1].  Well-behaved for the small
+    counts that the rarer outcome categories produce.
+    """
+    if total == 0:
+        return (0.0, 1.0)
+    if not 0 <= successes <= total:
+        raise ValueError("successes must be within [0, total]")
+    z = stats.norm.ppf(0.5 + confidence / 2.0)
+    phat = successes / total
+    denom = 1.0 + z * z / total
+    centre = (phat + z * z / (2 * total)) / denom
+    margin = (z / denom) * math.sqrt(
+        phat * (1 - phat) / total + z * z / (4 * total * total))
+    return (max(0.0, centre - margin), min(1.0, centre + margin))
+
+
+def proportion_diff_pvalue(successes_a, total_a, successes_b, total_b):
+    """Two-sided p-value that two proportions differ (pooled z-test)."""
+    if total_a == 0 or total_b == 0:
+        return 1.0
+    pa = successes_a / total_a
+    pb = successes_b / total_b
+    pooled = (successes_a + successes_b) / (total_a + total_b)
+    if pooled in (0.0, 1.0):
+        return 1.0
+    se = math.sqrt(pooled * (1 - pooled)
+                   * (1 / total_a + 1 / total_b))
+    z = (pa - pb) / se
+    return 2.0 * stats.norm.sf(abs(z))
+
+
+def outcome_intervals(results, confidence=0.95):
+    """Wilson intervals for each activated-outcome share.
+
+    Returns dict outcome -> (share, low, high) over activated errors.
+    """
+    from repro.analysis.stats import outcome_pie
+    pie = outcome_pie(results)
+    activated = pie.pop("activated", 0)
+    out = {}
+    for outcome, count in pie.items():
+        low, high = wilson_interval(count, activated,
+                                    confidence=confidence)
+        share = count / activated if activated else 0.0
+        out[outcome] = (share, low, high)
+    return out
+
+
+def format_intervals(results, confidence=0.95):
+    """Render outcome shares with their confidence intervals."""
+    intervals = outcome_intervals(results, confidence=confidence)
+    lines = ["Outcome shares with %.0f%% Wilson intervals:"
+             % (confidence * 100)]
+    for outcome, (share, low, high) in sorted(
+            intervals.items(), key=lambda kv: -kv[1][0]):
+        lines.append("  %-24s %5.1f%%  [%5.1f%%, %5.1f%%]"
+                     % (outcome, share * 100, low * 100, high * 100))
+    return "\n".join(lines)

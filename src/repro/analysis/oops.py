@@ -1,0 +1,141 @@
+"""ksymoops-style crash-dump annotation.
+
+The paper's workflow decoded raw oops reports with the kernel symbol
+map and disassembled the code around EIP (their Figure 5 walks exactly
+such an annotated dump).  :func:`annotate_crash` does the same for our
+:class:`~repro.machine.machine.CrashRecord`: symbolize EIP and the
+registers, disassemble the faulting neighbourhood, and walk the kernel
+stack for a call-trace guess.
+"""
+
+from repro.cpu.traps import trap_name
+from repro.isa.decoder import decode_all
+from repro.isa.disasm import format_instr
+
+
+def symbolize(kernel, address):
+    """``name+0xoff`` for a kernel-text address (hex otherwise)."""
+    info = kernel.find_function(address)
+    if info is None:
+        return "0x%08x" % address
+    return "%s+0x%x/0x%x" % (info.name, address - info.start, info.size)
+
+
+def disassemble_around(kernel, address, before=12, after=20,
+                       machine=None):
+    """Disassembled lines surrounding a kernel-text address.
+
+    Decoding is resynchronized from the owning function's entry so the
+    listing shows true instruction boundaries, with the faulting
+    instruction marked — the paper's Figure 5 layout.  When *machine*
+    is given, the bytes come from the crashed machine's memory (the
+    dump), so injected corruption shows up exactly as ksymoops would
+    show it; otherwise the pristine kernel image is used.
+    """
+    info = kernel.find_function(address)
+    if info is None:
+        return []
+    if machine is not None:
+        code = bytes(machine.read_byte(a)
+                     for a in range(info.start, info.end))
+    else:
+        code = kernel.code[info.start - kernel.base:
+                           info.end - kernel.base]
+    lines = []
+    for ins in decode_all(code, base=info.start):
+        if ins.addr + ins.length <= address - before:
+            continue
+        if ins.addr > address + after:
+            break
+        marker = "->" if ins.addr <= address < ins.addr + ins.length \
+            else "  "
+        hex_bytes = " ".join("%02x" % b for b in ins.raw)
+        lines.append("%s %08x  %-20s %s"
+                     % (marker, ins.addr, hex_bytes, format_instr(ins)))
+    return lines
+
+
+def call_trace(kernel, machine_or_ram, esp, layout=None, max_frames=16,
+               max_scan=256):
+    """Scan the kernel stack for return addresses (ksymoops "Trace").
+
+    Like the original tool, this is heuristic: any word on the stack
+    that points into kernel text *after a call site* is reported.
+    """
+    if layout is None:
+        layout = kernel.layout
+    read_word = getattr(machine_or_ram, "read_word", None)
+    if read_word is None:
+        ram = machine_or_ram
+
+        def read_word(vaddr):
+            phys = vaddr - layout.KERNEL_BASE
+            if 0 <= phys + 4 <= len(ram):
+                return int.from_bytes(ram[phys:phys + 4], "little")
+            return 0
+
+    text_lo = kernel.base
+    text_hi = kernel.base + len(kernel.code)
+    frames = []
+    for slot in range(max_scan):
+        vaddr = esp + 4 * slot
+        if vaddr >= layout.KERNEL_BASE + layout.RAM_BYTES:
+            break
+        word = read_word(vaddr)
+        if not text_lo <= word < text_hi:
+            continue
+        # A return address follows a call: check the preceding bytes
+        # plausibly end a call instruction (e8 rel32 or ff /2).
+        offset = word - kernel.base
+        if offset >= 5 and kernel.code[offset - 5] == 0xE8:
+            frames.append(word)
+        elif offset >= 2 and kernel.code[offset - 2] == 0xFF:
+            frames.append(word)
+        elif offset >= 3 and kernel.code[offset - 3] == 0xFF:
+            frames.append(word)
+        if len(frames) >= max_frames:
+            break
+    return frames
+
+
+def annotate_crash(kernel, crash, machine=None):
+    """Render a full ksymoops-style report for a crash record.
+
+    Args:
+        kernel: the KernelImage the machine ran.
+        crash: a :class:`~repro.machine.machine.CrashRecord`.
+        machine: optionally the crashed Machine (enables the stack
+            trace; the registers alone come from the dump record).
+    """
+    lines = []
+    lines.append("Oops: %s (vector %d, error code %#x)"
+                 % (trap_name(crash.vector) if crash.vector < 32
+                    else "code %d" % crash.vector,
+                    crash.vector, crash.error_code))
+    lines.append("CPU:    0")
+    lines.append("EIP:    0010:[<%08x>]   %s"
+                 % (crash.eip, symbolize(kernel, crash.eip)))
+    if crash.vector == 14:
+        kind = ("NULL pointer dereference" if crash.cr2 < 4096
+                else "paging request")
+        lines.append("Unable to handle kernel %s at virtual address "
+                     "%08x" % (kind, crash.cr2))
+    lines.append("eax: %08x   ebx: %08x   ecx: %08x   edx: %08x"
+                 % (crash.regs["eax"], crash.regs["ebx"],
+                    crash.regs["ecx"], crash.regs["edx"]))
+    lines.append("esi: %08x   edi: %08x   ebp: %08x   esp: %08x"
+                 % (crash.regs["esi"], crash.regs["edi"],
+                    crash.regs["ebp"], crash.regs["esp"]))
+    lines.append("Process pid: %d   tsc: %d" % (crash.pid, crash.tsc))
+    listing = disassemble_around(kernel, crash.eip, machine=machine)
+    if listing:
+        lines.append("Code:")
+        lines.extend("  " + line for line in listing)
+    if machine is not None:
+        frames = call_trace(kernel, machine, crash.regs["esp"])
+        if frames:
+            lines.append("Call Trace:")
+            for address in frames:
+                lines.append("  [<%08x>] %s"
+                             % (address, symbolize(kernel, address)))
+    return "\n".join(lines)

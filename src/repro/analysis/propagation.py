@@ -1,0 +1,99 @@
+"""Error-propagation analysis (the paper's §7.4 / Figure 8).
+
+An error injected into subsystem S that crashes at an EIP belonging to
+subsystem T has propagated S -> T.  The paper reports per-subsystem
+propagation graphs with the crash-cause mix at each target node.
+"""
+
+from collections import Counter, defaultdict
+
+import networkx as nx
+
+from repro.injection.outcomes import CRASH_DUMPED
+
+
+def propagation_matrix(results):
+    """dict src_subsystem -> Counter(dst_subsystem -> crashes).
+
+    Crashes whose EIP lies outside any kernel function (wild jumps) are
+    attributed to ``"(wild)"``.
+    """
+    matrix = defaultdict(Counter)
+    for result in results:
+        if result.outcome != CRASH_DUMPED:
+            continue
+        destination = result.crash_subsystem or "(wild)"
+        matrix[result.subsystem][destination] += 1
+    return dict(matrix)
+
+
+def propagation_cause_matrix(results):
+    """dict (src, dst) -> Counter(cause) for dumped crashes."""
+    matrix = defaultdict(Counter)
+    for result in results:
+        if result.outcome != CRASH_DUMPED:
+            continue
+        destination = result.crash_subsystem or "(wild)"
+        matrix[(result.subsystem, destination)][result.crash_cause] += 1
+    return dict(matrix)
+
+
+def propagation_rate(results, include_wild=False):
+    """Fraction of dumped crashes that left the injected subsystem.
+
+    Matches the paper's measurement semantics: crashes whose EIP cannot
+    be attributed to any kernel function ("wild" jumps into data or
+    unmapped space) are excluded by default — the paper's
+    ksymoops-style analysis could only place crashes that landed in
+    symbolized kernel text.  Pass ``include_wild=True`` to count them
+    as escapes instead.
+    """
+    total = 0
+    escaped = 0
+    for result in results:
+        if result.outcome != CRASH_DUMPED:
+            continue
+        destination = result.crash_subsystem
+        if destination is None:
+            if not include_wild:
+                continue
+            destination = "(wild)"
+        total += 1
+        if destination != result.subsystem:
+            escaped += 1
+    return (escaped / total) if total else 0.0
+
+
+def wild_crash_fraction(results):
+    """Share of dumped crashes whose EIP left the kernel text entirely."""
+    total = 0
+    wild = 0
+    for result in results:
+        if result.outcome != CRASH_DUMPED:
+            continue
+        total += 1
+        if result.crash_subsystem is None:
+            wild += 1
+    return (wild / total) if total else 0.0
+
+
+def propagation_graph(results, source_subsystem):
+    """Build the Figure 8 graph for one source subsystem.
+
+    Nodes: the source plus every crash subsystem; edge weights carry
+    absolute counts and fractions; each destination node stores its
+    crash-cause distribution.
+    """
+    graph = nx.DiGraph()
+    counts = propagation_matrix(results).get(source_subsystem, Counter())
+    causes = propagation_cause_matrix(results)
+    total = sum(counts.values())
+    graph.add_node(source_subsystem, role="source", crashes=total)
+    for destination, count in counts.items():
+        if not graph.has_node(destination):
+            graph.add_node(destination, role="target")
+        graph.nodes[destination]["causes"] = dict(
+            causes.get((source_subsystem, destination), Counter()))
+        graph.add_edge(source_subsystem, destination, count=count,
+                       fraction=(count / total) if total else 0.0)
+    return graph

@@ -1,0 +1,138 @@
+"""Paper-style text renderings of the campaign statistics."""
+
+from collections import Counter
+
+from repro.analysis.charts import ascii_pie, percent
+from repro.analysis.propagation import propagation_cause_matrix, \
+    propagation_matrix
+from repro.analysis.stats import (
+    crash_cause_distribution,
+    latency_histogram,
+    most_severe_cases,
+    outcome_pie,
+    subsystem_outcome_table,
+    bucket_labels,
+)
+from repro.injection.outcomes import CRASH_DUMPED, CRASH_UNKNOWN, HANG
+
+CAMPAIGN_TITLES = {
+    "A": "Any Random Error",
+    "B": "Random Branch Error",
+    "C": "Valid but Incorrect Branch",
+}
+
+
+def format_fig4(campaign_key, results):
+    """One campaign's Figure 4 block: per-subsystem table + outcome pie."""
+    rows = subsystem_outcome_table(results)
+    lines = []
+    lines.append("Figure 4 (%s - %s)" % (campaign_key,
+                                         CAMPAIGN_TITLES[campaign_key]))
+    lines.append("%-12s %9s %18s %16s %14s %12s"
+                 % ("Subsystem", "Injected", "Activated",
+                    "Not Manifested", "Fail Silence", "Crash/Hang"))
+    for row in rows:
+        injected = row.get("injected", 0)
+        activated = row.get("activated", 0)
+        lines.append(
+            "%-12s %9d %10d(%5.1f%%) %8d(%5.1f%%) %7d(%4.1f%%) %6d(%5.1f%%)"
+            % ("%s[%d]" % (row["subsystem"], row["functions"]),
+               injected,
+               activated, percent(activated, injected),
+               row.get("not_manifested", 0),
+               percent(row.get("not_manifested", 0), activated),
+               row.get("fsv", 0),
+               percent(row.get("fsv", 0), activated),
+               row.get("crash_hang", 0),
+               percent(row.get("crash_hang", 0), activated)))
+    pie = outcome_pie(results)
+    activated = pie.pop("activated", 0)
+    lines.append("")
+    lines.append("Outcome distribution over %d activated errors:"
+                 % activated)
+    lines.append(ascii_pie(Counter(pie), total=activated))
+    return "\n".join(lines)
+
+
+def format_fig6(campaign_key, results):
+    """Crash-cause distribution for a campaign (Figure 6)."""
+    causes = crash_cause_distribution(results)
+    total = sum(causes.values())
+    lines = ["Figure 6 (%s - %s): causes of %d dumped crashes"
+             % (campaign_key, CAMPAIGN_TITLES[campaign_key], total)]
+    lines.append(ascii_pie(causes))
+    top4 = sum(count for cause, count in causes.items()
+               if cause in ("null_pointer", "paging_request",
+                            "invalid_opcode", "gpf"))
+    lines.append("  four dominant causes cover %.1f%%"
+                 % percent(top4, total))
+    return "\n".join(lines)
+
+
+def format_fig7(campaign_key, results, by_subsystem=True):
+    """Crash-latency histogram in CPU cycles (Figure 7)."""
+    labels = bucket_labels()
+    lines = ["Figure 7 (%s - %s): crash latency (CPU cycles)"
+             % (campaign_key, CAMPAIGN_TITLES[campaign_key])]
+    overall = latency_histogram(results)
+    total = sum(overall.values())
+    header = "%-10s" + " %8s" * len(labels) + " %8s"
+    lines.append(header % (("subsystem",) + tuple(labels) + ("total",)))
+    if by_subsystem:
+        per = latency_histogram(results, by_subsystem=True)
+        for subsystem in ("arch", "fs", "kernel", "mm"):
+            histogram = per.get(subsystem, Counter())
+            row_total = sum(histogram.values())
+            cells = tuple(histogram.get(label, 0) for label in labels)
+            lines.append(header % ((subsystem,) + cells + (row_total,)))
+    cells = tuple(overall.get(label, 0) for label in labels)
+    lines.append(header % (("all",) + cells + (total,)))
+    if total:
+        within10 = overall.get(labels[0], 0)
+        over100k = overall.get(labels[-1], 0)
+        lines.append("  %.1f%% of crashes within 10 cycles; %.1f%% beyond "
+                     "100k cycles" % (percent(within10, total),
+                                      percent(over100k, total)))
+    return "\n".join(lines)
+
+
+def format_fig8(campaign_key, results, source_subsystem):
+    """Propagation graph for one source subsystem (Figure 8)."""
+    matrix = propagation_matrix(results).get(source_subsystem, Counter())
+    causes = propagation_cause_matrix(results)
+    total = sum(matrix.values())
+    lines = ["Figure 8 (%s, injected into %s): %d dumped crashes"
+             % (campaign_key, source_subsystem, total)]
+    for destination, count in matrix.most_common():
+        lines.append("  %s -> %-8s %5.1f%% (%d)"
+                     % (source_subsystem, destination,
+                        percent(count, total), count))
+        mix = causes.get((source_subsystem, destination), Counter())
+        for cause, cause_count in mix.most_common():
+            lines.append("      %-18s %5.1f%%"
+                         % (cause, percent(cause_count, count)))
+    return "\n".join(lines)
+
+
+def format_severity_table(all_results):
+    """The paper's Table 5: inventory of most-severe crashes."""
+    cases = most_severe_cases(all_results)
+    lines = ["Table 5: most severe (reformat-class) cases: %d"
+             % len(cases)]
+    lines.append("%-4s %-9s %-10s %-26s %-12s %s"
+                 % ("No.", "Campaign", "Subsystem", "Function",
+                    "Outcome", "fs damage"))
+    for i, result in enumerate(cases, start=1):
+        lines.append("%-4d %-9s %-10s %-26s %-12s %s"
+                     % (i, result.campaign, result.subsystem,
+                        result.function,
+                        result.outcome, result.fs_status))
+    return "\n".join(lines)
+
+
+def crash_hang_split(results):
+    """(dumped, unknown, hang) triple used in Figure 4's pie notes."""
+    dumped = sum(1 for r in results if r.outcome == CRASH_DUMPED)
+    unknown = sum(1 for r in results if r.outcome == CRASH_UNKNOWN)
+    hangs = sum(1 for r in results if r.outcome == HANG)
+    return dumped, unknown, hangs

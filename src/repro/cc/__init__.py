@@ -1,0 +1,38 @@
+"""MinC: a small C dialect compiled to IA-32-subset assembly.
+
+The simulated kernel and the UnixBench-like workloads are written in MinC
+rather than hand-rolled machine code so that the injected-error statistics
+emerge from *compiler-shaped* instruction streams: natural mixes of
+``mov``/``cmp``/``jcc``/``call``, short and near branches, ``test`` against
+zero, and — crucially — ``BUG()`` assertions compiled to a conditional
+branch over ``ud2``, the exact mechanism behind the paper's campaign-C
+invalid-opcode dominance (Figure 6, Table 7 example 4).
+
+Language summary (everything is a 32-bit word, as in B):
+
+* declarations: ``int x;``, ``int x = e;``, ``int a[N];``, ``const K = e;``
+* statements: ``if``/``else``, ``while``, ``do``/``while``, ``for``,
+  ``return``, ``break``, ``continue``, blocks, ``asm("...");``
+* expressions: C operator set (incl. ``?:``, ``&&``, ``||``, compound
+  assignment, ``++``/``--``), word-indexed ``p[i]``, ``*p``, ``&x``
+* builtins: ``BUG()``, ``ldb``/``stb`` (byte access), unsigned compares
+  ``ult``/``ule``/``ugt``/``uge``, ``udiv``/``umod``, ``cli``/``sti``,
+  ``rep_movsd``/``rep_stosd``, CR/DR/MSR access helpers
+"""
+
+from repro.cc.lexer import LexError, tokenize
+from repro.cc.parser import ParseError, parse
+from repro.cc.codegen import CodegenError, CodeGenerator
+from repro.cc.compiler import CompileError, compile_single, compile_unit
+
+__all__ = [
+    "compile_single",
+    "LexError",
+    "tokenize",
+    "ParseError",
+    "parse",
+    "CodegenError",
+    "CodeGenerator",
+    "CompileError",
+    "compile_unit",
+]

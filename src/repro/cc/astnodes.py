@@ -1,0 +1,306 @@
+"""AST node classes for MinC (lightweight, slots-only)."""
+
+
+class Node:
+    """Base class: every node carries its source line."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line=0):
+        self.line = line
+
+
+# -- declarations ---------------------------------------------------------
+
+
+class Program(Node):
+    """A whole translation unit: a list of declarations."""
+
+    __slots__ = ("decls",)
+
+    def __init__(self, decls):
+        super().__init__()
+        self.decls = decls
+
+
+class FuncDef(Node):
+    """``int name(params) { body }``."""
+
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, name, params, body, line):
+        super().__init__(line)
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+class GlobalVar(Node):
+    """Top-level variable/array with optional initializer."""
+
+    __slots__ = ("name", "array_size", "init")
+
+    def __init__(self, name, array_size, init, line):
+        super().__init__(line)
+        self.name = name
+        self.array_size = array_size  # None for scalars
+        self.init = init  # const expr, list of const exprs, or None
+
+
+class ConstDecl(Node):
+    """``const NAME = constant-expression;``."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name, value, line):
+        super().__init__(line)
+        self.name = name
+        self.value = value
+
+
+# -- statements -----------------------------------------------------------
+
+
+class Block(Node):
+    """``{ statements... }``."""
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts, line):
+        super().__init__(line)
+        self.stmts = stmts
+
+
+class LocalDecl(Node):
+    """``int name[size] = init;`` inside a function."""
+
+    __slots__ = ("name", "array_size", "init")
+
+    def __init__(self, name, array_size, init, line):
+        super().__init__(line)
+        self.name = name
+        self.array_size = array_size
+        self.init = init
+
+
+class If(Node):
+    """``if (cond) then [else els]``."""
+
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond, then, els, line):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class While(Node):
+    """``while (cond) body``."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, line):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Node):
+    """``do body while (cond);``."""
+
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body, cond, line):
+        super().__init__(line)
+        self.body = body
+        self.cond = cond
+
+
+class For(Node):
+    """``for (init; cond; post) body``."""
+
+    __slots__ = ("init", "cond", "post", "body")
+
+    def __init__(self, init, cond, post, body, line):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.post = post
+        self.body = body
+
+
+class Return(Node):
+    """``return [expr];``."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line):
+        super().__init__(line)
+        self.expr = expr
+
+
+class Break(Node):
+    """``break;``."""
+
+    __slots__ = ()
+
+
+class Continue(Node):
+    """``continue;``."""
+
+    __slots__ = ()
+
+
+class ExprStmt(Node):
+    """An expression evaluated for effect."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line):
+        super().__init__(line)
+        self.expr = expr
+
+
+class AsmStmt(Node):
+    """``asm("...")`` raw assembly passthrough."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text, line):
+        super().__init__(line)
+        self.text = text
+
+
+# -- expressions ----------------------------------------------------------
+
+
+class Num(Node):
+    """Integer literal (already an int value)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=0):
+        super().__init__(line)
+        self.value = value
+
+
+class Str(Node):
+    """String literal; its value is the pooled string's address."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value, line=0):
+        super().__init__(line)
+        self.value = value
+
+
+class Name(Node):
+    """Identifier reference."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name, line=0):
+        super().__init__(line)
+        self.name = name
+
+
+class Unary(Node):
+    """``-e``, ``!e`` or ``~e``."""
+
+    __slots__ = ("op", "expr")
+
+    def __init__(self, op, expr, line=0):
+        super().__init__(line)
+        self.op = op  # "-", "!", "~"
+        self.expr = expr
+
+
+class Deref(Node):
+    """``*e`` (word load, or store as an lvalue)."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line=0):
+        super().__init__(line)
+        self.expr = expr
+
+
+class AddrOf(Node):
+    """``&lvalue``."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line=0):
+        super().__init__(line)
+        self.expr = expr
+
+
+class Binary(Node):
+    """Infix operation ``left op right``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right, line=0):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class Assign(Node):
+    """``target op= value`` (op may be plain ``=``)."""
+
+    __slots__ = ("op", "target", "value")
+
+    def __init__(self, op, target, value, line=0):
+        super().__init__(line)
+        self.op = op  # "=", "+=", ...
+        self.target = target
+        self.value = value
+
+
+class Cond(Node):
+    """``cond ? then : els``."""
+
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond, then, els, line=0):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+
+class Call(Node):
+    """``func(args...)`` (func may be any expression)."""
+
+    __slots__ = ("func", "args")
+
+    def __init__(self, func, args, line=0):
+        super().__init__(line)
+        self.func = func  # Name or expression (indirect call)
+        self.args = args
+
+
+class Index(Node):
+    """``base[index]`` — word at ``base + 4*index``."""
+
+    __slots__ = ("base", "index")
+
+    def __init__(self, base, index, line=0):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class IncDec(Node):
+    """``++x``/``x++``/``--x``/``x--``."""
+
+    __slots__ = ("op", "target", "is_post")
+
+    def __init__(self, op, target, is_post, line=0):
+        super().__init__(line)
+        self.op = op  # "++" or "--"
+        self.target = target
+        self.is_post = is_post

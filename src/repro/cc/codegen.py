@@ -1,0 +1,1015 @@
+"""MinC -> IA-32-subset assembly code generator.
+
+Calling convention (cdecl-like): arguments pushed right-to-left, caller
+cleans the stack, result in ``eax``.  All registers except ``ebp``/``esp``
+are caller-clobbered.  Frame layout: ``[ebp+8+4i]`` parameters,
+``[ebp-4k]`` locals.
+
+The generator favours the instruction shapes a period compiler would
+emit — ``xor reg, reg`` to zero, ``test eax, eax`` against zero,
+``cmp``+``jcc`` fused conditions, short forward branches around ``ud2``
+for ``BUG()`` — because those shapes are what the paper's bit-flip
+campaigns interact with.
+"""
+
+from repro.cc import astnodes as ast
+
+
+class CodegenError(Exception):
+    """Raised for semantic errors (undefined names, bad lvalues...)."""
+
+
+_SIGNED_SET = {"==": "e", "!=": "ne", "<": "l", ">": "g",
+               "<=": "le", ">=": "ge"}
+_SIGNED_JUMP_FALSE = {"==": "jne", "!=": "je", "<": "jge", ">": "jle",
+                      "<=": "jg", ">=": "jl"}
+_SIGNED_JUMP_TRUE = {"==": "je", "!=": "jne", "<": "jl", ">": "jg",
+                     "<=": "jle", ">=": "jge"}
+_UNSIGNED_CMP = {"ult": ("b", "jb", "jae"), "ule": ("be", "jbe", "ja"),
+                 "ugt": ("a", "ja", "jbe"), "uge": ("ae", "jae", "jb")}
+_SIMPLE_BINOP = {"+": "add", "-": "sub", "&": "and", "|": "or", "^": "xor"}
+
+# Names reserved for builtins (not callable as ordinary functions).
+BUILTIN_NAMES = frozenset([
+    "BUG", "cli", "sti", "halt", "ldb", "stb", "ld", "st",
+    "ult", "ule", "ugt", "uge", "udiv", "umod", "asr",
+    "rep_movsd", "rep_movsb", "rep_stosd",
+    "read_cr2", "read_cr3", "write_cr3", "flush_tlb", "invlpg",
+    "set_esp0", "set_idt", "set_dr", "get_dr", "rdtsc_lo",
+    "ret_addr", "syscall",
+])
+
+
+class VarInfo:
+    __slots__ = ("kind", "offset", "name", "is_array")
+
+    def __init__(self, kind, offset=0, name=None, is_array=False):
+        self.kind = kind  # "local", "param", "global", "func", "const"
+        self.offset = offset
+        self.name = name
+        self.is_array = is_array
+
+
+class CompiledUnit:
+    """Result of compiling one MinC translation unit."""
+
+    def __init__(self, text, data, functions):
+        self.text = text  # assembly for the text section
+        self.data = data  # assembly for the data section
+        self.functions = functions  # [(name, subsystem)]
+
+
+class CodeGenerator:
+    """Compile a merged MinC program to assembly text."""
+
+    def __init__(self, externs=()):
+        #: symbols defined outside MinC (assembly stubs); resolve as
+        #: function addresses and direct-call targets.
+        self.externs = frozenset(externs)
+        self.consts = {}
+        self.globals = {}  # name -> VarInfo(kind="global")
+        self.funcs = {}    # name -> subsystem
+        self.text = []
+        self.data = []
+        self.strings = {}
+        self.label_counter = 0
+        # per-function state
+        self.locals = None
+        self.frame_bytes = 0
+        self.break_labels = []
+        self.continue_labels = []
+        self.epilogue_label = None
+        self.cold_blocks = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def emit(self, line):
+        self.text.append("    " + line)
+
+    def emit_label(self, label):
+        self.text.append(label + ":")
+
+    def new_label(self):
+        """A fresh local label (.L<n>)."""
+        self.label_counter += 1
+        return ".L%d" % self.label_counter
+
+    def error(self, node, message):
+        raise CodegenError("line %d: %s" % (getattr(node, "line", 0),
+                                            message))
+
+    def intern_string(self, value):
+        """Pool a string literal; returns its data label."""
+        label = self.strings.get(value)
+        if label is None:
+            label = ".Lstr%d" % len(self.strings)
+            self.strings[value] = label
+        return label
+
+    # -- constant evaluation -------------------------------------------------
+
+    def const_value(self, node):
+        """Evaluate a compile-time constant; None if not constant."""
+        if isinstance(node, ast.Num):
+            return node.value & 0xFFFFFFFF
+        if isinstance(node, ast.Name):
+            return self.consts.get(node.name)
+        if isinstance(node, ast.Unary):
+            inner = self.const_value(node.expr)
+            if inner is None:
+                return None
+            if node.op == "-":
+                return (-inner) & 0xFFFFFFFF
+            if node.op == "~":
+                return (~inner) & 0xFFFFFFFF
+            if node.op == "!":
+                return 0 if inner else 1
+        if isinstance(node, ast.Binary):
+            left = self.const_value(node.left)
+            right = self.const_value(node.right)
+            if left is None or right is None:
+                return None
+            return _fold(node.op, left, right)
+        return None
+
+    # -- top level -----------------------------------------------------------
+
+    def compile_program(self, units):
+        """Compile merged units: list of (program_ast, subsystem)."""
+        # Pass 1: collect symbols so cross-references resolve.
+        for program, subsystem in units:
+            for decl in program.decls:
+                if isinstance(decl, ast.ConstDecl):
+                    value = self.const_value(decl.value)
+                    if value is None:
+                        self.error(decl, "const %r is not a compile-time "
+                                   "constant" % decl.name)
+                    self.consts[decl.name] = value
+                elif isinstance(decl, ast.FuncDef):
+                    if decl.name in self.funcs:
+                        self.error(decl, "duplicate function %r" % decl.name)
+                    self.funcs[decl.name] = subsystem
+                elif isinstance(decl, ast.GlobalVar):
+                    info = VarInfo("global", name=decl.name,
+                                   is_array=decl.array_size is not None)
+                    self.globals[decl.name] = info
+        # Pass 2: emit.
+        for program, subsystem in units:
+            for decl in program.decls:
+                if isinstance(decl, ast.FuncDef):
+                    self.compile_func(decl, subsystem)
+                elif isinstance(decl, ast.GlobalVar):
+                    self.emit_global(decl)
+        for value, label in self.strings.items():
+            self.data.append("%s:" % label)
+            self.data.append('    .asciz "%s"' % _escape(value))
+        functions = [(name, sub) for name, sub in self.funcs.items()]
+        return CompiledUnit("\n".join(self.text) + "\n",
+                            "\n".join(self.data) + "\n", functions)
+
+    def emit_global(self, decl):
+        """Emit a global scalar/array (with initializers) into .data."""
+        self.data.append(".align 4")
+        self.data.append(".global %s" % decl.name)
+        if decl.array_size is None:
+            value = 0
+            if decl.init is not None:
+                value = self.const_value(decl.init)
+                if value is None:
+                    symbol = self._init_symbol(decl.init)
+                    if symbol is None:
+                        self.error(decl, "global initializer for %r is not "
+                                   "constant" % decl.name)
+                    self.data.append("    .long %s" % symbol)
+                    return
+            self.data.append("    .long %d" % value)
+            return
+        size = None
+        if decl.array_size != -1:
+            size = self.const_value(decl.array_size)
+            if size is None:
+                self.error(decl, "array size for %r is not constant"
+                           % decl.name)
+        if isinstance(decl.init, ast.Str):
+            text = decl.init.value
+            self.data.append('    .asciz "%s"' % _escape(text))
+            used = len(text) + 1
+            if size is not None and size * 4 > used:
+                self.data.append("    .space %d" % (size * 4 - used))
+            return
+        if decl.init is not None:
+            entries = []
+            for item in decl.init:
+                value = self.const_value(item)
+                if value is not None:
+                    entries.append(str(value))
+                    continue
+                symbol = self._init_symbol(item)
+                if symbol is None:
+                    self.error(decl, "array initializer for %r is not "
+                               "constant" % decl.name)
+                entries.append(symbol)
+            self.data.append("    .long " + ", ".join(entries))
+            remaining = (size or len(entries)) - len(entries)
+            if remaining > 0:
+                self.data.append("    .space %d" % (remaining * 4))
+            return
+        if size is None:
+            self.error(decl, "array %r needs a size or initializer"
+                       % decl.name)
+        self.data.append("    .space %d" % (size * 4))
+
+    def _init_symbol(self, node):
+        if isinstance(node, ast.Name) and (node.name in self.funcs
+                                           or node.name in self.globals
+                                           or node.name in self.externs):
+            return node.name
+        if isinstance(node, ast.Str):
+            return self.intern_string(node.value)
+        if isinstance(node, ast.AddrOf) and isinstance(node.expr, ast.Name):
+            target = node.expr.name
+            if target in self.globals:
+                return target
+        return None
+
+    # -- functions -----------------------------------------------------------
+
+    def compile_func(self, decl, subsystem):
+        """Compile one function: prologue, body, epilogue, cold blocks."""
+        self.locals = {}
+        self.frame_bytes = 0
+        self.break_labels = []
+        self.continue_labels = []
+        self.cold_blocks = []
+        self.epilogue_label = self.new_label()
+        for i, param in enumerate(decl.params):
+            if param in self.locals:
+                self.error(decl, "duplicate parameter %r" % param)
+            self.locals[param] = VarInfo("param", offset=8 + 4 * i)
+
+        body_mark = len(self.text)
+        self.compile_stmt(decl.body)
+
+        body = self.text[body_mark:]
+        del self.text[body_mark:]
+        self.text.append(".func %s %s" % (decl.name, subsystem))
+        self.emit_label(decl.name)
+        self.emit("push ebp")
+        self.emit("mov ebp, esp")
+        if self.frame_bytes:
+            self.emit("sub esp, %d" % self.frame_bytes)
+        self.text.extend(body)
+        self.emit_label(self.epilogue_label)
+        self.emit("leave")
+        self.emit("ret")
+        # Cold out-of-line blocks (error returns / early exits), placed
+        # after the hot body like a period compiler's .text.unlikely:
+        # the conditional branches that reach them are NOT taken on the
+        # common path — the shape behind the paper's Table 6 analysis.
+        index = 0
+        while index < len(self.cold_blocks):
+            label, stmt, breaks, continues = self.cold_blocks[index]
+            index += 1
+            saved_breaks = self.break_labels
+            saved_continues = self.continue_labels
+            self.break_labels = breaks
+            self.continue_labels = continues
+            self.emit_label(label)
+            self.compile_stmt(stmt)
+            self.break_labels = saved_breaks
+            self.continue_labels = saved_continues
+        self.text.append(".endfunc")
+        self.locals = None
+
+    def _alloc_local(self, name, words, node, is_array=False):
+        if name in self.locals:
+            self.error(node, "duplicate local %r" % name)
+        self.frame_bytes += 4 * words
+        info = VarInfo("local", offset=-self.frame_bytes,
+                       is_array=is_array)
+        self.locals[name] = info
+        return info
+
+    # -- statements ------------------------------------------------------------
+
+    def compile_stmt(self, node):
+        if isinstance(node, ast.Block):
+            for stmt in node.stmts:
+                self.compile_stmt(stmt)
+        elif isinstance(node, ast.LocalDecl):
+            words = 1
+            if node.array_size is not None:
+                words = self.const_value(node.array_size)
+                if words is None or words <= 0:
+                    self.error(node, "bad array size for %r" % node.name)
+            info = self._alloc_local(node.name, words, node,
+                                     is_array=node.array_size is not None)
+            if node.init is not None:
+                self.compile_expr(node.init)
+                self.emit("mov [ebp%+d], eax" % info.offset)
+        elif isinstance(node, ast.ExprStmt):
+            self.compile_expr(node.expr)
+        elif isinstance(node, ast.If):
+            self.compile_if(node)
+        elif isinstance(node, ast.While):
+            self.compile_while(node)
+        elif isinstance(node, ast.DoWhile):
+            self.compile_do_while(node)
+        elif isinstance(node, ast.For):
+            self.compile_for(node)
+        elif isinstance(node, ast.Return):
+            if node.expr is not None:
+                self.compile_expr(node.expr)
+            self.emit("jmp %s" % self.epilogue_label)
+        elif isinstance(node, ast.Break):
+            if not self.break_labels:
+                self.error(node, "break outside loop")
+            self.emit("jmp %s" % self.break_labels[-1])
+        elif isinstance(node, ast.Continue):
+            if not self.continue_labels:
+                self.error(node, "continue outside loop")
+            self.emit("jmp %s" % self.continue_labels[-1])
+        elif isinstance(node, ast.AsmStmt):
+            for line in node.text.split("\n"):
+                if line.strip():
+                    self.emit(line.strip())
+        else:
+            self.error(node, "cannot compile statement %r" % node)
+
+    @staticmethod
+    def _is_cold_exit(stmt):
+        """True for bodies compiled out of line (no fall-through)."""
+        if isinstance(stmt, (ast.Return, ast.Break, ast.Continue)):
+            return True
+        if isinstance(stmt, ast.Block) and stmt.stmts:
+            last = stmt.stmts[-1]
+            if not isinstance(last, (ast.Return, ast.Break,
+                                     ast.Continue)):
+                return False
+            return all(not isinstance(s, ast.LocalDecl)
+                       for s in stmt.stmts)
+        return False
+
+    def compile_if(self, node):
+        if node.els is None and self._is_cold_exit(node.then):
+            cold = self.new_label()
+            self.branch_if_true(node.cond, cold)
+            self.cold_blocks.append((cold, node.then,
+                                     list(self.break_labels),
+                                     list(self.continue_labels)))
+            return
+        else_label = self.new_label()
+        self.branch_if_false(node.cond, else_label)
+        self.compile_stmt(node.then)
+        if node.els is not None:
+            end_label = self.new_label()
+            self.emit("jmp %s" % end_label)
+            self.emit_label(else_label)
+            self.compile_stmt(node.els)
+            self.emit_label(end_label)
+        else:
+            self.emit_label(else_label)
+
+    def compile_while(self, node):
+        top = self.new_label()
+        end = self.new_label()
+        self.emit_label(top)
+        self.branch_if_false(node.cond, end)
+        self.break_labels.append(end)
+        self.continue_labels.append(top)
+        self.compile_stmt(node.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit("jmp %s" % top)
+        self.emit_label(end)
+
+    def compile_do_while(self, node):
+        top = self.new_label()
+        cond_label = self.new_label()
+        end = self.new_label()
+        self.emit_label(top)
+        self.break_labels.append(end)
+        self.continue_labels.append(cond_label)
+        self.compile_stmt(node.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit_label(cond_label)
+        self.branch_if_true(node.cond, top)
+        self.emit_label(end)
+
+    def compile_for(self, node):
+        top = self.new_label()
+        post_label = self.new_label()
+        end = self.new_label()
+        if node.init is not None:
+            self.compile_expr(node.init)
+        self.emit_label(top)
+        if node.cond is not None:
+            self.branch_if_false(node.cond, end)
+        self.break_labels.append(end)
+        self.continue_labels.append(post_label)
+        self.compile_stmt(node.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        self.emit_label(post_label)
+        if node.post is not None:
+            self.compile_expr(node.post)
+        self.emit("jmp %s" % top)
+        self.emit_label(end)
+
+    # -- branches ----------------------------------------------------------------
+
+    def _compare_sides(self, left, right):
+        """Leave left in eax, right in ecx (immediate-aware)."""
+        rconst = self.const_value(right)
+        if rconst is not None:
+            self.compile_expr(left)
+            if rconst == 0:
+                self.emit("test eax, eax")
+            else:
+                self.emit("cmp eax, %d" % _s32(rconst))
+            return True
+        self.compile_expr(left)
+        self.emit("push eax")
+        self.compile_expr(right)
+        self.emit("mov ecx, eax")
+        self.emit("pop eax")
+        self.emit("cmp eax, ecx")
+        return False
+
+    def branch_if_false(self, node, label):
+        value = self.const_value(node)
+        if value is not None:
+            if value == 0:
+                self.emit("jmp %s" % label)
+            return
+        if isinstance(node, ast.Unary) and node.op == "!":
+            self.branch_if_true(node.expr, label)
+            return
+        if isinstance(node, ast.Binary):
+            if node.op == "&&":
+                self.branch_if_false(node.left, label)
+                self.branch_if_false(node.right, label)
+                return
+            if node.op == "||":
+                skip = self.new_label()
+                self.branch_if_true(node.left, skip)
+                self.branch_if_false(node.right, label)
+                self.emit_label(skip)
+                return
+            if node.op in _SIGNED_JUMP_FALSE:
+                self._compare_sides(node.left, node.right)
+                self.emit("%s %s" % (_SIGNED_JUMP_FALSE[node.op], label))
+                return
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.name in _UNSIGNED_CMP:
+            _, jtrue, jfalse = _UNSIGNED_CMP[node.func.name]
+            self._compare_sides(node.args[0], node.args[1])
+            self.emit("%s %s" % (jfalse, label))
+            return
+        self.compile_expr(node)
+        self.emit("test eax, eax")
+        self.emit("je %s" % label)
+
+    def branch_if_true(self, node, label):
+        value = self.const_value(node)
+        if value is not None:
+            if value != 0:
+                self.emit("jmp %s" % label)
+            return
+        if isinstance(node, ast.Unary) and node.op == "!":
+            self.branch_if_false(node.expr, label)
+            return
+        if isinstance(node, ast.Binary):
+            if node.op == "&&":
+                skip = self.new_label()
+                self.branch_if_false(node.left, skip)
+                self.branch_if_true(node.right, label)
+                self.emit_label(skip)
+                return
+            if node.op == "||":
+                self.branch_if_true(node.left, label)
+                self.branch_if_true(node.right, label)
+                return
+            if node.op in _SIGNED_JUMP_TRUE:
+                self._compare_sides(node.left, node.right)
+                self.emit("%s %s" % (_SIGNED_JUMP_TRUE[node.op], label))
+                return
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.name in _UNSIGNED_CMP:
+            _, jtrue, _ = _UNSIGNED_CMP[node.func.name]
+            self._compare_sides(node.args[0], node.args[1])
+            self.emit("%s %s" % (jtrue, label))
+            return
+        self.compile_expr(node)
+        self.emit("test eax, eax")
+        self.emit("jne %s" % label)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def lookup(self, name, node):
+        if self.locals is not None and name in self.locals:
+            return self.locals[name]
+        if name in self.consts:
+            return VarInfo("const", offset=self.consts[name])
+        if name in self.globals:
+            return self.globals[name]
+        if name in self.funcs or name in self.externs:
+            return VarInfo("func", name=name)
+        self.error(node, "undefined name %r" % name)
+
+    def compile_expr(self, node):
+        """Evaluate *node* into eax."""
+        value = self.const_value(node)
+        if value is not None:
+            if value == 0:
+                self.emit("xor eax, eax")
+            else:
+                self.emit("mov eax, %d" % _s32(value))
+            return
+        if isinstance(node, ast.Name):
+            info = self.lookup(node.name, node)
+            if info.kind == "local" or info.kind == "param":
+                if info.is_array:
+                    self.emit("lea eax, [ebp%+d]" % info.offset)
+                else:
+                    self.emit("mov eax, [ebp%+d]" % info.offset)
+            elif info.kind == "global":
+                if info.is_array:
+                    self.emit("mov eax, %s" % node.name)
+                else:
+                    self.emit("mov eax, [%s]" % node.name)
+            elif info.kind == "func":
+                self.emit("mov eax, %s" % node.name)
+            else:
+                raise AssertionError
+            return
+        if isinstance(node, ast.Str):
+            self.emit("mov eax, %s" % self.intern_string(node.value))
+            return
+        if isinstance(node, ast.Unary):
+            self.compile_expr(node.expr)
+            if node.op == "-":
+                self.emit("neg eax")
+            elif node.op == "~":
+                self.emit("not eax")
+            elif node.op == "!":
+                self.emit("test eax, eax")
+                self.emit("sete al")
+                self.emit("movzx eax, al")
+            return
+        if isinstance(node, ast.Deref):
+            self.compile_expr(node.expr)
+            self.emit("mov eax, [eax]")
+            return
+        if isinstance(node, ast.AddrOf):
+            self.compile_addr(node.expr)
+            return
+        if isinstance(node, ast.Index):
+            self.compile_expr(node.base)
+            self.emit("push eax")
+            self.compile_expr(node.index)
+            self.emit("mov ecx, eax")
+            self.emit("pop eax")
+            self.emit("mov eax, [eax+ecx*4]")
+            return
+        if isinstance(node, ast.Binary):
+            self.compile_binary(node)
+            return
+        if isinstance(node, ast.Assign):
+            self.compile_assign(node)
+            return
+        if isinstance(node, ast.IncDec):
+            self.compile_incdec(node)
+            return
+        if isinstance(node, ast.Cond):
+            else_label = self.new_label()
+            end_label = self.new_label()
+            self.branch_if_false(node.cond, else_label)
+            self.compile_expr(node.then)
+            self.emit("jmp %s" % end_label)
+            self.emit_label(else_label)
+            self.compile_expr(node.els)
+            self.emit_label(end_label)
+            return
+        if isinstance(node, ast.Call):
+            self.compile_call(node)
+            return
+        self.error(node, "cannot compile expression %r" % node)
+
+    def compile_binary(self, node):
+        op = node.op
+        if op == ",":
+            self.compile_expr(node.left)
+            self.compile_expr(node.right)
+            return
+        if op in ("&&", "||"):
+            false_label = self.new_label()
+            end_label = self.new_label()
+            self.branch_if_false(node, false_label)
+            self.emit("mov eax, 1")
+            self.emit("jmp %s" % end_label)
+            self.emit_label(false_label)
+            self.emit("xor eax, eax")
+            self.emit_label(end_label)
+            return
+        if op in _SIGNED_SET:
+            self._compare_sides(node.left, node.right)
+            self.emit("set%s al" % _SIGNED_SET[op])
+            self.emit("movzx eax, al")
+            return
+        rconst = self.const_value(node.right)
+        if rconst is not None and op in _SIMPLE_BINOP:
+            self.compile_expr(node.left)
+            self.emit("%s eax, %d" % (_SIMPLE_BINOP[op], _s32(rconst)))
+            return
+        if rconst is not None and op in ("<<", ">>"):
+            self.compile_expr(node.left)
+            # ">>" is a LOGICAL shift: MinC values are untyped 32-bit
+            # words and the kernel shifts addresses constantly.  Use the
+            # asr() builtin for the rare arithmetic shift.
+            mnemonic = "shl" if op == "<<" else "shr"
+            self.emit("%s eax, %d" % (mnemonic, rconst & 31))
+            return
+        if rconst is not None and op == "*":
+            self.compile_expr(node.left)
+            self.emit("imul eax, eax, %d" % _s32(rconst))
+            return
+        self.compile_expr(node.left)
+        self.emit("push eax")
+        self.compile_expr(node.right)
+        self.emit("mov ecx, eax")
+        self.emit("pop eax")
+        self._binop_regs(op, node)
+
+    def _binop_regs(self, op, node):
+        """eax = eax <op> ecx."""
+        if op in _SIMPLE_BINOP:
+            self.emit("%s eax, ecx" % _SIMPLE_BINOP[op])
+        elif op == "*":
+            self.emit("imul eax, ecx")
+        elif op == "/":
+            self.emit("cdq")
+            self.emit("idiv ecx")
+        elif op == "%":
+            self.emit("cdq")
+            self.emit("idiv ecx")
+            self.emit("mov eax, edx")
+        elif op == "<<":
+            self.emit("shl eax, cl")
+        elif op == ">>":
+            self.emit("shr eax, cl")
+        else:
+            self.error(node, "unsupported operator %r" % op)
+
+    # -- lvalues ---------------------------------------------------------------
+
+    def compile_addr(self, node):
+        """Evaluate the address of an lvalue into eax."""
+        if isinstance(node, ast.Name):
+            info = self.lookup(node.name, node)
+            if info.kind in ("local", "param"):
+                self.emit("lea eax, [ebp%+d]" % info.offset)
+            elif info.kind == "global":
+                self.emit("mov eax, %s" % node.name)
+            elif info.kind == "func":
+                self.emit("mov eax, %s" % node.name)
+            else:
+                self.error(node, "cannot take address of %r" % node.name)
+            return
+        if isinstance(node, ast.Deref):
+            self.compile_expr(node.expr)
+            return
+        if isinstance(node, ast.Index):
+            self.compile_expr(node.base)
+            self.emit("push eax")
+            self.compile_expr(node.index)
+            self.emit("mov ecx, eax")
+            self.emit("pop eax")
+            self.emit("lea eax, [eax+ecx*4]")
+            return
+        self.error(node, "expression is not an lvalue")
+
+    def compile_assign(self, node):
+        target = node.target
+        # Fast paths for scalar names.
+        if isinstance(target, ast.Name):
+            info = self.lookup(target.name, target)
+            if info.kind in ("local", "param") and not info.is_array:
+                slot = "[ebp%+d]" % info.offset
+            elif info.kind == "global" and not info.is_array:
+                slot = "[%s]" % target.name
+            else:
+                slot = None
+            if slot is not None:
+                if node.op == "=":
+                    self.compile_expr(node.value)
+                    self.emit("mov %s, eax" % slot)
+                    return
+                self.compile_expr(node.value)
+                self.emit("mov ecx, eax")
+                self.emit("mov eax, %s" % slot)
+                self._binop_regs(node.op[:-1], node)
+                self.emit("mov %s, eax" % slot)
+                return
+        # General memory path.
+        self.compile_addr(target)
+        self.emit("push eax")
+        self.compile_expr(node.value)
+        if node.op == "=":
+            self.emit("pop ecx")
+            self.emit("mov [ecx], eax")
+            return
+        self.emit("mov ecx, eax")
+        self.emit("pop edx")
+        self.emit("push edx")
+        self.emit("mov eax, [edx]")
+        self._binop_regs(node.op[:-1], node)
+        self.emit("pop ecx")
+        self.emit("mov [ecx], eax")
+
+    def compile_incdec(self, node):
+        mnemonic = "inc" if node.op == "++" else "dec"
+        target = node.target
+        if isinstance(target, ast.Name):
+            info = self.lookup(target.name, target)
+            if info.kind in ("local", "param") and not info.is_array:
+                slot = "dword [ebp%+d]" % info.offset
+            elif info.kind == "global" and not info.is_array:
+                slot = "dword [%s]" % target.name
+            else:
+                slot = None
+            if slot is not None:
+                if node.is_post:
+                    self.emit("mov eax, %s" % slot.split(" ", 1)[1])
+                    self.emit("%s %s" % (mnemonic, slot))
+                else:
+                    self.emit("%s %s" % (mnemonic, slot))
+                    self.emit("mov eax, %s" % slot.split(" ", 1)[1])
+                return
+        self.compile_addr(target)
+        self.emit("mov edx, eax")
+        if node.is_post:
+            self.emit("mov eax, [edx]")
+            self.emit("%s dword [edx]" % mnemonic)
+        else:
+            self.emit("%s dword [edx]" % mnemonic)
+            self.emit("mov eax, [edx]")
+
+    # -- calls and builtins -------------------------------------------------------
+
+    def compile_call(self, node):
+        if isinstance(node.func, ast.Name):
+            name = node.func.name
+            if name in BUILTIN_NAMES:
+                self.compile_builtin(name, node)
+                return
+            if name in self.funcs or name in self.externs:
+                for arg in reversed(node.args):
+                    self.compile_expr(arg)
+                    self.emit("push eax")
+                self.emit("call %s" % name)
+                if node.args:
+                    self.emit("add esp, %d" % (4 * len(node.args)))
+                return
+        # Indirect call through a value.
+        for arg in reversed(node.args):
+            self.compile_expr(arg)
+            self.emit("push eax")
+        self.compile_expr(node.func)
+        self.emit("call eax")
+        if node.args:
+            self.emit("add esp, %d" % (4 * len(node.args)))
+
+    def _expect_args(self, node, count):
+        if len(node.args) != count:
+            self.error(node, "builtin expects %d argument(s), got %d"
+                       % (count, len(node.args)))
+
+    def compile_builtin(self, name, node):
+        if name == "BUG":
+            self._expect_args(node, 0)
+            self.emit("ud2")
+            return
+        if name == "cli":
+            self._expect_args(node, 0)
+            self.emit("cli")
+            return
+        if name == "sti":
+            self._expect_args(node, 0)
+            self.emit("sti")
+            return
+        if name == "halt":
+            self._expect_args(node, 0)
+            self.emit("hlt")
+            return
+        if name == "ldb":
+            self._expect_args(node, 1)
+            self.compile_expr(node.args[0])
+            self.emit("movzx eax, byte [eax]")
+            return
+        if name == "stb":
+            self._expect_args(node, 2)
+            self.compile_expr(node.args[0])
+            self.emit("push eax")
+            self.compile_expr(node.args[1])
+            self.emit("pop ecx")
+            self.emit("movb [ecx], al")
+            return
+        if name == "ld":
+            self._expect_args(node, 1)
+            self.compile_expr(node.args[0])
+            self.emit("mov eax, [eax]")
+            return
+        if name == "st":
+            self._expect_args(node, 2)
+            self.compile_expr(node.args[0])
+            self.emit("push eax")
+            self.compile_expr(node.args[1])
+            self.emit("pop ecx")
+            self.emit("mov [ecx], eax")
+            return
+        if name in _UNSIGNED_CMP:
+            self._expect_args(node, 2)
+            setcc, _, _ = _UNSIGNED_CMP[name]
+            self._compare_sides(node.args[0], node.args[1])
+            self.emit("set%s al" % setcc)
+            self.emit("movzx eax, al")
+            return
+        if name == "asr":
+            self._expect_args(node, 2)
+            shift = self.const_value(node.args[1])
+            if shift is not None:
+                self.compile_expr(node.args[0])
+                self.emit("sar eax, %d" % (shift & 31))
+                return
+            self.compile_expr(node.args[0])
+            self.emit("push eax")
+            self.compile_expr(node.args[1])
+            self.emit("mov ecx, eax")
+            self.emit("pop eax")
+            self.emit("sar eax, cl")
+            return
+        if name in ("udiv", "umod"):
+            self._expect_args(node, 2)
+            self.compile_expr(node.args[0])
+            self.emit("push eax")
+            self.compile_expr(node.args[1])
+            self.emit("mov ecx, eax")
+            self.emit("pop eax")
+            self.emit("xor edx, edx")
+            self.emit("div ecx")
+            if name == "umod":
+                self.emit("mov eax, edx")
+            return
+        if name in ("rep_movsd", "rep_movsb"):
+            self._expect_args(node, 3)
+            self.compile_expr(node.args[0])
+            self.emit("push eax")
+            self.compile_expr(node.args[1])
+            self.emit("push eax")
+            self.compile_expr(node.args[2])
+            self.emit("mov ecx, eax")
+            self.emit("pop esi")
+            self.emit("pop edi")
+            self.emit("cld")
+            self.emit("rep %s" % ("movsd" if name == "rep_movsd"
+                                  else "movsb"))
+            return
+        if name == "rep_stosd":
+            self._expect_args(node, 3)
+            self.compile_expr(node.args[0])
+            self.emit("push eax")
+            self.compile_expr(node.args[1])
+            self.emit("push eax")
+            self.compile_expr(node.args[2])
+            self.emit("mov ecx, eax")
+            self.emit("pop eax")
+            self.emit("pop edi")
+            self.emit("cld")
+            self.emit("rep stosd")
+            return
+        if name == "read_cr2":
+            self._expect_args(node, 0)
+            self.emit("mov eax, cr2")
+            return
+        if name == "read_cr3":
+            self._expect_args(node, 0)
+            self.emit("mov eax, cr3")
+            return
+        if name == "write_cr3":
+            self._expect_args(node, 1)
+            self.compile_expr(node.args[0])
+            self.emit("mov cr3, eax")
+            return
+        if name == "flush_tlb":
+            self._expect_args(node, 0)
+            self.emit("mov eax, cr3")
+            self.emit("mov cr3, eax")
+            return
+        if name == "invlpg":
+            self._expect_args(node, 1)
+            self.compile_expr(node.args[0])
+            self.emit("invlpg [eax]")
+            return
+        if name == "set_esp0":
+            self._expect_args(node, 1)
+            self.compile_expr(node.args[0])
+            self.emit("mov ecx, 0x175")
+            self.emit("wrmsr")
+            return
+        if name == "set_idt":
+            self._expect_args(node, 1)
+            self.compile_expr(node.args[0])
+            self.emit("mov ecx, 0x176")
+            self.emit("wrmsr")
+            return
+        if name == "set_dr":
+            self._expect_args(node, 2)
+            index = self.const_value(node.args[0])
+            if index is None or not 0 <= index <= 7:
+                self.error(node, "set_dr needs a constant register index")
+            self.compile_expr(node.args[1])
+            self.emit("mov dr%d, eax" % index)
+            return
+        if name == "get_dr":
+            self._expect_args(node, 1)
+            index = self.const_value(node.args[0])
+            if index is None or not 0 <= index <= 7:
+                self.error(node, "get_dr needs a constant register index")
+            self.emit("mov eax, dr%d" % index)
+            return
+        if name == "rdtsc_lo":
+            self._expect_args(node, 0)
+            self.emit("rdtsc")
+            return
+        if name == "ret_addr":
+            self._expect_args(node, 0)
+            self.emit("mov eax, [ebp+4]")
+            return
+        if name == "syscall":
+            if not 1 <= len(node.args) <= 5:
+                self.error(node, "syscall takes 1-5 arguments")
+            for arg in node.args:
+                self.compile_expr(arg)
+                self.emit("push eax")
+            regs = ["eax", "ebx", "ecx", "edx", "esi"]
+            for reg in reversed(regs[:len(node.args)]):
+                self.emit("pop %s" % reg)
+            self.emit("int 0x80")
+            return
+        self.error(node, "unhandled builtin %r" % name)
+
+
+def _fold(op, left, right):
+    mask = 0xFFFFFFFF
+    sl = left - (1 << 32) if left >> 31 else left
+    sr = right - (1 << 32) if right >> 31 else right
+    if op == "+":
+        return (left + right) & mask
+    if op == "-":
+        return (left - right) & mask
+    if op == "*":
+        return (left * right) & mask
+    if op == "/":
+        return int(sl / sr) & mask if sr else None
+    if op == "%":
+        return (sl - int(sl / sr) * sr) & mask if sr else None
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "<<":
+        return (left << (right & 31)) & mask
+    if op == ">>":
+        return (left >> (right & 31)) & mask
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "<":
+        return 1 if sl < sr else 0
+    if op == ">":
+        return 1 if sl > sr else 0
+    if op == "<=":
+        return 1 if sl <= sr else 0
+    if op == ">=":
+        return 1 if sl >= sr else 0
+    if op == "&&":
+        return 1 if left and right else 0
+    if op == "||":
+        return 1 if left or right else 0
+    return None
+
+
+def _s32(value):
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value >> 31 else value
+
+
+def _escape(text):
+    return text.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n").replace("\t", "\\t").replace("\r", "\\r") \
+        .replace("\0", "\\0")

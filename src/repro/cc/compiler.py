@@ -1,0 +1,44 @@
+"""Compiler driver: MinC sources -> one assembly translation unit."""
+
+from repro.cc.codegen import CodeGenerator, CodegenError
+from repro.cc.lexer import LexError
+from repro.cc.parser import ParseError, parse
+
+
+class CompileError(Exception):
+    """Wraps lexer/parser/codegen errors with the source-unit name."""
+
+
+def compile_unit(sources, externs=()):
+    """Compile MinC sources into one translation unit.
+
+    Args:
+        sources: list of ``(unit_name, subsystem, source_text)`` tuples.
+            All sources share one global namespace (they are "linked"
+            together), and each function is attributed to its source's
+            subsystem for the paper's per-subsystem analyses.
+
+        externs: names of symbols defined in hand-written assembly
+            (entry stubs); they resolve as function addresses.
+
+    Returns:
+        :class:`~repro.cc.codegen.CompiledUnit` with ``.text`` and
+        ``.data`` assembly strings.
+    """
+    units = []
+    for unit_name, subsystem, text in sources:
+        try:
+            program = parse(text)
+        except (LexError, ParseError) as exc:
+            raise CompileError("%s: %s" % (unit_name, exc)) from exc
+        units.append((program, subsystem))
+    generator = CodeGenerator(externs=externs)
+    try:
+        return generator.compile_program(units)
+    except CodegenError as exc:
+        raise CompileError(str(exc)) from exc
+
+
+def compile_single(source, subsystem="user", unit_name="<unit>", externs=()):
+    """Convenience wrapper for compiling one source string."""
+    return compile_unit([(unit_name, subsystem, source)], externs=externs)

@@ -1,0 +1,105 @@
+"""Tokenizer for MinC."""
+
+import re
+
+
+class LexError(Exception):
+    """Raised on unrecognizable input."""
+
+
+KEYWORDS = frozenset([
+    "int", "const", "if", "else", "while", "do", "for", "return",
+    "break", "continue", "asm", "void", "char",
+])
+
+# Longest-match-first operator list.
+_OPERATORS = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<char>'(\\.|[^'\\])')
+  | (?P<string>"(\\.|[^"\\])*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>""" + "|".join(re.escape(op) for op in _OPERATORS) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+            "'": "'", '"': '"'}
+
+
+class Token:
+    """A lexical token with source position for diagnostics."""
+
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind, value, line):
+        self.kind = kind  # "num", "name", "kw", "op", "string", "eof"
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return "Token(%s, %r, line %d)" % (self.kind, self.value, self.line)
+
+
+def _unescape(body):
+    out = []
+    i = 0
+    while i < len(body):
+        char = body[i]
+        if char == "\\" and i + 1 < len(body):
+            out.append(_ESCAPES.get(body[i + 1], body[i + 1]))
+            i += 2
+        else:
+            out.append(char)
+            i += 1
+    return "".join(out)
+
+
+def tokenize(source):
+    """Tokenize MinC source into a list of :class:`Token` (ending in eof)."""
+    tokens = []
+    pos = 0
+    line = 1
+    length = len(source)
+    while pos < length:
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise LexError("line %d: unexpected character %r"
+                           % (line, source[pos]))
+        text = match.group(0)
+        line += text.count("\n")
+        pos = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        start_line = line - text.count("\n")
+        if match.lastgroup == "num":
+            value = int(text, 16) if text.lower().startswith("0x") \
+                else int(text)
+            tokens.append(Token("num", value, start_line))
+        elif match.lastgroup == "char":
+            body = _unescape(text[1:-1])
+            if len(body) != 1:
+                raise LexError("line %d: bad character literal %s"
+                               % (start_line, text))
+            tokens.append(Token("num", ord(body), start_line))
+        elif match.lastgroup == "string":
+            tokens.append(Token("string", _unescape(text[1:-1]),
+                                start_line))
+        elif match.lastgroup == "name":
+            kind = "kw" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, start_line))
+        else:
+            tokens.append(Token("op", text, start_line))
+    tokens.append(Token("eof", None, line))
+    return tokens

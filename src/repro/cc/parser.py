@@ -1,0 +1,363 @@
+"""Recursive-descent parser for MinC."""
+
+from repro.cc import astnodes as ast
+from repro.cc.lexer import tokenize
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid MinC."""
+
+
+_ASSIGN_OPS = frozenset(["=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+                         "^=", "<<=", ">>="])
+
+# Binary operator precedence (higher binds tighter).
+_BINARY_PREC = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def peek(self, offset=0):
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self):
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def accept(self, kind, value=None):
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.next()
+        return None
+
+    def expect(self, kind, value=None):
+        token = self.accept(kind, value)
+        if token is None:
+            actual = self.peek()
+            raise ParseError("line %d: expected %s, got %r"
+                             % (actual.line, value or kind, actual.value))
+        return token
+
+    def error(self, message):
+        raise ParseError("line %d: %s" % (self.peek().line, message))
+
+    # -- top level --------------------------------------------------------
+
+    def parse_program(self):
+        decls = []
+        while self.peek().kind != "eof":
+            decls.append(self.parse_top_decl())
+        return ast.Program(decls)
+
+    def parse_top_decl(self):
+        token = self.peek()
+        if token.kind == "kw" and token.value == "const":
+            return self.parse_const()
+        if token.kind == "kw" and token.value in ("int", "void", "char"):
+            self.next()
+            name = self.expect("name").value
+            if self.peek().kind == "op" and self.peek().value == "(":
+                return self.parse_func(name, token.line)
+            return self.parse_global_var(name, token.line)
+        self.error("expected declaration, got %r" % (token.value,))
+
+    def parse_const(self):
+        line = self.expect("kw", "const").line
+        name = self.expect("name").value
+        self.expect("op", "=")
+        value = self.parse_expr()
+        self.expect("op", ";")
+        return ast.ConstDecl(name, value, line)
+
+    def parse_func(self, name, line):
+        self.expect("op", "(")
+        params = []
+        if not self.accept("op", ")"):
+            while True:
+                if self.peek().kind == "kw" and self.peek().value in (
+                        "int", "char"):
+                    self.next()
+                    # allow pointer-ish spelling "int *p"
+                    while self.accept("op", "*"):
+                        pass
+                if self.peek().kind == "kw" and self.peek().value == "void":
+                    self.next()
+                    break
+                params.append(self.expect("name").value)
+                if not self.accept("op", ","):
+                    break
+            self.expect("op", ")")
+        body = self.parse_block()
+        return ast.FuncDef(name, params, body, line)
+
+    def parse_global_var(self, name, line):
+        array_size = None
+        init = None
+        if self.accept("op", "["):
+            if self.peek().kind == "op" and self.peek().value == "]":
+                array_size = -1  # inferred from initializer
+            else:
+                array_size = self.parse_expr()
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                init = []
+                if not self.accept("op", "}"):
+                    while True:
+                        init.append(self.parse_assignment())
+                        if not self.accept("op", ","):
+                            break
+                    self.expect("op", "}")
+            elif self.peek().kind == "string":
+                init = ast.Str(self.next().value, line)
+            else:
+                init = self.parse_assignment()
+        self.expect("op", ";")
+        return ast.GlobalVar(name, array_size, init, line)
+
+    # -- statements -------------------------------------------------------
+
+    def parse_block(self):
+        line = self.expect("op", "{").line
+        stmts = []
+        while not self.accept("op", "}"):
+            if self.peek().kind == "eof":
+                raise ParseError("line %d: unterminated block" % line)
+            stmts.append(self.parse_stmt())
+        return ast.Block(stmts, line)
+
+    def parse_stmt(self):
+        token = self.peek()
+        if token.kind == "op" and token.value == "{":
+            return self.parse_block()
+        if token.kind == "kw":
+            keyword = token.value
+            if keyword in ("int", "char"):
+                return self.parse_local_decl()
+            if keyword == "if":
+                return self.parse_if()
+            if keyword == "while":
+                return self.parse_while()
+            if keyword == "do":
+                return self.parse_do_while()
+            if keyword == "for":
+                return self.parse_for()
+            if keyword == "return":
+                self.next()
+                expr = None
+                if not (self.peek().kind == "op"
+                        and self.peek().value == ";"):
+                    expr = self.parse_expr()
+                self.expect("op", ";")
+                return ast.Return(expr, token.line)
+            if keyword == "break":
+                self.next()
+                self.expect("op", ";")
+                node = ast.Break()
+                node.line = token.line
+                return node
+            if keyword == "continue":
+                self.next()
+                self.expect("op", ";")
+                node = ast.Continue()
+                node.line = token.line
+                return node
+            if keyword == "asm":
+                self.next()
+                self.expect("op", "(")
+                text = self.expect("string").value
+                self.expect("op", ")")
+                self.expect("op", ";")
+                return ast.AsmStmt(text, token.line)
+        if token.kind == "op" and token.value == ";":
+            self.next()
+            return ast.Block([], token.line)
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return ast.ExprStmt(expr, token.line)
+
+    def parse_local_decl(self):
+        line = self.next().line  # int/char
+        while self.accept("op", "*"):
+            pass
+        name = self.expect("name").value
+        array_size = None
+        init = None
+        if self.accept("op", "["):
+            array_size = self.parse_expr()
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        self.expect("op", ";")
+        return ast.LocalDecl(name, array_size, init, line)
+
+    def parse_if(self):
+        line = self.expect("kw", "if").line
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self.parse_stmt()
+        els = None
+        if self.accept("kw", "else"):
+            els = self.parse_stmt()
+        return ast.If(cond, then, els, line)
+
+    def parse_while(self):
+        line = self.expect("kw", "while").line
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_stmt()
+        return ast.While(cond, body, line)
+
+    def parse_do_while(self):
+        line = self.expect("kw", "do").line
+        body = self.parse_stmt()
+        self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        self.expect("op", ";")
+        return ast.DoWhile(body, cond, line)
+
+    def parse_for(self):
+        line = self.expect("kw", "for").line
+        self.expect("op", "(")
+        init = None
+        if not (self.peek().kind == "op" and self.peek().value == ";"):
+            init = self.parse_expr()
+        self.expect("op", ";")
+        cond = None
+        if not (self.peek().kind == "op" and self.peek().value == ";"):
+            cond = self.parse_expr()
+        self.expect("op", ";")
+        post = None
+        if not (self.peek().kind == "op" and self.peek().value == ")"):
+            post = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_stmt()
+        return ast.For(init, cond, post, body, line)
+
+    # -- expressions ------------------------------------------------------
+
+    def parse_expr(self):
+        expr = self.parse_assignment()
+        while self.accept("op", ","):
+            right = self.parse_assignment()
+            expr = ast.Binary(",", expr, right, expr.line)
+        return expr
+
+    def parse_assignment(self):
+        left = self.parse_ternary()
+        token = self.peek()
+        if token.kind == "op" and token.value in _ASSIGN_OPS:
+            self.next()
+            value = self.parse_assignment()
+            return ast.Assign(token.value, left, value, token.line)
+        return left
+
+    def parse_ternary(self):
+        cond = self.parse_binary(1)
+        if self.accept("op", "?"):
+            then = self.parse_assignment()
+            self.expect("op", ":")
+            els = self.parse_assignment()
+            return ast.Cond(cond, then, els, cond.line)
+        return cond
+
+    def parse_binary(self, min_prec):
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind != "op":
+                return left
+            prec = _BINARY_PREC.get(token.value)
+            if prec is None or prec < min_prec:
+                return left
+            self.next()
+            right = self.parse_binary(prec + 1)
+            left = ast.Binary(token.value, left, right, token.line)
+
+    def parse_unary(self):
+        token = self.peek()
+        if token.kind == "op":
+            if token.value in ("-", "!", "~"):
+                self.next()
+                return ast.Unary(token.value, self.parse_unary(), token.line)
+            if token.value == "+":
+                self.next()
+                return self.parse_unary()
+            if token.value == "*":
+                self.next()
+                return ast.Deref(self.parse_unary(), token.line)
+            if token.value == "&":
+                self.next()
+                return ast.AddrOf(self.parse_unary(), token.line)
+            if token.value in ("++", "--"):
+                self.next()
+                target = self.parse_unary()
+                return ast.IncDec(token.value, target, False, token.line)
+            if token.value == "(":
+                self.next()
+                expr = self.parse_expr()
+                self.expect("op", ")")
+                return self.parse_postfix(expr)
+        if token.kind == "num":
+            self.next()
+            return self.parse_postfix(ast.Num(token.value, token.line))
+        if token.kind == "string":
+            self.next()
+            return self.parse_postfix(ast.Str(token.value, token.line))
+        if token.kind == "name":
+            self.next()
+            return self.parse_postfix(ast.Name(token.value, token.line))
+        self.error("expected expression, got %r" % (token.value,))
+
+    def parse_postfix(self, expr):
+        while True:
+            token = self.peek()
+            if token.kind != "op":
+                return expr
+            if token.value == "(":
+                self.next()
+                args = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept("op", ","):
+                            break
+                    self.expect("op", ")")
+                expr = ast.Call(expr, args, token.line)
+            elif token.value == "[":
+                self.next()
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = ast.Index(expr, index, token.line)
+            elif token.value in ("++", "--"):
+                self.next()
+                expr = ast.IncDec(token.value, expr, True, token.line)
+            else:
+                return expr
+
+
+def parse(source):
+    """Parse MinC source text into an :class:`~repro.cc.astnodes.Program`."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,60 @@
+"""Simulated IA-32-subset processor, MMU, and platform devices.
+
+This is the hardware substrate that stands in for the paper's Pentium 4
+testbed: a cycle-counting interpreter with two-level x86 paging, privilege
+levels, the full trap taxonomy of the paper's Table 3, debug registers
+(the injection trigger), and MMIO devices (console, disk, crash-dump
+device, shutdown port).
+"""
+
+from repro.cpu.traps import (
+    Trap,
+    TripleFault,
+    VEC_BOUNDS,
+    VEC_DEBUG,
+    VEC_DIVIDE,
+    VEC_DOUBLE_FAULT,
+    VEC_GPF,
+    VEC_INT3,
+    VEC_INVALID_OP,
+    VEC_INVALID_TSS,
+    VEC_OVERFLOW,
+    VEC_PAGE_FAULT,
+    trap_name,
+)
+from repro.cpu.memory import MemoryBus, PageTableBuilder, PAGE_SIZE
+from repro.cpu.devices import (
+    ConsoleDevice,
+    DiskDevice,
+    DumpDevice,
+    MachineShutdown,
+    ShutdownDevice,
+)
+from repro.cpu.cpu import CPU, WatchdogExpired, CpuHalted
+
+__all__ = [
+    "Trap",
+    "TripleFault",
+    "VEC_DIVIDE",
+    "VEC_DEBUG",
+    "VEC_INT3",
+    "VEC_OVERFLOW",
+    "VEC_BOUNDS",
+    "VEC_INVALID_OP",
+    "VEC_DOUBLE_FAULT",
+    "VEC_INVALID_TSS",
+    "VEC_GPF",
+    "VEC_PAGE_FAULT",
+    "trap_name",
+    "MemoryBus",
+    "PageTableBuilder",
+    "PAGE_SIZE",
+    "ConsoleDevice",
+    "DiskDevice",
+    "DumpDevice",
+    "ShutdownDevice",
+    "MachineShutdown",
+    "CPU",
+    "WatchdogExpired",
+    "CpuHalted",
+]

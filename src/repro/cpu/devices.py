@@ -1,0 +1,152 @@
+"""Memory-mapped platform devices.
+
+The device complement mirrors the paper's experimental rig:
+
+* :class:`ConsoleDevice` — where kernel ``printk`` output and the oops
+  text land (the paper read these off the serial console / ``/var/log``).
+* :class:`DiskDevice` — a DMA block device carrying the ext2-like root
+  filesystem; its image is inspected by the host-side ``fsck`` to grade
+  crash severity (paper §7.1).
+* :class:`DumpDevice` — the LKCD stand-in: the kernel's crash handler
+  writes the register file, trap cause, and latency counter here, giving
+  the harness its "dumped crash" record (paper Figures 4 and 6).
+* :class:`ShutdownDevice` — clean power-off used by ``init``; also the
+  reboot line the watchdog would pull.
+"""
+
+
+class MachineShutdown(Exception):
+    """The kernel wrote the shutdown port; the run is over."""
+
+    def __init__(self, code):
+        super().__init__("machine shutdown with code %d" % code)
+        self.code = code
+
+
+class ConsoleDevice:
+    """Write-only byte-oriented console at offset 0."""
+
+    def __init__(self):
+        self.buffer = bytearray()
+
+    def mmio_read(self, offset, size):
+        return 0
+
+    def mmio_write(self, offset, size, value):
+        if offset == 0:
+            self.buffer.append(value & 0xFF)
+
+    @property
+    def text(self):
+        return self.buffer.decode("latin-1")
+
+
+class DiskDevice:
+    """Synchronous DMA disk controller.
+
+    Register map (32-bit registers, byte offsets):
+
+    == ========= =====================================================
+    0  SECTOR    first sector of the transfer
+    4  COUNT     number of 512-byte sectors
+    8  DMA       physical RAM address of the buffer
+    12 CMD       write 1 = read sectors into RAM, 2 = write RAM to disk
+    16 STATUS    0 = ok, 1 = out-of-range, 2 = bad DMA address
+    == ========= =====================================================
+    """
+
+    SECTOR_SIZE = 512
+
+    CMD_READ = 1
+    CMD_WRITE = 2
+
+    def __init__(self, bus, image):
+        self.bus = bus
+        self.image = bytearray(image)
+        self.sector = 0
+        self.count = 0
+        self.dma = 0
+        self.status = 0
+        self.reads = 0
+        self.writes = 0
+
+    def mmio_read(self, offset, size):
+        if offset == 0:
+            return self.sector
+        if offset == 4:
+            return self.count
+        if offset == 8:
+            return self.dma
+        if offset == 16:
+            return self.status
+        return 0
+
+    def mmio_write(self, offset, size, value):
+        if offset == 0:
+            self.sector = value
+        elif offset == 4:
+            self.count = value
+        elif offset == 8:
+            self.dma = value
+        elif offset == 12:
+            self._execute(value)
+
+    def _execute(self, cmd):
+        length = self.count * self.SECTOR_SIZE
+        start = self.sector * self.SECTOR_SIZE
+        if start + length > len(self.image) or self.count == 0:
+            self.status = 1
+            return
+        if self.dma + length > self.bus.ram_size:
+            self.status = 2
+            return
+        if cmd == self.CMD_READ:
+            self.bus.phys_write_bytes(self.dma, self.image[start:start
+                                                           + length])
+            self.reads += self.count
+            self.status = 0
+        elif cmd == self.CMD_WRITE:
+            self.image[start:start + length] = self.bus.phys_read_bytes(
+                self.dma, length)
+            self.writes += self.count
+            self.status = 0
+        else:
+            self.status = 1
+
+
+class DumpDevice:
+    """Crash-dump device (the LKCD stand-in).
+
+    The kernel's crash handler writes one 32-bit word at a time to
+    offset 0; a record is terminated by writing to offset 4 (COMMIT).
+    Record layout is defined by the kernel's ``crash_dump()`` routine and
+    parsed host-side by :mod:`repro.injection.outcomes`.
+    """
+
+    def __init__(self):
+        self.words = []
+        self.records = []
+
+    def mmio_read(self, offset, size):
+        return len(self.records)
+
+    def mmio_write(self, offset, size, value):
+        if offset == 0:
+            self.words.append(value & 0xFFFFFFFF)
+        elif offset == 4:
+            self.records.append(list(self.words))
+            self.words.clear()
+
+    @property
+    def last_record(self):
+        return self.records[-1] if self.records else None
+
+
+class ShutdownDevice:
+    """Writing any value powers the machine off with that exit code."""
+
+    def mmio_read(self, offset, size):
+        return 0
+
+    def mmio_write(self, offset, size, value):
+        raise MachineShutdown(value)

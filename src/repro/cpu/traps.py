@@ -1,0 +1,81 @@
+"""IA-32 exception vectors and the trap taxonomy of the paper's Table 3."""
+
+VEC_DIVIDE = 0
+VEC_DEBUG = 1
+VEC_NMI = 2
+VEC_INT3 = 3
+VEC_OVERFLOW = 4
+VEC_BOUNDS = 5
+VEC_INVALID_OP = 6
+VEC_DEVICE_NA = 7
+VEC_DOUBLE_FAULT = 8
+VEC_COPROC_OVERRUN = 9
+VEC_INVALID_TSS = 10
+VEC_SEG_NOT_PRESENT = 11
+VEC_STACK_FAULT = 12
+VEC_GPF = 13
+VEC_PAGE_FAULT = 14
+
+VEC_TIMER_IRQ = 0x20
+VEC_SYSCALL = 0x80
+
+_TRAP_NAMES = {
+    VEC_DIVIDE: "divide error",
+    VEC_DEBUG: "debug",
+    VEC_NMI: "nmi",
+    VEC_INT3: "int3",
+    VEC_OVERFLOW: "overflow",
+    VEC_BOUNDS: "bounds",
+    VEC_INVALID_OP: "invalid opcode",
+    VEC_DEVICE_NA: "device not available",
+    VEC_DOUBLE_FAULT: "double fault",
+    VEC_COPROC_OVERRUN: "coprocessor segment overrun",
+    VEC_INVALID_TSS: "invalid TSS",
+    VEC_SEG_NOT_PRESENT: "segment not present",
+    VEC_STACK_FAULT: "stack exception",
+    VEC_GPF: "general protection fault",
+    VEC_PAGE_FAULT: "page fault",
+    VEC_TIMER_IRQ: "timer interrupt",
+    VEC_SYSCALL: "system call",
+}
+
+# Page-fault error-code bits (IA-32 encoding).
+PF_PRESENT = 1  # fault caused by protection, not a missing page
+PF_WRITE = 2
+PF_USER = 4
+
+
+def trap_name(vector):
+    """Human-readable name for an exception vector."""
+    return _TRAP_NAMES.get(vector, "vector %d" % vector)
+
+
+class Trap(Exception):
+    """A synchronous processor exception during instruction execution.
+
+    Caught by the CPU's run loop and delivered through the IDT like the
+    real hardware would.
+    """
+
+    def __init__(self, vector, error_code=None, cr2=None, return_eip=None):
+        super().__init__(trap_name(vector))
+        self.vector = vector
+        self.error_code = error_code
+        self.cr2 = cr2
+        # Faults push the address of the faulting instruction (restartable);
+        # traps (int n, int3, into) push the address of the *next*
+        # instruction.  ``return_eip`` is set by trap-type raisers.
+        self.return_eip = return_eip
+
+
+class TripleFault(Exception):
+    """Exception delivery failed recursively; the machine resets.
+
+    The harness records these runs as *hang/unknown crash* — no crash dump
+    could be taken, matching the paper's Figure 4 category.
+    """
+
+    def __init__(self, original_vector, detail=""):
+        super().__init__("triple fault (original: %s) %s"
+                         % (trap_name(original_vector), detail))
+        self.original_vector = original_vector

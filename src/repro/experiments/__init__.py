@@ -1,0 +1,12 @@
+"""Per-table/figure reproduction harness.
+
+``ExperimentContext`` owns the expensive shared state (kernel build,
+workload binaries, kernel profile, golden runs, campaign results at a
+chosen scale) and caches it; the ``fig*``/``table*`` functions each
+regenerate one of the paper's exhibits from that state.
+"""
+
+from repro.experiments.context import SCALES, ExperimentContext
+from repro.experiments.report import build_report
+
+__all__ = ["ExperimentContext", "SCALES", "build_report"]

@@ -1,0 +1,41 @@
+"""Run the reproduction from the command line.
+
+    python -m repro.experiments [scale] [output.md] [--results-dir DIR]
+
+Runs every exhibit at the chosen scale (tiny/quick/standard/full) and
+writes the paper-vs-measured report.
+"""
+
+import argparse
+import os
+import sys
+
+from repro.experiments import ExperimentContext, build_report
+from repro.experiments.comparison import build_comparison
+from repro.experiments.context import SCALES
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scale", nargs="?", default="quick",
+                        choices=sorted(SCALES))
+    parser.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    parser.add_argument("--results-dir", default="results",
+                        help="campaign JSON cache directory")
+    parser.add_argument("--seed", type=int, default=2003)
+    args = parser.parse_args(argv)
+
+    ctx = ExperimentContext(scale=args.scale, seed=args.seed,
+                            verbose=True, results_dir=args.results_dir)
+    comparison = build_comparison(ctx)
+    report = build_report(ctx)
+    with open(args.output, "w") as fh:
+        fh.write(comparison)
+        fh.write("\n\n---\n\n")
+        fh.write(report)
+    print("wrote %s" % args.output, file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""§7.4: strategic assertion placement from propagation analysis."""
+
+from repro.analysis.assertions import format_recommendations
+
+
+def run(ctx):
+    return format_recommendations(ctx.all_results(), top=12)

@@ -1,0 +1,16 @@
+"""The availability arithmetic closing §7.1."""
+
+from repro.analysis.availability import allowed_failures_per_year, \
+    years_between_failures
+from repro.injection.severity import SEVERITY_DOWNTIME
+
+
+def run(ctx=None):
+    lines = ["Availability budget (5 nines = 99.999%%, ~5 min/yr):"]
+    for severity, downtime in SEVERITY_DOWNTIME.items():
+        per_year = allowed_failures_per_year(0.99999, downtime)
+        years = years_between_failures(0.99999, downtime)
+        lines.append("  %-12s %4d s recovery -> at most %.2f/yr "
+                     "(one every %.1f years)"
+                     % (severity, downtime, per_year, years))
+    return "\n".join(lines)

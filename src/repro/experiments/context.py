@@ -1,0 +1,152 @@
+"""Shared experiment state with lazy construction and caching."""
+
+import json
+import os
+import sys
+import time
+
+from repro.injection.runner import CampaignResults, InjectionHarness
+from repro.kernel.build import build_kernel
+from repro.profiling.sampler import profile_kernel
+from repro.userland.build import build_all_programs
+from repro.userland.programs import WORKLOADS
+
+#: Campaign sizing presets: campaign -> (byte_stride, max_specs).
+SCALES = {
+    # A few dozen injections per campaign; smoke tests.
+    "tiny": {"A": (40, 120), "B": (12, 120), "C": (3, 120)},
+    # A few hundred per campaign; CI-sized statistics.
+    "quick": {"A": (12, None), "B": (4, None), "C": (1, None)},
+    # The default for EXPERIMENTS.md: thousands of injections.
+    "standard": {"A": (4, None), "B": (2, None), "C": (1, None)},
+    # Paper-scale: every planned injection.
+    "full": {"A": (1, None), "B": (1, None), "C": (1, None)},
+}
+
+
+class ExperimentContext:
+    """Builds and caches everything the experiments share."""
+
+    def __init__(self, scale="quick", seed=2003, results_dir=None,
+                 verbose=False):
+        if scale not in SCALES:
+            raise ValueError("unknown scale %r (have %s)"
+                             % (scale, sorted(SCALES)))
+        self.scale = scale
+        self.seed = seed
+        self.results_dir = results_dir
+        self.verbose = verbose
+        self._kernel = None
+        self._binaries = None
+        self._profile = None
+        self._harness = None
+        self._campaigns = {}
+
+    # -- lazily built shared state ------------------------------------------
+
+    @property
+    def kernel(self):
+        if self._kernel is None:
+            self._kernel = build_kernel()
+        return self._kernel
+
+    @property
+    def binaries(self):
+        if self._binaries is None:
+            self._binaries = build_all_programs()
+        return self._binaries
+
+    @property
+    def profile(self):
+        if self._profile is None:
+            self._log("profiling kernel under %d workloads..."
+                      % len(WORKLOADS))
+            self._profile = profile_kernel(self.kernel, self.binaries,
+                                           WORKLOADS)
+        return self._profile
+
+    @property
+    def harness(self):
+        if self._harness is None:
+            self._harness = InjectionHarness(self.kernel, self.binaries,
+                                             self.profile)
+        return self._harness
+
+    def campaign(self, key):
+        """Results for campaign *key* at this context's scale (cached)."""
+        if key not in self._campaigns:
+            cached = self._load_cached(key)
+            if cached is not None:
+                self._campaigns[key] = cached
+                return cached
+            stride, max_specs = SCALES[self.scale][key]
+            self._log("running campaign %s (stride %d)..." % (key, stride))
+            start = time.time()
+            progress = self._progress if self.verbose else None
+            results = self.harness.run_campaign(
+                key, seed=self.seed, byte_stride=stride,
+                max_specs=max_specs, progress=progress)
+            self._log("campaign %s: %d injections in %.1fs"
+                      % (key, len(results), time.time() - start))
+            self._campaigns[key] = results
+            self._store_cached(key, results)
+        return self._campaigns[key]
+
+    def all_campaigns(self):
+        return {key: self.campaign(key) for key in ("A", "B", "C")}
+
+    def all_results(self):
+        merged = []
+        for key in ("A", "B", "C"):
+            merged.extend(self.campaign(key).results)
+        return merged
+
+    # -- persistence -----------------------------------------------------------
+
+    def _cache_path(self, key):
+        if self.results_dir is None:
+            return None
+        return os.path.join(self.results_dir,
+                            "campaign_%s_%s_seed%d.json"
+                            % (key, self.scale, self.seed))
+
+    def _load_cached(self, key):
+        path = self._cache_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            return CampaignResults.load(path)
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def _store_cached(self, key, results):
+        path = self._cache_path(key)
+        if path is None:
+            return
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        results.save(path)
+
+    # -- misc ---------------------------------------------------------------------
+
+    def _log(self, message):
+        if self.verbose:
+            print("[experiments] " + message, file=sys.stderr, flush=True)
+
+    def _progress(self, done, total, result):
+        if done % 200 == 0 or done == total:
+            print("[experiments]   %d/%d (%s)"
+                  % (done, total, result.outcome),
+                  file=sys.stderr, flush=True)
+
+    def summary_json(self):
+        """Machine-readable digest of everything (for tooling/tests)."""
+        from repro.analysis.stats import outcome_pie
+        out = {"scale": self.scale, "seed": self.seed, "campaigns": {}}
+        for key in ("A", "B", "C"):
+            results = self.campaign(key)
+            pie = outcome_pie(results.results)
+            out["campaigns"][key] = {
+                "injected": len(results),
+                "pie": dict(pie),
+            }
+        return json.dumps(out, indent=2, sort_keys=True)

@@ -1,0 +1,17 @@
+"""Figure 1: size of kernel subsystems in lines of (MinC) source."""
+
+from repro.analysis.charts import bar
+from repro.kernel.build import kernel_source_inventory
+
+
+def run(ctx=None):
+    counts = kernel_source_inventory()
+    total = sum(counts.values())
+    order = sorted(counts, key=counts.get, reverse=True)
+    lines = ["Figure 1: Size of Kernel Subsystems (MinC source lines)"]
+    for name in order:
+        share = counts[name] / total
+        lines.append("  %-8s %5d |%s| %4.1f%%"
+                     % (name, counts[name], bar(share, 40), share * 100))
+    lines.append("  %-8s %5d" % ("total", total))
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Figure 4: activation statistics and failure distributions."""
+
+from repro.analysis.confidence import format_intervals
+from repro.analysis.tables import crash_hang_split, format_fig4
+
+
+def run(ctx):
+    blocks = []
+    for key in ("A", "B", "C"):
+        results = ctx.campaign(key).results
+        blocks.append(format_fig4(key, results))
+        dumped, unknown, hangs = crash_hang_split(results)
+        blocks.append("(crash/hang split: %d dumped crash, %d unknown "
+                      "crash, %d hang)" % (dumped, unknown, hangs))
+        blocks.append(format_intervals(results))
+    return "\n\n".join(blocks)

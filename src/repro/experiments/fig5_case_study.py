@@ -1,0 +1,67 @@
+"""Figure 5: deep-dive case study of a catastrophic crash.
+
+The paper traces one repeatable *most severe* injection: a single-bit
+flip in a ``mov`` inside ``do_generic_file_read()`` silently truncates a
+file read and corrupts the filesystem beyond repair.  This experiment
+looks for the campaigns' most-severe cases and dissects the best one; if
+the sampled campaigns produced none, it falls back to the most damaging
+fs/mm failure observed.
+"""
+
+from repro.analysis.cases import format_case_study
+from repro.machine.disk import fsck
+
+
+def _pick_case(results):
+    def key(result):
+        severity_rank = {"most_severe": 2, "severe": 1}.get(
+            result.severity, 0)
+        in_read_path = 1 if result.function in (
+            "do_generic_file_read", "readpage", "kernel_file_read",
+            "generic_commit_write") else 0
+        return (severity_rank, in_read_path)
+
+    candidates = [r for r in results if r.activated
+                  and (r.severity or r.fs_status not in (None, "clean",
+                                                         "dirty"))]
+    if not candidates:
+        candidates = [r for r in results
+                      if r.activated and r.outcome == "crash_dumped"
+                      and r.subsystem in ("mm", "fs")]
+    if not candidates:
+        return None
+    return max(candidates, key=key)
+
+
+def run(ctx):
+    merged = ctx.all_results()
+    result = _pick_case(merged)
+    lines = ["Figure 5: case study of the most severe observed failure"]
+    if result is None:
+        lines.append("  (no damaging failure observed at this scale)")
+        return "\n".join(lines)
+    lines.append("")
+    lines.append(format_case_study(ctx.kernel, result, window=16))
+    lines.append("")
+    lines.append("  workload: %s   run status: %s   exit: %r"
+                 % (result.workload, result.run_status, result.exit_code))
+    if result.severity:
+        lines.append("  severity: %s   filesystem: %s"
+                     % (result.severity, result.fs_status))
+    if result.console_tail:
+        lines.append("  console tail: %r" % result.console_tail[-120:])
+    return "\n".join(lines)
+
+
+def replay(ctx, result):
+    """Re-run one injection and fsck the aftermath (detailed replay)."""
+    from repro.injection.campaigns import InjectionSpec
+    spec = InjectionSpec(
+        campaign=result.campaign, function=result.function,
+        subsystem=result.subsystem, instr_addr=result.addr,
+        instr_len=1, byte_offset=result.byte_offset, bit=result.bit,
+        mnemonic=result.mnemonic, workload=result.workload)
+    replayed = ctx.harness.run_spec(spec)
+    golden = ctx.harness.golden(result.workload)
+    report = fsck(golden.final_disk)
+    return replayed, report

@@ -1,0 +1,8 @@
+"""Figure 6: distribution of crash causes per campaign."""
+
+from repro.analysis.tables import format_fig6
+
+
+def run(ctx):
+    return "\n\n".join(format_fig6(key, ctx.campaign(key).results)
+                       for key in ("A", "B", "C"))

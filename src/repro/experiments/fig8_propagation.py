@@ -1,0 +1,22 @@
+"""Figure 8: error propagation between subsystems."""
+
+from repro.analysis.propagation import propagation_rate, \
+    wild_crash_fraction
+from repro.analysis.tables import format_fig8
+
+
+def run(ctx):
+    blocks = []
+    for key in ("A", "B", "C"):
+        results = ctx.campaign(key).results
+        for source in ("fs", "kernel"):
+            blocks.append(format_fig8(key, results, source))
+    merged = ctx.all_results()
+    blocks.append(
+        "Overall propagation rate over attributable crashes: %.1f%% "
+        "(paper: <10%%).  %.1f%% of dumped crashes had wild EIPs "
+        "outside kernel text and cannot be attributed, as in a "
+        "ksymoops-based analysis."
+        % (100 * propagation_rate(merged),
+           100 * wild_crash_fraction(merged)))
+    return "\n\n".join(blocks)

@@ -1,0 +1,17 @@
+"""Per-function crash attribution (the §6.1 finding: do_page_fault,
+schedule and zap_page_range dominate their subsystems' crashes)."""
+
+from repro.analysis.stats import per_function_crash_shares
+
+
+def run(ctx):
+    merged = ctx.all_results()
+    shares = per_function_crash_shares(merged)
+    lines = ["Per-function share of each subsystem's crash/hang failures:"]
+    for subsystem in ("arch", "fs", "kernel", "mm"):
+        top = shares.get(subsystem, [])[:5]
+        lines.append("  %s:" % subsystem)
+        for name, count, share in top:
+            lines.append("    %-26s %4d (%5.1f%%)"
+                         % (name, count, share * 100))
+    return "\n".join(lines)

@@ -1,0 +1,8 @@
+"""Table 1: function distribution among kernel modules (profiling)."""
+
+from repro.profiling.report import format_table1, format_top_functions
+
+
+def run(ctx):
+    return (format_table1(ctx.profile)
+            + "\n\n" + format_top_functions(ctx.profile))

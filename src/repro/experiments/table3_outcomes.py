@@ -1,0 +1,23 @@
+"""Table 3: outcome categories, as implemented by the classifier."""
+
+from repro.injection.outcomes import OUTCOME_ORDER
+
+_DESCRIPTIONS = {
+    "not_activated": "the corrupted instruction was never executed",
+    "not_manifested": "executed, but console/exit/filesystem all match "
+                      "the golden run",
+    "fail_silence_violation": "run completed but output, exit status or "
+                              "on-disk data differ from the golden run",
+    "crash_dumped": "kernel oops with a successful crash dump "
+                    "(LKCD-equivalent record captured)",
+    "crash_unknown": "kernel died without managing a dump "
+                     "(triple fault / wedged with interrupts off)",
+    "hang": "watchdog expired: the system stopped making progress",
+}
+
+
+def run(ctx=None):
+    lines = ["Table 3: Outcome Categories (as classified by the harness)"]
+    for key in OUTCOME_ORDER:
+        lines.append("  %-24s %s" % (key, _DESCRIPTIONS[key]))
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Table 4: definition of the fault-injection campaigns."""
+
+from repro.injection.campaigns import CAMPAIGNS
+
+
+def run(ctx=None):
+    lines = ["Table 4: Definition of Fault Injection Campaigns"]
+    lines.append("%-3s %-28s %-38s %s"
+                 % ("", "Name", "Target instructions", "Target bit"))
+    details = {
+        "A": ("all non-branch instructions", "a random bit in each byte"),
+        "B": ("conditional branch instructions",
+              "a random bit in each byte"),
+        "C": ("conditional branch instructions",
+              "the bit that reverses the condition"),
+    }
+    for key in ("A", "B", "C"):
+        target, bit = details[key]
+        lines.append("%-3s %-28s %-38s %s"
+                     % (key, CAMPAIGNS[key].title, target, bit))
+    return "\n".join(lines)

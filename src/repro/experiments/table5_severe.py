@@ -1,0 +1,14 @@
+"""Table 5: summary of most severe (reformat-class) crashes."""
+
+from repro.analysis.stats import severity_counts
+from repro.analysis.tables import format_severity_table
+
+
+def run(ctx):
+    results = ctx.all_results()
+    lines = [format_severity_table(results)]
+    counts = severity_counts(results)
+    lines.append("")
+    lines.append("Severity of all graded failures: %s"
+                 % (dict(counts) or "(none)"))
+    return "\n".join(lines)

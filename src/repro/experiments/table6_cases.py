@@ -1,0 +1,16 @@
+"""Table 6: not-manifested errors in the branch campaign (case studies)."""
+
+from repro.analysis.cases import format_case_study
+
+
+def run(ctx, max_cases=3):
+    results = [r for r in ctx.campaign("B").results
+               if r.outcome == "not_manifested" and r.mnemonic == "jcc"]
+    lines = ["Table 6: causes of Not Manifested branch errors "
+             "(before/after decode)"]
+    for result in results[:max_cases]:
+        lines.append("")
+        lines.append(format_case_study(ctx.kernel, result))
+    if len(results) <= 0:
+        lines.append("  (no not-manifested branch errors at this scale)")
+    return "\n".join(lines)

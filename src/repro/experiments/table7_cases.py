@@ -1,0 +1,18 @@
+"""Table 7: example case studies of crash causes (before/after decode)."""
+
+from repro.analysis.cases import find_case_studies, format_case_study
+
+
+def run(ctx):
+    merged = ctx.all_results()
+    found = find_case_studies(ctx.kernel, merged)
+    lines = ["Table 7: example case studies of crash causes"]
+    for kind in ("null_pointer", "paging_request", "gpf",
+                 "invalid_opcode"):
+        result = found.get(kind)
+        lines.append("")
+        if result is None:
+            lines.append("(%s: no example at this scale)" % kind)
+            continue
+        lines.append(format_case_study(ctx.kernel, result))
+    return "\n".join(lines)

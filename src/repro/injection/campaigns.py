@@ -1,0 +1,172 @@
+"""Campaign definitions and injection planning (the paper's Table 4).
+
+========= ==================================== ============================
+Campaign  Target instructions                  Target bit
+========= ==================================== ============================
+A         all non-branch instructions          a random bit in each byte
+B         all conditional-branch instructions  a random bit in each byte
+C         all conditional-branch instructions  the bit that reverses the
+                                               branch condition
+========= ==================================== ============================
+"""
+
+import random
+
+from repro.isa.decoder import decode_all
+
+#: Subsystems targeted by the paper (net deliberately excluded, §3).
+TARGET_SUBSYSTEMS = ("arch", "fs", "kernel", "mm")
+
+
+class CampaignDef:
+    """One campaign's selection rules."""
+
+    def __init__(self, key, title, branch_targets, condition_bit):
+        self.key = key
+        self.title = title
+        self.branch_targets = branch_targets  # True: jcc only; False: rest
+        self.condition_bit = condition_bit    # True: flip the cc low bit
+
+    def __repr__(self):
+        return "CampaignDef(%s: %s)" % (self.key, self.title)
+
+
+CAMPAIGNS = {
+    "A": CampaignDef("A", "Any Random Error", False, False),
+    "B": CampaignDef("B", "Random Branch Error", True, False),
+    "C": CampaignDef("C", "Valid but Incorrect Branch", True, True),
+}
+
+
+class InjectionSpec:
+    """One planned injection."""
+
+    __slots__ = ("campaign", "function", "subsystem", "instr_addr",
+                 "instr_len", "byte_offset", "bit", "mnemonic", "workload")
+
+    def __init__(self, campaign, function, subsystem, instr_addr,
+                 instr_len, byte_offset, bit, mnemonic, workload=None):
+        self.campaign = campaign
+        self.function = function
+        self.subsystem = subsystem
+        self.instr_addr = instr_addr
+        self.instr_len = instr_len
+        self.byte_offset = byte_offset
+        self.bit = bit
+        self.mnemonic = mnemonic
+        self.workload = workload
+
+    @property
+    def target_byte_addr(self):
+        return self.instr_addr + self.byte_offset
+
+    def __repr__(self):
+        return ("InjectionSpec(%s %s@%#x+%d bit %d [%s])"
+                % (self.campaign, self.function, self.instr_addr,
+                   self.byte_offset, self.bit, self.mnemonic))
+
+
+def _is_cond_branch(ins):
+    return ins.op in ("jcc", "loop", "loope", "loopne", "jcxz")
+
+
+def _condition_bit_location(ins):
+    """(byte offset, bit) that reverses a conditional branch, or None.
+
+    For ``70+cc rel8`` the condition nibble's low bit is bit 0 of byte 0;
+    for ``0F 80+cc rel32`` it is bit 0 of byte 1.  (loop/jcxz have no
+    simple reversal bit and are skipped in campaign C, matching the
+    paper's focus on Jcc.)
+    """
+    if ins.op != "jcc":
+        return None
+    if ins.raw[:1] == b"\x0f":
+        return 1, 0
+    return 0, 0
+
+
+def select_targets(kernel, profile, campaign_key, coverage=0.95):
+    """Pick the functions to inject for a campaign.
+
+    All campaigns include the core (top-``coverage``) functions; campaign
+    B widens to every *profiled* function and campaign C to every
+    function in the four target subsystems — reproducing the paper's
+    growing function counts (51 / 81 / 176 in its Figure 4).
+    """
+    core = {f.name for f in profile.top_functions(coverage=coverage)}
+    out = []
+    for info in kernel.functions:
+        if info.subsystem not in TARGET_SUBSYSTEMS:
+            continue
+        sampled = profile.functions.get(info.name)
+        hits = sampled.samples if sampled is not None else 0
+        if campaign_key == "A":
+            keep = info.name in core
+        elif campaign_key == "B":
+            keep = info.name in core or hits > 0
+        else:
+            keep = True
+        if keep:
+            out.append(info)
+    out.sort(key=lambda f: f.start)
+    return out
+
+
+def plan_campaign(kernel, campaign_key, functions, seed=2003,
+                  byte_stride=1, max_per_function=None):
+    """Expand a campaign over *functions* into concrete injections.
+
+    Args:
+        kernel: built KernelImage.
+        campaign_key: "A", "B" or "C".
+        functions: FuncInfo list (e.g. from :func:`select_targets`).
+        seed: RNG seed for the random-bit choice (reproducible plans).
+        byte_stride: inject every n-th eligible byte (scales campaign
+            size down without biasing instruction selection).
+        max_per_function: optional cap per function.
+
+    Returns:
+        list of :class:`InjectionSpec` (workload not yet assigned).
+    """
+    campaign = CAMPAIGNS[campaign_key]
+    rng = random.Random((seed, campaign_key, byte_stride).__repr__())
+    specs = []
+    byte_clock = 0
+    for info in functions:
+        code = kernel.code[info.start - kernel.base:
+                           info.end - kernel.base]
+        per_function = 0
+        for ins in decode_all(code, base=info.start):
+            if ins.op == "(bad)":
+                continue
+            is_branch = _is_cond_branch(ins)
+            if campaign.branch_targets != is_branch:
+                continue
+            if campaign.condition_bit:
+                location = _condition_bit_location(ins)
+                if location is None:
+                    continue
+                byte_offset, bit = location
+                candidates = [(byte_offset, bit)]
+            else:
+                candidates = [(i, rng.randrange(8))
+                              for i in range(ins.length)]
+            for byte_offset, bit in candidates:
+                byte_clock += 1
+                if byte_clock % byte_stride:
+                    continue
+                if (max_per_function is not None
+                        and per_function >= max_per_function):
+                    break
+                specs.append(InjectionSpec(
+                    campaign=campaign_key,
+                    function=info.name,
+                    subsystem=info.subsystem,
+                    instr_addr=ins.addr,
+                    instr_len=ins.length,
+                    byte_offset=byte_offset,
+                    bit=bit,
+                    mnemonic=ins.op,
+                ))
+                per_function += 1
+    return specs

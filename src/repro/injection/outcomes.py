@@ -1,0 +1,114 @@
+"""Outcome taxonomy (the paper's Table 3) and crash-cause naming."""
+
+# Outcome categories, in the paper's reporting order.
+NOT_ACTIVATED = "not_activated"
+NOT_MANIFESTED = "not_manifested"
+FAIL_SILENCE_VIOLATION = "fail_silence_violation"
+CRASH_DUMPED = "crash_dumped"
+CRASH_UNKNOWN = "crash_unknown"     # triple fault / undumped wedge
+HANG = "hang"                        # watchdog fired
+
+OUTCOME_ORDER = (
+    NOT_ACTIVATED,
+    NOT_MANIFESTED,
+    FAIL_SILENCE_VIOLATION,
+    CRASH_DUMPED,
+    CRASH_UNKNOWN,
+    HANG,
+)
+
+#: Outcomes the paper groups as "Crash/Hang" in Figure 4.
+CRASH_HANG_OUTCOMES = (CRASH_DUMPED, CRASH_UNKNOWN, HANG)
+
+# Crash causes, ordered as in Figure 6 (dominant four first).
+CAUSE_NULL_POINTER = "null_pointer"
+CAUSE_PAGING_REQUEST = "paging_request"
+CAUSE_INVALID_OPCODE = "invalid_opcode"
+CAUSE_GPF = "gpf"
+CAUSE_DIVIDE = "divide_error"
+CAUSE_PANIC = "kernel_panic"
+CAUSE_OTHER = "other"
+
+CAUSE_ORDER = (
+    CAUSE_NULL_POINTER,
+    CAUSE_PAGING_REQUEST,
+    CAUSE_INVALID_OPCODE,
+    CAUSE_GPF,
+    CAUSE_DIVIDE,
+    CAUSE_PANIC,
+    CAUSE_OTHER,
+)
+
+_VECTOR_CAUSES = {
+    0: CAUSE_DIVIDE,
+    6: CAUSE_INVALID_OPCODE,
+    13: CAUSE_GPF,
+    254: CAUSE_PANIC,   # "No init found"
+    255: CAUSE_PANIC,
+}
+
+# Crash-latency buckets in CPU cycles (Figure 7's axis).
+LATENCY_BUCKETS = (
+    (0, 10, "0-10"),
+    (10, 100, "10-1e2"),
+    (100, 1000, "1e2-1e3"),
+    (1000, 10_000, "1e3-1e4"),
+    (10_000, 100_000, "1e4-1e5"),
+    (100_000, None, ">1e5"),
+)
+
+
+def crash_cause_name(vector, cr2=0):
+    """Map a trap vector (+CR2 for #PF) onto the paper's cause classes."""
+    if vector == 14:
+        if cr2 < 4096:
+            return CAUSE_NULL_POINTER
+        return CAUSE_PAGING_REQUEST
+    return _VECTOR_CAUSES.get(vector, CAUSE_OTHER)
+
+
+def latency_bucket(latency):
+    """Bucket label for a crash latency in cycles (None if unknown)."""
+    if latency is None:
+        return None
+    for low, high, label in LATENCY_BUCKETS:
+        if high is None or latency < high:
+            if latency >= low:
+                return label
+    return LATENCY_BUCKETS[-1][2]
+
+
+class InjectionResult:
+    """Everything recorded about one injection experiment."""
+
+    __slots__ = (
+        "campaign", "function", "subsystem", "addr", "byte_offset", "bit",
+        "mnemonic", "workload", "outcome", "activated", "activation_tsc",
+        "crash_vector", "crash_cause", "crash_cr2", "crash_eip",
+        "crash_function", "crash_subsystem", "latency", "severity",
+        "run_status", "run_cycles", "exit_code", "console_tail",
+        "fs_status", "detail",
+    )
+
+    def __init__(self, **kwargs):
+        for name in self.__slots__:
+            setattr(self, name, kwargs.pop(name, None))
+        if kwargs:
+            raise TypeError("unexpected fields: %s" % sorted(kwargs))
+
+    @property
+    def crashed(self):
+        return self.outcome in (CRASH_DUMPED, CRASH_UNKNOWN)
+
+    def to_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**{k: v for k, v in data.items() if k in cls.__slots__})
+
+    def __repr__(self):
+        return ("InjectionResult(%s %s+%d bit %d via %s -> %s%s)"
+                % (self.campaign, self.function, self.byte_offset or 0,
+                   self.bit or 0, self.workload, self.outcome,
+                   " (%s)" % self.crash_cause if self.crash_cause else ""))

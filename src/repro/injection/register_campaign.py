@@ -1,0 +1,129 @@
+"""Extension campaign R: direct register corruption.
+
+The paper's footnote 1 argues that corrupting the *instruction stream*
+also emulates register/data corruption (a flipped register field in an
+instruction is equivalent to corrupted register contents).  This
+extension makes the equivalence empirically checkable: campaign R flips
+one bit of one general-purpose register at the moment a target
+instruction is first reached, and the outcome distribution can be
+compared against campaign A's.
+"""
+
+import random
+
+from repro.injection.campaigns import TARGET_SUBSYSTEMS
+from repro.injection.outcomes import NOT_ACTIVATED, InjectionResult
+from repro.isa.decoder import decode_all
+from repro.isa.registers import REG_NAMES
+
+#: Registers worth corrupting (esp is excluded by default because a
+#: corrupted stack pointer reduces to the same few double-fault cases).
+DEFAULT_REGS = (0, 1, 2, 3, 5, 6, 7)   # eax ecx edx ebx ebp esi edi
+
+
+class RegisterInjectionSpec:
+    """One planned register-bit flip at an instruction trigger."""
+
+    __slots__ = ("function", "subsystem", "instr_addr", "reg", "bit",
+                 "workload")
+
+    def __init__(self, function, subsystem, instr_addr, reg, bit,
+                 workload=None):
+        self.function = function
+        self.subsystem = subsystem
+        self.instr_addr = instr_addr
+        self.reg = reg
+        self.bit = bit
+        self.workload = workload
+
+    @property
+    def reg_name(self):
+        return REG_NAMES[self.reg]
+
+    def __repr__(self):
+        return ("RegisterInjectionSpec(%s@%#x %s bit %d)"
+                % (self.function, self.instr_addr, self.reg_name,
+                   self.bit))
+
+
+def plan_register_campaign(kernel, functions, seed=2003, per_function=6,
+                           regs=DEFAULT_REGS):
+    """Plan campaign R over *functions*.
+
+    For each function, *per_function* trigger instructions are sampled
+    uniformly from its body; each gets one random (register, bit) pick.
+    """
+    rng = random.Random("R-%d" % seed)
+    specs = []
+    for info in functions:
+        if info.subsystem not in TARGET_SUBSYSTEMS:
+            continue
+        code = kernel.code[info.start - kernel.base:
+                           info.end - kernel.base]
+        instrs = [i for i in decode_all(code, base=info.start)
+                  if i.op != "(bad)"]
+        if not instrs:
+            continue
+        count = min(per_function, len(instrs))
+        for ins in rng.sample(instrs, count):
+            specs.append(RegisterInjectionSpec(
+                function=info.name,
+                subsystem=info.subsystem,
+                instr_addr=ins.addr,
+                reg=rng.choice(regs),
+                bit=rng.randrange(32),
+            ))
+    specs.sort(key=lambda s: (s.instr_addr, s.reg, s.bit))
+    return specs
+
+
+def run_register_spec(harness, spec, grade=True):
+    """Execute one register-corruption experiment via *harness*.
+
+    Shares the whole classification pipeline with the instruction
+    campaigns — only the mutation applied at the trigger differs.
+    """
+    covered = harness.assign_workload(spec)
+    base = dict(
+        campaign="R",
+        function=spec.function,
+        subsystem=spec.subsystem,
+        addr=spec.instr_addr,
+        byte_offset=spec.reg,           # repurposed: register index
+        bit=spec.bit,
+        mnemonic="reg:%s" % spec.reg_name,
+        workload=spec.workload,
+    )
+    if not covered:
+        return InjectionResult(outcome=NOT_ACTIVATED, activated=False,
+                               **base)
+    golden = harness.golden(spec.workload)
+    machine = golden.snapshot.clone()
+    state = {}
+    reg = spec.reg
+    mask = 1 << spec.bit
+
+    def callback(m):
+        state["tsc"] = m.cpu.cycles
+        m.cpu.regs[reg] ^= mask
+
+    machine.arm_breakpoint(spec.instr_addr, callback)
+    budget = machine.cpu.cycles \
+        + golden.workload_cycles * harness.watchdog_factor \
+        + harness.watchdog_slack
+    result = machine.run(max_cycles=budget)
+    return harness._classify(spec, base, state, golden, result, grade)
+
+
+def run_register_campaign(harness, functions=None, seed=2003,
+                          per_function=6, max_specs=None, grade=True):
+    """Plan + run campaign R; returns a list of InjectionResult."""
+    from repro.injection.campaigns import select_targets
+    if functions is None:
+        functions = select_targets(harness.kernel, harness.profile, "A")
+    specs = plan_register_campaign(harness.kernel, functions, seed=seed,
+                                   per_function=per_function)
+    if max_specs is not None:
+        specs = specs[:max_specs]
+    return [run_register_spec(harness, spec, grade=grade)
+            for spec in specs]

@@ -1,0 +1,56 @@
+"""IA-32 subset instruction set architecture: encoding, decoding, assembly.
+
+This package implements the *machine language* layer of the reproduction.
+Fidelity matters here: the paper's error model is single-bit flips in
+instruction bytes, and the observable phenomenology (opcode aliasing,
+instruction-length changes that resequence the following bytes, undefined
+opcodes, privileged/malformed operations) is a direct function of the
+IA-32 encoding.  We therefore reuse the genuine IA-32 encodings for every
+instruction we support rather than inventing a toy ISA.
+"""
+
+from repro.isa.registers import (
+    EAX,
+    EBP,
+    EBX,
+    ECX,
+    EDI,
+    EDX,
+    ESI,
+    ESP,
+    REG_NAMES,
+    REG8_NAMES,
+    SEG_NAMES,
+)
+from repro.isa.conditions import CC_NAMES, cc_invert, cc_holds
+from repro.isa.instr import Instr, Mem
+from repro.isa.decoder import DecodeError, decode, decode_all
+from repro.isa.disasm import disassemble, format_instr
+from repro.isa.assembler import AssemblerError, Assembler, assemble
+
+__all__ = [
+    "EAX",
+    "ECX",
+    "EDX",
+    "EBX",
+    "ESP",
+    "EBP",
+    "ESI",
+    "EDI",
+    "REG_NAMES",
+    "REG8_NAMES",
+    "SEG_NAMES",
+    "CC_NAMES",
+    "cc_invert",
+    "cc_holds",
+    "Instr",
+    "Mem",
+    "DecodeError",
+    "decode",
+    "decode_all",
+    "disassemble",
+    "format_instr",
+    "Assembler",
+    "AssemblerError",
+    "assemble",
+]

@@ -1,0 +1,1057 @@
+"""Two-pass (iterative-relaxation) assembler for the IA-32 subset.
+
+The assembler consumes the Intel-ish text emitted by the MinC compiler
+(:mod:`repro.cc`) and hand-written kernel stubs, and produces a flat binary
+plus a symbol table.  Conditional and unconditional branches are relaxed:
+they start as short (rel8) forms and are promoted to near (rel32) forms
+until the layout reaches a fixpoint — mirroring what a real assembler does,
+and giving the kernel image a realistic mix of 2-byte and 6-byte branch
+encodings (both appear in the paper's case studies).
+
+Supported directives::
+
+    .func name subsystem   ; begin a function (records symbol metadata)
+    .endfunc               ; end the current function
+    .global name           ; define a data symbol at the current address
+    .long v, v, ...        ; emit 32-bit little-endian words
+    .byte v, v, ...        ; emit bytes
+    .asciz "text"          ; emit a NUL-terminated string
+    .space n [, fill]      ; emit n fill bytes
+    .align n               ; pad to an n-byte boundary
+"""
+
+import re
+
+from repro.isa.conditions import CC_INDEX
+from repro.isa.registers import REG8_INDEX, REG_INDEX, SEG_INDEX
+
+_ALU_BASE = {"add": 0x00, "or": 0x08, "adc": 0x10, "sbb": 0x18,
+             "and": 0x20, "sub": 0x28, "xor": 0x30, "cmp": 0x38}
+_ALU_GROUP_REG = {"add": 0, "or": 1, "adc": 2, "sbb": 3,
+                  "and": 4, "sub": 5, "xor": 6, "cmp": 7}
+_SHIFT_GROUP_REG = {"rol": 0, "ror": 1, "rcl": 2, "rcr": 3,
+                    "shl": 4, "shr": 5, "sal": 4, "sar": 7}
+_GROUP3_REG = {"not": 2, "neg": 3, "mul": 4, "imul1": 5,
+               "div": 6, "idiv": 7}
+
+_SIMPLE_BYTES = {
+    "nop": b"\x90",
+    "cwde": b"\x98",
+    "cdq": b"\x99",
+    "pushf": b"\x9c",
+    "popf": b"\x9d",
+    "pusha": b"\x60",
+    "popa": b"\x61",
+    "sahf": b"\x9e",
+    "lahf": b"\x9f",
+    "ret": b"\xc3",
+    "leave": b"\xc9",
+    "lret": b"\xcb",
+    "int3": b"\xcc",
+    "into": b"\xce",
+    "iret": b"\xcf",
+    "hlt": b"\xf4",
+    "cmc": b"\xf5",
+    "clc": b"\xf8",
+    "stc": b"\xf9",
+    "cli": b"\xfa",
+    "sti": b"\xfb",
+    "cld": b"\xfc",
+    "std": b"\xfd",
+    "xlat": b"\xd7",
+    "daa": b"\x27",
+    "das": b"\x2f",
+    "aaa": b"\x37",
+    "aas": b"\x3f",
+    "ud2": b"\x0f\x0b",
+    "rdtsc": b"\x0f\x31",
+    "rdpmc": b"\x0f\x33",
+    "rdmsr": b"\x0f\x32",
+    "wrmsr": b"\x0f\x30",
+    "cpuid": b"\x0f\xa2",
+    "clts": b"\x0f\x06",
+    "movsb": b"\xa4",
+    "movsd": b"\xa5",
+    "cmpsb": b"\xa6",
+    "cmpsd": b"\xa7",
+    "stosb": b"\xaa",
+    "stosd": b"\xab",
+    "lodsb": b"\xac",
+    "lodsd": b"\xad",
+    "scasb": b"\xae",
+    "scasd": b"\xaf",
+}
+
+_NUMBER_RE = re.compile(r"^-?(0x[0-9a-fA-F]+|\d+)$")
+_SYMBOL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+
+class AssemblerError(Exception):
+    """Raised for malformed assembly or unresolved symbols."""
+
+
+class FuncInfo:
+    """Symbol metadata for one ``.func``-delimited function."""
+
+    __slots__ = ("name", "subsystem", "start", "end")
+
+    def __init__(self, name, subsystem, start=0, end=0):
+        self.name = name
+        self.subsystem = subsystem
+        self.start = start
+        self.end = end
+
+    @property
+    def size(self):
+        return self.end - self.start
+
+    def __repr__(self):
+        return "FuncInfo(%r, %r, %#x..%#x)" % (
+            self.name, self.subsystem, self.start, self.end)
+
+
+class Program:
+    """Result of assembling one translation unit."""
+
+    def __init__(self, code, base, symbols, functions):
+        self.code = code
+        self.base = base
+        self.symbols = symbols
+        self.functions = functions
+
+    def symbol(self, name):
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise AssemblerError("unknown symbol %r" % name) from None
+
+
+class _Reg:
+    __slots__ = ("kind", "idx")
+
+    def __init__(self, kind, idx):
+        self.kind = kind  # "r", "r8", "sr", "cr", "dr"
+        self.idx = idx
+
+
+class _Imm:
+    __slots__ = ("const", "symbol")
+
+    def __init__(self, const=0, symbol=None):
+        self.const = const
+        self.symbol = symbol
+
+    def value(self, symtab):
+        value = self.const
+        if self.symbol is not None:
+            if self.symbol not in symtab:
+                raise AssemblerError("undefined symbol %r" % self.symbol)
+            value += symtab[self.symbol]
+        return value & 0xFFFFFFFF
+
+
+class _MemOp:
+    __slots__ = ("base", "index", "scale", "disp", "size")
+
+    def __init__(self, base=None, index=None, scale=1, disp=None, size=None):
+        self.base = base
+        self.index = index
+        self.scale = scale
+        self.disp = disp if disp is not None else _Imm()
+        self.size = size
+
+
+def _parse_int(text):
+    negative = text.startswith("-")
+    if negative:
+        text = text[1:]
+    value = int(text, 16) if text.lower().startswith("0x") else int(text)
+    return -value if negative else value
+
+
+def _parse_imm_expr(text):
+    """Parse ``sym``, ``123``, ``sym+4``, ``'c'`` into an ``_Imm``."""
+    text = text.strip()
+    if len(text) >= 3 and text[0] == "'" and text[-1] == "'":
+        body = text[1:-1]
+        unescaped = body.encode().decode("unicode_escape")
+        if len(unescaped) != 1:
+            raise AssemblerError("bad character literal %s" % text)
+        return _Imm(const=ord(unescaped))
+    match = re.match(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*([+-]\s*\d+|"
+                     r"[+-]\s*0x[0-9a-fA-F]+)?$", text)
+    if match and not _NUMBER_RE.match(text):
+        offset = 0
+        if match.group(2):
+            offset = _parse_int(match.group(2).replace(" ", ""))
+        return _Imm(const=offset, symbol=match.group(1))
+    if _NUMBER_RE.match(text):
+        return _Imm(const=_parse_int(text))
+    raise AssemblerError("cannot parse immediate %r" % text)
+
+
+def _parse_mem(text, size):
+    """Parse the interior of ``[...]`` into a ``_MemOp``."""
+    base = None
+    index = None
+    scale = 1
+    const = 0
+    symbol = None
+    # Split into signed terms.
+    terms = re.findall(r"[+-]?[^+-]+", text.replace(" ", ""))
+    for term in terms:
+        sign = 1
+        if term.startswith("+"):
+            term = term[1:]
+        elif term.startswith("-"):
+            sign = -1
+            term = term[1:]
+        if "*" in term:
+            left, right = term.split("*", 1)
+            if left in REG_INDEX:
+                reg_name, factor = left, right
+            elif right in REG_INDEX:
+                reg_name, factor = right, left
+            else:
+                raise AssemblerError("bad scaled index %r" % term)
+            if sign < 0:
+                raise AssemblerError("negative index %r" % term)
+            if index is not None:
+                raise AssemblerError("two index registers in %r" % text)
+            index = REG_INDEX[reg_name]
+            scale = _parse_int(factor)
+            if scale not in (1, 2, 4, 8):
+                raise AssemblerError("bad scale %d" % scale)
+        elif term in REG_INDEX:
+            if sign < 0:
+                raise AssemblerError("negative base register in %r" % text)
+            if base is None:
+                base = REG_INDEX[term]
+            elif index is None:
+                index = REG_INDEX[term]
+            else:
+                raise AssemblerError("too many registers in %r" % text)
+        elif _NUMBER_RE.match(term):
+            const += sign * _parse_int(term)
+        elif _SYMBOL_RE.match(term):
+            if symbol is not None or sign < 0:
+                raise AssemblerError("bad symbol use in %r" % text)
+            symbol = term
+        else:
+            raise AssemblerError("cannot parse memory term %r" % term)
+    if index == REG_INDEX["esp"]:
+        raise AssemblerError("esp cannot be an index register")
+    return _MemOp(base=base, index=index, scale=scale,
+                  disp=_Imm(const=const, symbol=symbol), size=size)
+
+
+def _parse_operand(text):
+    text = text.strip()
+    size = None
+    lowered = text.lower()
+    for keyword, keyword_size in (("byte", 1), ("word", 2), ("dword", 4)):
+        if lowered.startswith(keyword + " ") or lowered.startswith(
+                keyword + "["):
+            size = keyword_size
+            text = text[len(keyword):].strip()
+            lowered = text.lower()
+            break
+    if lowered.startswith("["):
+        if not lowered.endswith("]"):
+            raise AssemblerError("unterminated memory operand %r" % text)
+        return _parse_mem(text[1:-1], size)
+    if lowered in REG_INDEX:
+        return _Reg("r", REG_INDEX[lowered])
+    if lowered in REG8_INDEX:
+        return _Reg("r8", REG8_INDEX[lowered])
+    if lowered in SEG_INDEX:
+        return _Reg("sr", SEG_INDEX[lowered])
+    if re.match(r"^cr[0-4]$", lowered):
+        return _Reg("cr", int(lowered[2]))
+    if re.match(r"^dr[0-7]$", lowered):
+        return _Reg("dr", int(lowered[2]))
+    return _parse_imm_expr(text)
+
+
+def _fits8(value):
+    return -128 <= value <= 127
+
+
+def _le32(value):
+    return (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+
+def _le16(value):
+    return (value & 0xFFFF).to_bytes(2, "little")
+
+
+def _encode_modrm(reg_field, rm, symtab):
+    """Encode ModRM(+SIB+disp) for *rm* being a ``_Reg`` or ``_MemOp``."""
+    if isinstance(rm, _Reg):
+        return bytes([0xC0 | (reg_field << 3) | rm.idx])
+    disp_has_symbol = rm.disp.symbol is not None
+    disp = rm.disp.value(symtab)
+    signed_disp = disp - (1 << 32) if disp >= (1 << 31) else disp
+    need_sib = rm.index is not None or rm.base == 4
+    out = bytearray()
+    if rm.base is None and rm.index is None:
+        out.append((reg_field << 3) | 5)
+        out += _le32(disp)
+        return bytes(out)
+    if rm.base is None:  # index without base: SIB with base=101, mod=00
+        scale_bits = {1: 0, 2: 1, 4: 2, 8: 3}[rm.scale]
+        out.append((reg_field << 3) | 4)
+        out.append((scale_bits << 6) | (rm.index << 3) | 5)
+        out += _le32(disp)
+        return bytes(out)
+    if signed_disp == 0 and rm.base != 5 and not disp_has_symbol:
+        mod = 0
+    elif _fits8(signed_disp) and not disp_has_symbol:
+        mod = 1
+    else:
+        mod = 2
+    if need_sib:
+        scale_bits = {1: 0, 2: 1, 4: 2, 8: 3}[rm.scale]
+        index_bits = rm.index if rm.index is not None else 4
+        out.append((mod << 6) | (reg_field << 3) | 4)
+        out.append((scale_bits << 6) | (index_bits << 3) | rm.base)
+    else:
+        out.append((mod << 6) | (reg_field << 3) | rm.base)
+    if mod == 1:
+        out.append(signed_disp & 0xFF)
+    elif mod == 2:
+        out += _le32(disp)
+    return bytes(out)
+
+
+class _Line:
+    __slots__ = ("kind", "mnemonic", "operands", "text", "lineno", "long",
+                 "name", "subsystem")
+
+    def __init__(self, kind, lineno, mnemonic=None, operands=None, text=None,
+                 name=None, subsystem=None):
+        self.kind = kind  # "ins", "label", "directive", "func", "endfunc"
+        self.lineno = lineno
+        self.mnemonic = mnemonic
+        self.operands = operands or []
+        self.text = text
+        self.long = False  # branch relaxation state (grow-only)
+        self.name = name
+        self.subsystem = subsystem
+
+
+class Assembler:
+    """Assemble one translation unit at a fixed base address."""
+
+    def __init__(self, base=0):
+        self.base = base
+
+    def assemble(self, source):
+        lines = self._parse(source)
+        symtab = {}
+        for _ in range(64):
+            new_symtab, chunks, grew = self._layout(lines, symtab)
+            if new_symtab == symtab and not grew:
+                symtab = new_symtab
+                break
+            symtab = new_symtab
+        else:
+            raise AssemblerError("assembler relaxation did not converge")
+        # Final emission with the converged symbol table.
+        symtab, chunks, grew = self._layout(lines, symtab, final=True)
+        if grew:
+            raise AssemblerError("branch grew during final pass")
+        code = b"".join(chunks)
+        functions = self._collect_functions(lines, symtab, code)
+        return Program(code, self.base, symtab, functions)
+
+    # -- parsing ---------------------------------------------------------
+
+    def _parse(self, source):
+        lines = []
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            text = self._strip_comment(raw).strip()
+            if not text:
+                continue
+            while True:
+                match = re.match(r"^([A-Za-z_.$][A-Za-z0-9_.$]*):\s*(.*)$",
+                                 text)
+                if not match:
+                    break
+                lines.append(_Line("label", lineno, name=match.group(1)))
+                text = match.group(2).strip()
+            if not text:
+                continue
+            if text.startswith("."):
+                lines.append(self._parse_directive(text, lineno))
+                continue
+            parts = text.split(None, 1)
+            mnemonic = parts[0].lower()
+            rest = parts[1] if len(parts) > 1 else ""
+            if mnemonic == "rep" or mnemonic == "repne":
+                sub = rest.split(None, 1)
+                lines.append(_Line("ins", lineno,
+                                   mnemonic=mnemonic + " " + sub[0].lower(),
+                                   operands=[]))
+                continue
+            operands = ([_parse_operand(op) for op in self._split_ops(rest)]
+                        if rest else [])
+            lines.append(_Line("ins", lineno, mnemonic=mnemonic,
+                               operands=operands, text=text))
+        return lines
+
+    @staticmethod
+    def _strip_comment(raw):
+        out = []
+        in_string = False
+        for char in raw:
+            if char == '"':
+                in_string = not in_string
+            if not in_string and char in (";", "#"):
+                break
+            out.append(char)
+        return "".join(out)
+
+    @staticmethod
+    def _split_ops(rest):
+        ops = []
+        depth = 0
+        current = ""
+        in_char = False
+        for char in rest:
+            if char == "'":
+                in_char = not in_char
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+            if char == "," and depth == 0 and not in_char:
+                ops.append(current)
+                current = ""
+            else:
+                current += char
+        if current.strip():
+            ops.append(current)
+        return ops
+
+    def _parse_directive(self, text, lineno):
+        parts = text.split(None, 1)
+        name = parts[0].lower()
+        rest = parts[1].strip() if len(parts) > 1 else ""
+        if name == ".func":
+            words = rest.split()
+            if not words:
+                raise AssemblerError(".func needs a name (line %d)" % lineno)
+            subsystem = words[1] if len(words) > 1 else "unknown"
+            return _Line("func", lineno, name=words[0], subsystem=subsystem)
+        if name == ".endfunc":
+            return _Line("endfunc", lineno)
+        if name == ".global":
+            return _Line("label", lineno, name=rest.split()[0])
+        return _Line("directive", lineno, mnemonic=name, text=rest)
+
+    # -- layout & encoding -----------------------------------------------
+
+    def _layout(self, lines, symtab, final=False):
+        new_symtab = {}
+        chunks = []
+        addr = self.base
+        grew = False
+        open_funcs = []
+        for line in lines:
+            if line.kind == "label":
+                new_symtab[line.name] = addr
+                continue
+            if line.kind == "func":
+                new_symtab[line.name] = addr
+                open_funcs.append(line)
+                continue
+            if line.kind == "endfunc":
+                if not open_funcs:
+                    raise AssemblerError(
+                        ".endfunc without .func (line %d)" % line.lineno)
+                open_funcs.pop()
+                continue
+            if line.kind == "directive":
+                data = self._encode_directive(line, addr, symtab, final)
+                chunks.append(data)
+                addr += len(data)
+                continue
+            try:
+                data, wants_long = self._encode_ins(line, addr, symtab)
+            except AssemblerError as exc:
+                if final:
+                    raise AssemblerError(
+                        "line %d: %s" % (line.lineno, exc)) from exc
+                # During sizing passes a forward symbol may be missing;
+                # assume the longest form for now, but do NOT mark the
+                # branch long — relaxation decides that only from
+                # successful encodes once symbols resolve.
+                data, wants_long = b"\x90" * 6, False
+            if wants_long and not line.long:
+                line.long = True
+                grew = True
+            chunks.append(data)
+            addr += len(data)
+        if open_funcs:
+            raise AssemblerError(
+                "unclosed .func %r" % open_funcs[-1].name)
+        return new_symtab, chunks, grew
+
+    def _collect_functions(self, lines, symtab, code):
+        functions = []
+        stack = []
+        addr = self.base
+        for line in lines:
+            if line.kind == "func":
+                info = FuncInfo(line.name, line.subsystem,
+                                start=symtab[line.name])
+                stack.append(info)
+            elif line.kind == "endfunc":
+                info = stack.pop()
+                info.end = addr
+                functions.append(info)
+            elif line.kind == "directive":
+                addr += len(self._encode_directive(line, addr, symtab, True))
+            elif line.kind == "ins":
+                data, _ = self._encode_ins(line, addr, symtab)
+                addr += len(data)
+        functions.sort(key=lambda f: f.start)
+        return functions
+
+    def _encode_directive(self, line, addr, symtab, final):
+        name = line.mnemonic
+        rest = line.text or ""
+        if name == ".long":
+            out = bytearray()
+            for field in self._split_ops(rest):
+                imm = _parse_imm_expr(field.strip())
+                if final:
+                    out += _le32(imm.value(symtab))
+                else:
+                    try:
+                        out += _le32(imm.value(symtab))
+                    except AssemblerError:
+                        out += b"\0\0\0\0"
+            return bytes(out)
+        if name == ".byte":
+            out = bytearray()
+            for field in self._split_ops(rest):
+                imm = _parse_imm_expr(field.strip())
+                out.append(imm.value(symtab if final else {}) & 0xFF
+                           if imm.symbol is None else 0)
+            return bytes(out)
+        if name == ".asciz":
+            match = re.match(r'^"(.*)"$', rest.strip())
+            if not match:
+                raise AssemblerError(
+                    'bad .asciz on line %d' % line.lineno)
+            body = match.group(1).encode().decode("unicode_escape")
+            return body.encode("latin-1") + b"\0"
+        if name == ".space":
+            fields = self._split_ops(rest)
+            count = _parse_int(fields[0].strip())
+            fill = _parse_int(fields[1].strip()) if len(fields) > 1 else 0
+            return bytes([fill & 0xFF]) * count
+        if name == ".align":
+            boundary = _parse_int(rest.strip())
+            pad = (-(addr - self.base)) % boundary
+            return b"\x90" * pad
+        raise AssemblerError(
+            "unknown directive %s on line %d" % (name, line.lineno))
+
+    # -- per-instruction encoders ------------------------------------------
+
+    def _encode_ins(self, line, addr, symtab):
+        """Encode one instruction; returns ``(bytes, wants_long)``."""
+        mnemonic = line.mnemonic
+        ops = line.operands
+
+        if mnemonic.startswith("rep "):
+            body = _SIMPLE_BYTES.get(mnemonic.split()[1])
+            if body is None:
+                raise AssemblerError("cannot rep %r" % mnemonic)
+            return b"\xf3" + body, False
+        if mnemonic.startswith("repne "):
+            body = _SIMPLE_BYTES.get(mnemonic.split()[1])
+            if body is None:
+                raise AssemblerError("cannot repne %r" % mnemonic)
+            return b"\xf2" + body, False
+        if mnemonic in _SIMPLE_BYTES and not ops:
+            return _SIMPLE_BYTES[mnemonic], False
+
+        if mnemonic in ("jmp", "call") and len(ops) == 1:
+            return self._encode_jump(mnemonic, ops[0], line, addr, symtab)
+        if mnemonic.startswith("j") and mnemonic[1:] in CC_INDEX:
+            return self._encode_jcc(mnemonic[1:], ops, line, addr, symtab)
+        if mnemonic == "jecxz" or mnemonic == "jcxz":
+            target = self._branch_target(ops[0], symtab)
+            rel = target - (addr + 2)
+            if not _fits8(rel):
+                raise AssemblerError("jecxz target out of range")
+            return bytes([0xE3, rel & 0xFF]), False
+        if mnemonic in ("loop", "loope", "loopne"):
+            opcode = {"loopne": 0xE0, "loope": 0xE1, "loop": 0xE2}[mnemonic]
+            target = self._branch_target(ops[0], symtab)
+            rel = target - (addr + 2)
+            if not _fits8(rel):
+                raise AssemblerError("%s target out of range" % mnemonic)
+            return bytes([opcode, rel & 0xFF]), False
+        if mnemonic.startswith("set") and mnemonic[3:] in CC_INDEX:
+            cc = CC_INDEX[mnemonic[3:]]
+            rm = ops[0]
+            return (bytes([0x0F, 0x90 + cc])
+                    + _encode_modrm(0, rm, symtab)), False
+        if mnemonic.startswith("cmov") and mnemonic[4:] in CC_INDEX:
+            cc = CC_INDEX[mnemonic[4:]]
+            return (bytes([0x0F, 0x40 + cc])
+                    + _encode_modrm(ops[0].idx, ops[1], symtab)), False
+
+        handler = getattr(self, "_op_" + mnemonic, None)
+        if handler is not None:
+            return handler(ops, symtab), False
+        raise AssemblerError("unknown mnemonic %r" % mnemonic)
+
+    def _branch_target(self, operand, symtab):
+        if not isinstance(operand, _Imm):
+            raise AssemblerError("branch target must be a label/immediate")
+        return operand.value(symtab)
+
+    def _encode_jcc(self, cond, ops, line, addr, symtab):
+        cc = CC_INDEX[cond]
+        target = self._branch_target(ops[0], symtab)
+        if not line.long:
+            rel = target - (addr + 2)
+            if _fits8(rel):
+                return bytes([0x70 + cc, rel & 0xFF]), False
+        rel = target - (addr + 6)
+        return bytes([0x0F, 0x80 + cc]) + _le32(rel), True
+
+    def _encode_jump(self, mnemonic, operand, line, addr, symtab):
+        if isinstance(operand, _Imm):
+            target = operand.value(symtab)
+            if mnemonic == "call":
+                rel = target - (addr + 5)
+                return b"\xe8" + _le32(rel), False
+            if not line.long:
+                rel = target - (addr + 2)
+                if _fits8(rel):
+                    return bytes([0xEB, rel & 0xFF]), False
+            rel = target - (addr + 5)
+            return b"\xe9" + _le32(rel), True
+        reg_field = 2 if mnemonic == "call" else 4
+        return b"\xff" + _encode_modrm(reg_field, operand, symtab), False
+
+    # Individual mnemonic encoders.  Each takes (ops, symtab) -> bytes.
+
+    def _op_mov(self, ops, symtab):
+        dst, src = ops
+        if isinstance(dst, _Reg) and dst.kind in ("cr", "dr"):
+            if not isinstance(src, _Reg) or src.kind != "r":
+                raise AssemblerError("mov cr/dr needs a GP register source")
+            opcode = 0x22 if dst.kind == "cr" else 0x23
+            return bytes([0x0F, opcode, 0xC0 | (dst.idx << 3) | src.idx])
+        if isinstance(src, _Reg) and src.kind in ("cr", "dr"):
+            if not isinstance(dst, _Reg) or dst.kind != "r":
+                raise AssemblerError("mov from cr/dr needs a GP register")
+            opcode = 0x20 if src.kind == "cr" else 0x21
+            return bytes([0x0F, opcode, 0xC0 | (src.idx << 3) | dst.idx])
+        if isinstance(dst, _Reg) and dst.kind == "sr":
+            return b"\x8e" + _encode_modrm(dst.idx, src, symtab)
+        if isinstance(src, _Reg) and src.kind == "sr":
+            return b"\x8c" + _encode_modrm(src.idx, dst, symtab)
+        if isinstance(dst, _Reg) and dst.kind == "r":
+            if isinstance(src, _Imm):
+                return bytes([0xB8 + dst.idx]) + _le32(src.value(symtab))
+            if isinstance(src, _Reg) and src.kind == "r":
+                return b"\x89" + _encode_modrm(src.idx, dst, symtab)
+            if isinstance(src, _MemOp):
+                return b"\x8b" + _encode_modrm(dst.idx, src, symtab)
+        if isinstance(dst, _Reg) and dst.kind == "r8":
+            if isinstance(src, _Imm):
+                return bytes([0xB0 + dst.idx, src.value(symtab) & 0xFF])
+            if isinstance(src, _Reg) and src.kind == "r8":
+                return b"\x88" + _encode_modrm(src.idx, dst, symtab)
+            if isinstance(src, _MemOp):
+                return b"\x8a" + _encode_modrm(dst.idx, src, symtab)
+        if isinstance(dst, _MemOp):
+            if (dst.size == 1) or (isinstance(src, _Reg)
+                                   and src.kind == "r8"):
+                if isinstance(src, _Imm):
+                    return (b"\xc6" + _encode_modrm(0, dst, symtab)
+                            + bytes([src.value(symtab) & 0xFF]))
+                return b"\x88" + _encode_modrm(src.idx, dst, symtab)
+            if isinstance(src, _Imm):
+                return (b"\xc7" + _encode_modrm(0, dst, symtab)
+                        + _le32(src.value(symtab)))
+            if isinstance(src, _Reg) and src.kind == "r":
+                return b"\x89" + _encode_modrm(src.idx, dst, symtab)
+        raise AssemblerError("unsupported mov operand combination")
+
+    def _op_movb(self, ops, symtab):
+        dst, src = ops
+        if isinstance(dst, _MemOp):
+            dst.size = 1
+        return self._op_mov(ops, symtab)
+
+    def _alu(self, name, ops, symtab):
+        dst, src = ops
+        base = _ALU_BASE[name]
+        group_reg = _ALU_GROUP_REG[name]
+        if isinstance(src, _Imm):
+            value = src.value(symtab)
+            signed = value - (1 << 32) if value >= (1 << 31) else value
+            is_byte = (isinstance(dst, _Reg) and dst.kind == "r8") or (
+                isinstance(dst, _MemOp) and dst.size == 1)
+            if is_byte:
+                if isinstance(dst, _Reg) and dst.idx == 0:
+                    return bytes([base + 4, value & 0xFF])
+                return (b"\x80" + _encode_modrm(group_reg, dst, symtab)
+                        + bytes([value & 0xFF]))
+            if _fits8(signed) and src.symbol is None:
+                return (b"\x83" + _encode_modrm(group_reg, dst, symtab)
+                        + bytes([signed & 0xFF]))
+            if isinstance(dst, _Reg) and dst.kind == "r" and dst.idx == 0:
+                return bytes([base + 5]) + _le32(value)
+            return (b"\x81" + _encode_modrm(group_reg, dst, symtab)
+                    + _le32(value))
+        is_byte = ((isinstance(dst, _Reg) and dst.kind == "r8")
+                   or (isinstance(src, _Reg) and src.kind == "r8"))
+        if isinstance(src, _Reg):
+            opcode = base + (0 if is_byte else 1)
+            return bytes([opcode]) + _encode_modrm(src.idx, dst, symtab)
+        if isinstance(src, _MemOp):
+            opcode = base + (2 if is_byte else 3)
+            return bytes([opcode]) + _encode_modrm(dst.idx, src, symtab)
+        raise AssemblerError("unsupported %s operand combination" % name)
+
+    def _op_add(self, ops, symtab):
+        return self._alu("add", ops, symtab)
+
+    def _op_or(self, ops, symtab):
+        return self._alu("or", ops, symtab)
+
+    def _op_adc(self, ops, symtab):
+        return self._alu("adc", ops, symtab)
+
+    def _op_sbb(self, ops, symtab):
+        return self._alu("sbb", ops, symtab)
+
+    def _op_and(self, ops, symtab):
+        return self._alu("and", ops, symtab)
+
+    def _op_sub(self, ops, symtab):
+        return self._alu("sub", ops, symtab)
+
+    def _op_xor(self, ops, symtab):
+        return self._alu("xor", ops, symtab)
+
+    def _op_cmp(self, ops, symtab):
+        return self._alu("cmp", ops, symtab)
+
+    def _op_cmpb(self, ops, symtab):
+        dst, src = ops
+        if isinstance(dst, _MemOp):
+            dst.size = 1
+        return self._alu("cmp", ops, symtab)
+
+    def _op_test(self, ops, symtab):
+        dst, src = ops
+        is_byte = ((isinstance(dst, _Reg) and dst.kind == "r8")
+                   or (isinstance(src, _Reg) and src.kind == "r8")
+                   or (isinstance(dst, _MemOp) and dst.size == 1))
+        if isinstance(src, _Imm):
+            value = src.value(symtab)
+            if is_byte:
+                if isinstance(dst, _Reg) and dst.idx == 0:
+                    return bytes([0xA8, value & 0xFF])
+                return (b"\xf6" + _encode_modrm(0, dst, symtab)
+                        + bytes([value & 0xFF]))
+            if isinstance(dst, _Reg) and dst.kind == "r" and dst.idx == 0:
+                return b"\xa9" + _le32(value)
+            return b"\xf7" + _encode_modrm(0, dst, symtab) + _le32(value)
+        opcode = 0x84 if is_byte else 0x85
+        return bytes([opcode]) + _encode_modrm(src.idx, dst, symtab)
+
+    def _op_xchg(self, ops, symtab):
+        dst, src = ops
+        if (isinstance(dst, _Reg) and dst.kind == "r" and dst.idx == 0
+                and isinstance(src, _Reg) and src.kind == "r"):
+            return bytes([0x90 + src.idx])
+        if isinstance(src, _Reg) and src.kind == "r":
+            return b"\x87" + _encode_modrm(src.idx, dst, symtab)
+        if isinstance(dst, _Reg) and dst.kind == "r":
+            return b"\x87" + _encode_modrm(dst.idx, src, symtab)
+        raise AssemblerError("unsupported xchg operands")
+
+    def _op_lea(self, ops, symtab):
+        dst, src = ops
+        if not isinstance(src, _MemOp):
+            raise AssemblerError("lea needs a memory operand")
+        return b"\x8d" + _encode_modrm(dst.idx, src, symtab)
+
+    def _op_push(self, ops, symtab):
+        (operand,) = ops
+        if isinstance(operand, _Reg):
+            if operand.kind == "r":
+                return bytes([0x50 + operand.idx])
+            if operand.kind == "sr":
+                table = {0: b"\x06", 1: b"\x0e", 2: b"\x16", 3: b"\x1e",
+                         4: b"\x0f\xa0", 5: b"\x0f\xa8"}
+                return table[operand.idx]
+        if isinstance(operand, _Imm):
+            value = operand.value(symtab)
+            signed = value - (1 << 32) if value >= (1 << 31) else value
+            if _fits8(signed) and operand.symbol is None:
+                return bytes([0x6A, signed & 0xFF])
+            return b"\x68" + _le32(value)
+        return b"\xff" + _encode_modrm(6, operand, symtab)
+
+    def _op_pop(self, ops, symtab):
+        (operand,) = ops
+        if isinstance(operand, _Reg):
+            if operand.kind == "r":
+                return bytes([0x58 + operand.idx])
+            if operand.kind == "sr":
+                table = {0: b"\x07", 2: b"\x17", 3: b"\x1f",
+                         4: b"\x0f\xa1", 5: b"\x0f\xa9"}
+                return table[operand.idx]
+        return b"\x8f" + _encode_modrm(0, operand, symtab)
+
+    def _op_inc(self, ops, symtab):
+        (operand,) = ops
+        if isinstance(operand, _Reg) and operand.kind == "r":
+            return bytes([0x40 + operand.idx])
+        if isinstance(operand, _MemOp) and operand.size == 1:
+            return b"\xfe" + _encode_modrm(0, operand, symtab)
+        return b"\xff" + _encode_modrm(0, operand, symtab)
+
+    def _op_dec(self, ops, symtab):
+        (operand,) = ops
+        if isinstance(operand, _Reg) and operand.kind == "r":
+            return bytes([0x48 + operand.idx])
+        if isinstance(operand, _MemOp) and operand.size == 1:
+            return b"\xfe" + _encode_modrm(1, operand, symtab)
+        return b"\xff" + _encode_modrm(1, operand, symtab)
+
+    def _group3(self, name, ops, symtab):
+        (operand,) = ops
+        is_byte = ((isinstance(operand, _Reg) and operand.kind == "r8")
+                   or (isinstance(operand, _MemOp) and operand.size == 1))
+        opcode = 0xF6 if is_byte else 0xF7
+        return (bytes([opcode])
+                + _encode_modrm(_GROUP3_REG[name], operand, symtab))
+
+    def _op_not(self, ops, symtab):
+        return self._group3("not", ops, symtab)
+
+    def _op_neg(self, ops, symtab):
+        return self._group3("neg", ops, symtab)
+
+    def _op_mul(self, ops, symtab):
+        return self._group3("mul", ops, symtab)
+
+    def _op_div(self, ops, symtab):
+        return self._group3("div", ops, symtab)
+
+    def _op_idiv(self, ops, symtab):
+        return self._group3("idiv", ops, symtab)
+
+    def _op_imul(self, ops, symtab):
+        if len(ops) == 1:
+            return self._group3("imul1", ops, symtab)
+        if len(ops) == 2:
+            dst, src = ops
+            return b"\x0f\xaf" + _encode_modrm(dst.idx, src, symtab)
+        dst, src, imm = ops
+        value = imm.value(symtab)
+        signed = value - (1 << 32) if value >= (1 << 31) else value
+        if _fits8(signed) and imm.symbol is None:
+            return (b"\x6b" + _encode_modrm(dst.idx, src, symtab)
+                    + bytes([signed & 0xFF]))
+        return b"\x69" + _encode_modrm(dst.idx, src, symtab) + _le32(value)
+
+    def _shift(self, name, ops, symtab):
+        dst, src = ops
+        reg_field = _SHIFT_GROUP_REG[name]
+        is_byte = ((isinstance(dst, _Reg) and dst.kind == "r8")
+                   or (isinstance(dst, _MemOp) and dst.size == 1))
+        if isinstance(src, _Reg):  # by %cl
+            if src.kind != "r8" or src.idx != 1:
+                raise AssemblerError("shift count register must be cl")
+            opcode = 0xD2 if is_byte else 0xD3
+            return bytes([opcode]) + _encode_modrm(reg_field, dst, symtab)
+        count = src.value(symtab) & 0xFF
+        if count == 1:
+            opcode = 0xD0 if is_byte else 0xD1
+            return bytes([opcode]) + _encode_modrm(reg_field, dst, symtab)
+        opcode = 0xC0 if is_byte else 0xC1
+        return (bytes([opcode]) + _encode_modrm(reg_field, dst, symtab)
+                + bytes([count]))
+
+    def _op_shl(self, ops, symtab):
+        return self._shift("shl", ops, symtab)
+
+    def _op_shr(self, ops, symtab):
+        return self._shift("shr", ops, symtab)
+
+    def _op_sar(self, ops, symtab):
+        return self._shift("sar", ops, symtab)
+
+    def _op_rol(self, ops, symtab):
+        return self._shift("rol", ops, symtab)
+
+    def _op_ror(self, ops, symtab):
+        return self._shift("ror", ops, symtab)
+
+    def _op_rcl(self, ops, symtab):
+        return self._shift("rcl", ops, symtab)
+
+    def _op_rcr(self, ops, symtab):
+        return self._shift("rcr", ops, symtab)
+
+    def _op_shld(self, ops, symtab):
+        dst, src, imm = ops
+        return (b"\x0f\xa4" + _encode_modrm(src.idx, dst, symtab)
+                + bytes([imm.value(symtab) & 0xFF]))
+
+    def _op_shrd(self, ops, symtab):
+        dst, src, imm = ops
+        return (b"\x0f\xac" + _encode_modrm(src.idx, dst, symtab)
+                + bytes([imm.value(symtab) & 0xFF]))
+
+    def _op_movzx(self, ops, symtab):
+        dst, src = ops
+        size = src.size if isinstance(src, _MemOp) else (
+            1 if isinstance(src, _Reg) and src.kind == "r8" else None)
+        if size == 1:
+            return b"\x0f\xb6" + _encode_modrm(dst.idx, src, symtab)
+        if size == 2:
+            return b"\x0f\xb7" + _encode_modrm(dst.idx, src, symtab)
+        raise AssemblerError("movzx needs byte/word source")
+
+    def _op_movsx(self, ops, symtab):
+        dst, src = ops
+        size = src.size if isinstance(src, _MemOp) else (
+            1 if isinstance(src, _Reg) and src.kind == "r8" else None)
+        if size == 1:
+            return b"\x0f\xbe" + _encode_modrm(dst.idx, src, symtab)
+        if size == 2:
+            return b"\x0f\xbf" + _encode_modrm(dst.idx, src, symtab)
+        raise AssemblerError("movsx needs byte/word source")
+
+    def _op_int(self, ops, symtab):
+        (operand,) = ops
+        return bytes([0xCD, operand.value(symtab) & 0xFF])
+
+    def _op_ret(self, ops, symtab):
+        (operand,) = ops
+        return b"\xc2" + _le16(operand.value(symtab))
+
+    def _op_bound(self, ops, symtab):
+        dst, src = ops
+        return b"\x62" + _encode_modrm(dst.idx, src, symtab)
+
+    def _op_bt(self, ops, symtab):
+        dst, src = ops
+        if isinstance(src, _Imm):
+            return (b"\x0f\xba" + _encode_modrm(4, dst, symtab)
+                    + bytes([src.value(symtab) & 0xFF]))
+        return b"\x0f\xa3" + _encode_modrm(src.idx, dst, symtab)
+
+    def _op_bts(self, ops, symtab):
+        dst, src = ops
+        if isinstance(src, _Imm):
+            return (b"\x0f\xba" + _encode_modrm(5, dst, symtab)
+                    + bytes([src.value(symtab) & 0xFF]))
+        return b"\x0f\xab" + _encode_modrm(src.idx, dst, symtab)
+
+    def _op_btr(self, ops, symtab):
+        dst, src = ops
+        if isinstance(src, _Imm):
+            return (b"\x0f\xba" + _encode_modrm(6, dst, symtab)
+                    + bytes([src.value(symtab) & 0xFF]))
+        return b"\x0f\xb3" + _encode_modrm(src.idx, dst, symtab)
+
+    def _op_bsf(self, ops, symtab):
+        dst, src = ops
+        return b"\x0f\xbc" + _encode_modrm(dst.idx, src, symtab)
+
+    def _op_bsr(self, ops, symtab):
+        dst, src = ops
+        return b"\x0f\xbd" + _encode_modrm(dst.idx, src, symtab)
+
+    def _op_btc(self, ops, symtab):
+        dst, src = ops
+        if isinstance(src, _Imm):
+            return (b"\x0f\xba" + _encode_modrm(7, dst, symtab)
+                    + bytes([src.value(symtab) & 0xFF]))
+        return b"\x0f\xbb" + _encode_modrm(src.idx, dst, symtab)
+
+    def _op_cmpxchg(self, ops, symtab):
+        dst, src = ops
+        if src.kind == "r8":
+            return b"\x0f\xb0" + _encode_modrm(src.idx, dst, symtab)
+        return b"\x0f\xb1" + _encode_modrm(src.idx, dst, symtab)
+
+    def _op_xadd(self, ops, symtab):
+        dst, src = ops
+        if src.kind == "r8":
+            return b"\x0f\xc0" + _encode_modrm(src.idx, dst, symtab)
+        return b"\x0f\xc1" + _encode_modrm(src.idx, dst, symtab)
+
+    def _op_aam(self, ops, symtab):
+        base = ops[0].value(symtab) if ops else 10
+        return bytes([0xD4, base & 0xFF])
+
+    def _op_aad(self, ops, symtab):
+        base = ops[0].value(symtab) if ops else 10
+        return bytes([0xD5, base & 0xFF])
+
+    def _op_les(self, ops, symtab):
+        dst, src = ops
+        if not isinstance(src, _MemOp):
+            raise AssemblerError("les needs a memory operand")
+        return b"\xc4" + _encode_modrm(dst.idx, src, symtab)
+
+    def _op_lds(self, ops, symtab):
+        dst, src = ops
+        if not isinstance(src, _MemOp):
+            raise AssemblerError("lds needs a memory operand")
+        return b"\xc5" + _encode_modrm(dst.idx, src, symtab)
+
+    def _op_bswap(self, ops, symtab):
+        (operand,) = ops
+        return bytes([0x0F, 0xC8 + operand.idx])
+
+    def _op_in(self, ops, symtab):
+        dst, src = ops
+        size = 1 if (isinstance(dst, _Reg) and dst.kind == "r8") else 4
+        if isinstance(src, _Imm):
+            opcode = 0xE4 if size == 1 else 0xE5
+            return bytes([opcode, src.value(symtab) & 0xFF])
+        return b"\xec" if size == 1 else b"\xed"
+
+    def _op_out(self, ops, symtab):
+        dst, src = ops
+        size = 1 if (isinstance(src, _Reg) and src.kind == "r8") else 4
+        if isinstance(dst, _Imm):
+            opcode = 0xE6 if size == 1 else 0xE7
+            return bytes([opcode, dst.value(symtab) & 0xFF])
+        return b"\xee" if size == 1 else b"\xef"
+
+    def _op_invlpg(self, ops, symtab):
+        (operand,) = ops
+        if not isinstance(operand, _MemOp):
+            raise AssemblerError("invlpg needs a memory operand")
+        return b"\x0f\x01" + _encode_modrm(7, operand, symtab)
+
+    def _op_enter(self, ops, symtab):
+        frame, nesting = ops
+        return (b"\xc8" + _le16(frame.value(symtab))
+                + bytes([nesting.value(symtab) & 0xFF]))
+
+
+def assemble(source, base=0):
+    """Assemble *source* at *base*; returns a :class:`Program`."""
+    return Assembler(base=base).assemble(source)

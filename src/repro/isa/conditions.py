@@ -1,0 +1,79 @@
+"""IA-32 condition codes (the ``cc`` nibble of Jcc/SETcc/CMOVcc).
+
+The low bit of a condition code selects between a condition and its
+negation; this is precisely the bit campaign C of the paper flips to turn a
+conditional branch into its "valid but incorrect" counterpart.
+"""
+
+# Condition-code nibble -> canonical mnemonic suffix.
+CC_NAMES = (
+    "o",   # 0  overflow
+    "no",  # 1  not overflow
+    "b",   # 2  below (carry)
+    "ae",  # 3  above or equal (not carry)
+    "e",   # 4  equal (zero)
+    "ne",  # 5  not equal
+    "be",  # 6  below or equal
+    "a",   # 7  above
+    "s",   # 8  sign
+    "ns",  # 9  not sign
+    "p",   # 10 parity
+    "np",  # 11 not parity
+    "l",   # 12 less (signed)
+    "ge",  # 13 greater or equal (signed)
+    "le",  # 14 less or equal (signed)
+    "g",   # 15 greater (signed)
+)
+
+# Accepted aliases when assembling (e.g. "jz" for "je").
+CC_ALIASES = {
+    "c": 2,
+    "nc": 3,
+    "nae": 2,
+    "nb": 3,
+    "z": 4,
+    "nz": 5,
+    "na": 6,
+    "nbe": 7,
+    "pe": 10,
+    "po": 11,
+    "nge": 12,
+    "nl": 13,
+    "ng": 14,
+    "nle": 15,
+}
+
+CC_INDEX = {name: i for i, name in enumerate(CC_NAMES)}
+CC_INDEX.update(CC_ALIASES)
+
+
+def cc_invert(cc):
+    """Return the condition code testing the opposite condition."""
+    return cc ^ 1
+
+
+def cc_holds(cc, cf, zf, sf, of, pf):
+    """Evaluate condition code *cc* against the given flag values.
+
+    Flags are passed as booleans/ints.  The table follows the IA-32 SDM.
+    """
+    base = cc >> 1
+    if base == 0:
+        result = of
+    elif base == 1:
+        result = cf
+    elif base == 2:
+        result = zf
+    elif base == 3:
+        result = cf or zf
+    elif base == 4:
+        result = sf
+    elif base == 5:
+        result = pf
+    elif base == 6:
+        result = bool(sf) != bool(of)
+    else:
+        result = zf or (bool(sf) != bool(of))
+    if cc & 1:
+        return not result
+    return bool(result)

@@ -1,0 +1,577 @@
+"""IA-32 subset instruction decoder.
+
+``decode`` turns raw bytes into :class:`~repro.isa.instr.Instr` objects.
+Undefined encodings raise :class:`DecodeError`, which the CPU converts into
+an *invalid opcode* trap — one of the four dominant crash causes in the
+paper (Figure 6).
+
+The decoder deliberately implements the genuine IA-32 variable-length
+encoding (prefixes, ModRM, SIB, displacement, immediate) so that a
+single-bit flip can change an instruction's length and cause the following
+bytes to be re-interpreted as a different instruction sequence, exactly as
+in the paper's Table 7 example 2.
+"""
+
+from repro.isa.instr import Instr, Mem
+
+_SEG_PREFIXES = {0x26: 0, 0x2E: 1, 0x36: 2, 0x3E: 3, 0x64: 4, 0x65: 5}
+
+# One-byte opcodes with no operands.
+_SIMPLE = {
+    0x27: "daa",
+    0x2F: "das",
+    0x37: "aaa",
+    0x3F: "aas",
+    0x60: "pusha",
+    0x61: "popa",
+    0x90: "nop",
+    0x98: "cwde",
+    0x99: "cdq",
+    0x9B: "wait",
+    0x9C: "pushf",
+    0x9D: "popf",
+    0x9E: "sahf",
+    0x9F: "lahf",
+    0xC3: "ret",
+    0xC9: "leave",
+    0xCB: "lret",
+    0xCC: "int3",
+    0xCE: "into",
+    0xCF: "iret",
+    0xD7: "xlat",
+    0xF4: "hlt",
+    0xF5: "cmc",
+    0xF8: "clc",
+    0xF9: "stc",
+    0xFA: "cli",
+    0xFB: "sti",
+    0xFC: "cld",
+    0xFD: "std",
+}
+
+# The eight classic ALU operation families laid out at base opcodes
+# 0x00, 0x08, ... 0x38 (add, or, adc, sbb, and, sub, xor, cmp).
+_ALU_OPS = ("add", "or", "adc", "sbb", "and", "sub", "xor", "cmp")
+
+# Group tables selected by the ModRM reg field.
+_GROUP1 = _ALU_OPS
+_GROUP2 = ("rol", "ror", "rcl", "rcr", "shl", "shr", "shl", "sar")
+_GROUP3 = ("test", "test", "not", "neg", "mul", "imul1", "div", "idiv")
+_GROUP5 = ("inc", "dec", "call_ind", "callf_ind", "jmp_ind", "jmpf_ind",
+           "push", None)
+_GROUP8 = (None, None, None, None, "bt", "bts", "btr", "btc")
+
+# push/pop of segment registers at their historical one-byte slots.
+_PUSH_SEG = {0x06: 0, 0x0E: 1, 0x16: 2, 0x1E: 3}
+_POP_SEG = {0x07: 0, 0x17: 2, 0x1F: 3}
+
+# String operations: opcode -> (op, size)
+_STRING_OPS = {
+    0xA4: ("movs", 1),
+    0xA5: ("movs", 4),
+    0xA6: ("cmps", 1),
+    0xA7: ("cmps", 4),
+    0xAA: ("stos", 1),
+    0xAB: ("stos", 4),
+    0xAC: ("lods", 1),
+    0xAD: ("lods", 4),
+    0xAE: ("scas", 1),
+    0xAF: ("scas", 4),
+}
+
+# Explicitly undefined one-byte opcodes in our subset (documented in
+# DESIGN.md: no 16-bit operand mode, no x87 FPU).
+_UNDEFINED_1B = frozenset(
+    [0x63, 0x66, 0x67, 0xD6, 0xF1] + list(range(0xD8, 0xE0))
+)
+
+_MAX_INSTR_LEN = 15  # IA-32 architectural limit
+
+
+class DecodeError(Exception):
+    """Raised for encodings outside the defined subset (=> #UD trap)."""
+
+    def __init__(self, message, length=1):
+        super().__init__(message)
+        self.length = length
+
+
+class _Cursor:
+    """Byte reader tracking how many bytes the instruction has consumed."""
+
+    __slots__ = ("read", "addr", "pos")
+
+    def __init__(self, read, addr):
+        self.read = read
+        self.addr = addr
+        self.pos = 0
+
+    def u8(self):
+        if self.pos >= _MAX_INSTR_LEN:
+            raise DecodeError("instruction too long", self.pos)
+        value = self.read(self.addr + self.pos)
+        self.pos += 1
+        return value
+
+    def s8(self):
+        value = self.u8()
+        return value - 256 if value >= 128 else value
+
+    def u16(self):
+        lo = self.u8()
+        return lo | (self.u8() << 8)
+
+    def u32(self):
+        value = self.u8()
+        value |= self.u8() << 8
+        value |= self.u8() << 16
+        return value | (self.u8() << 24)
+
+    def s32(self):
+        value = self.u32()
+        return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def _modrm(cur, size):
+    """Decode a ModRM (+SIB +disp) byte pair.
+
+    Returns ``(reg_field, rm_operand)`` where *rm_operand* is an operand
+    descriptor (register or memory form) sized per *size*.
+    """
+    modrm = cur.u8()
+    mod = modrm >> 6
+    reg = (modrm >> 3) & 7
+    rm = modrm & 7
+    if mod == 3:
+        if size == 1:
+            return reg, ("r8", rm)
+        return reg, ("r", rm)
+    base = None
+    index = None
+    scale = 1
+    disp = 0
+    if rm == 4:
+        sib = cur.u8()
+        idx = (sib >> 3) & 7
+        if idx != 4:
+            index = idx
+            scale = 1 << (sib >> 6)
+        sib_base = sib & 7
+        if sib_base == 5 and mod == 0:
+            disp = cur.s32()
+        else:
+            base = sib_base
+    elif rm == 5 and mod == 0:
+        disp = cur.s32()
+    else:
+        base = rm
+    if mod == 1:
+        disp += cur.s8()
+    elif mod == 2:
+        disp += cur.s32()
+    return reg, ("m", Mem(base=base, index=index, scale=scale, disp=disp))
+
+
+def _decode_0f(cur):
+    """Decode the two-byte (0F-prefixed) opcode map subset."""
+    op2 = cur.u8()
+    if op2 in (0x00, 0x01):
+        reg, rm_op = _modrm(cur, 4)
+        if (op2 == 0x00 and reg >= 6) or (op2 == 0x01 and reg == 5):
+            raise DecodeError("undefined system group encoding", cur.pos)
+        return Instr("sysgrp", dst=rm_op, imm2=(op2, reg))
+    if op2 == 0x06:
+        return Instr("clts")
+    if op2 in (0x08, 0x09):
+        return Instr("invd")
+    if op2 == 0x0B:
+        return Instr("ud2")
+    if 0x20 <= op2 <= 0x23:
+        modrm = cur.u8()
+        cr = (modrm >> 3) & 7
+        gpr = modrm & 7
+        op = {0x20: "mov_from_cr", 0x21: "mov_from_dr",
+              0x22: "mov_to_cr", 0x23: "mov_to_dr"}[op2]
+        return Instr(op, dst=("r", gpr), src=("i", cr))
+    if op2 == 0x30:
+        return Instr("wrmsr")
+    if op2 == 0x31:
+        return Instr("rdtsc")
+    if op2 == 0x32:
+        return Instr("rdmsr")
+    if op2 == 0x33:
+        return Instr("rdpmc")
+    if 0x40 <= op2 <= 0x4F:
+        reg, rm_op = _modrm(cur, 4)
+        return Instr("cmovcc", cc=op2 & 0xF, dst=("r", reg), src=rm_op)
+    if 0x80 <= op2 <= 0x8F:
+        rel = cur.s32()
+        return Instr("jcc", cc=op2 & 0xF, rel=rel)
+    if 0x90 <= op2 <= 0x9F:
+        _, rm_op = _modrm(cur, 1)
+        return Instr("setcc", size=1, cc=op2 & 0xF, dst=rm_op)
+    if op2 == 0xA0:
+        return Instr("push_sr", dst=("sr", 4))
+    if op2 == 0xA1:
+        return Instr("pop_sr", dst=("sr", 4))
+    if op2 == 0xA2:
+        return Instr("cpuid")
+    if op2 == 0xA8:
+        return Instr("push_sr", dst=("sr", 5))
+    if op2 == 0xA9:
+        return Instr("pop_sr", dst=("sr", 5))
+    if op2 in (0xA3, 0xAB, 0xB3, 0xBB):
+        op = {0xA3: "bt", 0xAB: "bts", 0xB3: "btr", 0xBB: "btc"}[op2]
+        reg, rm_op = _modrm(cur, 4)
+        return Instr(op, dst=rm_op, src=("r", reg))
+    if op2 in (0xA4, 0xAC):
+        reg, rm_op = _modrm(cur, 4)
+        imm = cur.u8()
+        op = "shld" if op2 == 0xA4 else "shrd"
+        return Instr(op, dst=rm_op, src=("r", reg), imm2=("i", imm))
+    if op2 in (0xA5, 0xAD):
+        reg, rm_op = _modrm(cur, 4)
+        op = "shld" if op2 == 0xA5 else "shrd"
+        return Instr(op, dst=rm_op, src=("r", reg), imm2=("cl",))
+    if op2 == 0xAF:
+        reg, rm_op = _modrm(cur, 4)
+        return Instr("imul2", dst=("r", reg), src=rm_op)
+    if op2 in (0xB0, 0xB1):
+        size = 1 if op2 == 0xB0 else 4
+        reg, rm_op = _modrm(cur, size)
+        src = ("r8", reg) if size == 1 else ("r", reg)
+        return Instr("cmpxchg", size=size, dst=rm_op, src=src)
+    if op2 in (0xB6, 0xB7, 0xBE, 0xBF):
+        src_size = 1 if op2 in (0xB6, 0xBE) else 2
+        op = "movzx" if op2 in (0xB6, 0xB7) else "movsx"
+        reg, rm_op = _modrm(cur, 1 if src_size == 1 else 2)
+        return Instr(op, size=src_size, dst=("r", reg), src=rm_op)
+    if op2 == 0xBA:
+        reg, rm_op = _modrm(cur, 4)
+        op = _GROUP8[reg]
+        if op is None:
+            raise DecodeError("undefined group-8 encoding", cur.pos)
+        imm = cur.u8()
+        return Instr(op, dst=rm_op, src=("i", imm))
+    if op2 in (0xBC, 0xBD):
+        reg, rm_op = _modrm(cur, 4)
+        op = "bsf" if op2 == 0xBC else "bsr"
+        return Instr(op, dst=("r", reg), src=rm_op)
+    if op2 in (0xC0, 0xC1):
+        size = 1 if op2 == 0xC0 else 4
+        reg, rm_op = _modrm(cur, size)
+        src = ("r8", reg) if size == 1 else ("r", reg)
+        return Instr("xadd", size=size, dst=rm_op, src=src)
+    if 0xC8 <= op2 <= 0xCF:
+        return Instr("bswap", dst=("r", op2 & 7))
+    raise DecodeError("undefined two-byte opcode 0x0f 0x%02x" % op2, cur.pos)
+
+
+def _decode_one(cur):
+    """Decode the instruction at the cursor (prefixes already consumed)."""
+    opcode = cur.u8()
+
+    if opcode in _UNDEFINED_1B:
+        raise DecodeError("undefined opcode 0x%02x" % opcode, cur.pos)
+    if opcode == 0x0F:
+        return _decode_0f(cur)
+
+    # ALU families 0x00-0x3D (skipping the segment push/pop and BCD slots).
+    if opcode < 0x40 and (opcode & 7) <= 5 and opcode not in _SIMPLE:
+        op = _ALU_OPS[opcode >> 3]
+        form = opcode & 7
+        if form == 0:
+            reg, rm_op = _modrm(cur, 1)
+            return Instr(op, size=1, dst=rm_op, src=("r8", reg))
+        if form == 1:
+            reg, rm_op = _modrm(cur, 4)
+            return Instr(op, dst=rm_op, src=("r", reg))
+        if form == 2:
+            reg, rm_op = _modrm(cur, 1)
+            return Instr(op, size=1, dst=("r8", reg), src=rm_op)
+        if form == 3:
+            reg, rm_op = _modrm(cur, 4)
+            return Instr(op, dst=("r", reg), src=rm_op)
+        if form == 4:
+            return Instr(op, size=1, dst=("r8", 0), src=("i", cur.u8()))
+        return Instr(op, dst=("r", 0), src=("i", cur.u32()))
+
+    if opcode in _PUSH_SEG:
+        return Instr("push_sr", dst=("sr", _PUSH_SEG[opcode]))
+    if opcode in _POP_SEG:
+        return Instr("pop_sr", dst=("sr", _POP_SEG[opcode]))
+    if opcode in _SIMPLE:
+        return Instr(_SIMPLE[opcode])
+
+    if 0x40 <= opcode <= 0x47:
+        return Instr("inc", dst=("r", opcode & 7))
+    if 0x48 <= opcode <= 0x4F:
+        return Instr("dec", dst=("r", opcode & 7))
+    if 0x50 <= opcode <= 0x57:
+        return Instr("push", dst=("r", opcode & 7))
+    if 0x58 <= opcode <= 0x5F:
+        return Instr("pop", dst=("r", opcode & 7))
+    if opcode == 0x62:
+        reg, rm_op = _modrm(cur, 4)
+        if rm_op[0] != "m":
+            raise DecodeError("bound requires memory operand", cur.pos)
+        return Instr("bound", dst=("r", reg), src=rm_op)
+    if opcode == 0x68:
+        return Instr("push", dst=("i", cur.u32()))
+    if opcode == 0x6A:
+        return Instr("push", dst=("i", cur.s8() & 0xFFFFFFFF))
+    if opcode in (0x69, 0x6B):
+        reg, rm_op = _modrm(cur, 4)
+        if opcode == 0x69:
+            imm = cur.u32()
+        else:
+            imm = cur.s8() & 0xFFFFFFFF
+        return Instr("imul3", dst=("r", reg), src=rm_op, imm2=("i", imm))
+    if opcode in (0x6C, 0x6D):
+        return Instr("ins", size=1 if opcode == 0x6C else 4)
+    if opcode in (0x6E, 0x6F):
+        return Instr("outs", size=1 if opcode == 0x6E else 4)
+    if 0x70 <= opcode <= 0x7F:
+        rel = cur.s8()
+        return Instr("jcc", cc=opcode & 0xF, rel=rel)
+    if opcode in (0x80, 0x82):
+        reg, rm_op = _modrm(cur, 1)
+        return Instr(_GROUP1[reg], size=1, dst=rm_op, src=("i", cur.u8()))
+    if opcode == 0x81:
+        reg, rm_op = _modrm(cur, 4)
+        return Instr(_GROUP1[reg], dst=rm_op, src=("i", cur.u32()))
+    if opcode == 0x83:
+        reg, rm_op = _modrm(cur, 4)
+        imm = cur.s8() & 0xFFFFFFFF
+        return Instr(_GROUP1[reg], dst=rm_op, src=("i", imm))
+    if opcode in (0x84, 0x85):
+        size = 1 if opcode == 0x84 else 4
+        reg, rm_op = _modrm(cur, size)
+        src = ("r8", reg) if size == 1 else ("r", reg)
+        return Instr("test", size=size, dst=rm_op, src=src)
+    if opcode in (0x86, 0x87):
+        size = 1 if opcode == 0x86 else 4
+        reg, rm_op = _modrm(cur, size)
+        src = ("r8", reg) if size == 1 else ("r", reg)
+        return Instr("xchg", size=size, dst=rm_op, src=src)
+    if opcode in (0x88, 0x89, 0x8A, 0x8B):
+        size = 1 if opcode in (0x88, 0x8A) else 4
+        reg, rm_op = _modrm(cur, size)
+        reg_op = ("r8", reg) if size == 1 else ("r", reg)
+        if opcode in (0x88, 0x89):
+            return Instr("mov", size=size, dst=rm_op, src=reg_op)
+        return Instr("mov", size=size, dst=reg_op, src=rm_op)
+    if opcode == 0x8C:
+        reg, rm_op = _modrm(cur, 4)
+        if reg >= 6:
+            raise DecodeError("invalid segment register", cur.pos)
+        return Instr("mov_from_sr", dst=rm_op, src=("sr", reg))
+    if opcode == 0x8D:
+        reg, rm_op = _modrm(cur, 4)
+        if rm_op[0] != "m":
+            raise DecodeError("lea requires memory operand", cur.pos)
+        return Instr("lea", dst=("r", reg), src=rm_op)
+    if opcode == 0x8E:
+        reg, rm_op = _modrm(cur, 4)
+        if reg >= 6 or reg == 1:  # mov cs, r/m is #UD
+            raise DecodeError("invalid segment register load", cur.pos)
+        return Instr("mov_to_sr", dst=("sr", reg), src=rm_op)
+    if opcode == 0x8F:
+        reg, rm_op = _modrm(cur, 4)
+        if reg != 0:
+            raise DecodeError("undefined group-1a encoding", cur.pos)
+        return Instr("pop", dst=rm_op)
+    if 0x91 <= opcode <= 0x97:
+        return Instr("xchg", dst=("r", 0), src=("r", opcode & 7))
+    if opcode == 0x9A:
+        offset = cur.u32()
+        sel = cur.u16()
+        return Instr("callf", dst=("i", offset), src=("i", sel))
+    if opcode in (0xA0, 0xA1):
+        size = 1 if opcode == 0xA0 else 4
+        mem = ("m", Mem(disp=cur.s32()))
+        acc = ("r8", 0) if size == 1 else ("r", 0)
+        return Instr("mov", size=size, dst=acc, src=mem)
+    if opcode in (0xA2, 0xA3):
+        size = 1 if opcode == 0xA2 else 4
+        mem = ("m", Mem(disp=cur.s32()))
+        acc = ("r8", 0) if size == 1 else ("r", 0)
+        return Instr("mov", size=size, dst=mem, src=acc)
+    if opcode in _STRING_OPS:
+        op, size = _STRING_OPS[opcode]
+        return Instr(op, size=size)
+    if opcode == 0xA8:
+        return Instr("test", size=1, dst=("r8", 0), src=("i", cur.u8()))
+    if opcode == 0xA9:
+        return Instr("test", dst=("r", 0), src=("i", cur.u32()))
+    if 0xB0 <= opcode <= 0xB7:
+        return Instr("mov", size=1, dst=("r8", opcode & 7),
+                     src=("i", cur.u8()))
+    if 0xB8 <= opcode <= 0xBF:
+        return Instr("mov", dst=("r", opcode & 7), src=("i", cur.u32()))
+    if opcode in (0xC0, 0xC1):
+        size = 1 if opcode == 0xC0 else 4
+        reg, rm_op = _modrm(cur, size)
+        return Instr(_GROUP2[reg], size=size, dst=rm_op, src=("i", cur.u8()))
+    if opcode == 0xC2:
+        return Instr("ret", src=("i", cur.u16()))
+    if opcode in (0xC4, 0xC5):
+        reg, rm_op = _modrm(cur, 4)
+        if rm_op[0] != "m":
+            raise DecodeError("les/lds requires memory operand", cur.pos)
+        op = "les" if opcode == 0xC4 else "lds"
+        return Instr(op, dst=("r", reg), src=rm_op)
+    if opcode in (0xC6, 0xC7):
+        size = 1 if opcode == 0xC6 else 4
+        reg, rm_op = _modrm(cur, size)
+        if reg != 0:
+            raise DecodeError("undefined group-11 encoding", cur.pos)
+        imm = cur.u8() if size == 1 else cur.u32()
+        return Instr("mov", size=size, dst=rm_op, src=("i", imm))
+    if opcode == 0xC8:
+        frame = cur.u16()
+        nesting = cur.u8()
+        return Instr("enter", dst=("i", frame), src=("i", nesting))
+    if opcode == 0xCA:
+        return Instr("lret", src=("i", cur.u16()))
+    if opcode == 0xCD:
+        return Instr("int", dst=("i", cur.u8()))
+    if opcode in (0xD0, 0xD1, 0xD2, 0xD3):
+        size = 1 if opcode in (0xD0, 0xD2) else 4
+        reg, rm_op = _modrm(cur, size)
+        if opcode in (0xD0, 0xD1):
+            src = ("i", 1)
+        else:
+            src = ("cl",)
+        return Instr(_GROUP2[reg], size=size, dst=rm_op, src=src)
+    if opcode in (0xD4, 0xD5):
+        imm = cur.u8()
+        return Instr("aam" if opcode == 0xD4 else "aad", src=("i", imm))
+    if opcode in (0xE0, 0xE1, 0xE2, 0xE3):
+        op = {0xE0: "loopne", 0xE1: "loope", 0xE2: "loop", 0xE3: "jcxz"}
+        rel = cur.s8()
+        return Instr(op[opcode], rel=rel)
+    if opcode in (0xE4, 0xE5):
+        size = 1 if opcode == 0xE4 else 4
+        return Instr("in", size=size, src=("i", cur.u8()))
+    if opcode in (0xE6, 0xE7):
+        size = 1 if opcode == 0xE6 else 4
+        return Instr("out", size=size, dst=("i", cur.u8()))
+    if opcode == 0xE8:
+        return Instr("call", rel=cur.s32())
+    if opcode == 0xE9:
+        return Instr("jmp", rel=cur.s32())
+    if opcode == 0xEA:
+        offset = cur.u32()
+        sel = cur.u16()
+        return Instr("jmpf", dst=("i", offset), src=("i", sel))
+    if opcode == 0xEB:
+        return Instr("jmp", rel=cur.s8())
+    if opcode in (0xEC, 0xED):
+        return Instr("in", size=1 if opcode == 0xEC else 4, src=("dx",))
+    if opcode in (0xEE, 0xEF):
+        return Instr("out", size=1 if opcode == 0xEE else 4, dst=("dx",))
+    if opcode in (0xF6, 0xF7):
+        size = 1 if opcode == 0xF6 else 4
+        reg, rm_op = _modrm(cur, size)
+        op = _GROUP3[reg]
+        if op == "test":
+            imm = cur.u8() if size == 1 else cur.u32()
+            return Instr("test", size=size, dst=rm_op, src=("i", imm))
+        return Instr(op, size=size, dst=rm_op)
+    if opcode == 0xFE:
+        reg, rm_op = _modrm(cur, 1)
+        if reg >= 2:
+            raise DecodeError("undefined group-4 encoding", cur.pos)
+        return Instr("inc" if reg == 0 else "dec", size=1, dst=rm_op)
+    if opcode == 0xFF:
+        reg, rm_op = _modrm(cur, 4)
+        op = _GROUP5[reg]
+        if op is None:
+            raise DecodeError("undefined group-5 encoding", cur.pos)
+        if op in ("callf_ind", "jmpf_ind") and rm_op[0] != "m":
+            raise DecodeError("far indirect requires memory operand", cur.pos)
+        return Instr(op, dst=rm_op)
+    raise DecodeError("undefined opcode 0x%02x" % opcode, cur.pos)
+
+
+def decode(read, addr=0):
+    """Decode one instruction.
+
+    Args:
+        read: callable ``read(address) -> int`` returning one byte; may
+            raise (e.g. a simulated page fault on fetch) — such exceptions
+            propagate to the caller.
+        addr: address of the first byte.
+
+    Returns:
+        A fully populated :class:`Instr` (``length``, ``addr`` and ``raw``
+        are filled in).
+
+    Raises:
+        DecodeError: the bytes do not form a defined instruction; the
+            exception's ``length`` covers the bytes consumed so far.
+    """
+    cur = _Cursor(read, addr)
+    rep = None
+    seg = None
+    while True:
+        byte = cur.read(addr + cur.pos)
+        if byte in _SEG_PREFIXES:
+            seg = _SEG_PREFIXES[byte]
+            cur.pos += 1
+        elif byte == 0xF0:  # lock — accepted and ignored
+            cur.pos += 1
+        elif byte in (0xF2, 0xF3):
+            rep = "repne" if byte == 0xF2 else "rep"
+            cur.pos += 1
+        else:
+            break
+        if cur.pos >= _MAX_INSTR_LEN:
+            raise DecodeError("instruction too long", cur.pos)
+    try:
+        ins = _decode_one(cur)
+    except DecodeError as exc:
+        exc.length = max(exc.length, cur.pos)
+        raise
+    ins.length = cur.pos
+    ins.addr = addr
+    ins.rep = rep
+    if seg is not None:
+        for operand in (ins.dst, ins.src):
+            if operand is not None and operand[0] == "m":
+                operand[1].seg = seg
+    ins.raw = bytes(read(addr + i) for i in range(cur.pos))
+    return ins
+
+
+def decode_all(data, base=0, stop_on_error=False):
+    """Decode a byte string into a list of instructions.
+
+    Undecodable bytes are represented as ``Instr("(bad)")`` of length 1
+    unless *stop_on_error* is set, in which case decoding stops there.
+    """
+    data = bytes(data)
+
+    def read(address):
+        offset = address - base
+        if 0 <= offset < len(data):
+            return data[offset]
+        raise IndexError("decode past end of buffer")
+
+    out = []
+    addr = base
+    end = base + len(data)
+    while addr < end:
+        try:
+            ins = decode(read, addr)
+        except DecodeError as exc:
+            if stop_on_error:
+                break
+            ins = Instr("(bad)", length=max(1, exc.length), addr=addr)
+            ins.raw = data[addr - base:addr - base + ins.length]
+        except IndexError:
+            break
+        out.append(ins)
+        addr += ins.length
+    return out

@@ -1,0 +1,135 @@
+"""AT&T-syntax disassembler, matching the listings in the paper.
+
+Example output (compare the paper's Figure 5 / Table 7)::
+
+    8b 51 0c    mov 0xc(%ecx),%edx
+    74 56       je 0xc01144f4
+"""
+
+from repro.isa.conditions import CC_NAMES
+from repro.isa.decoder import decode_all
+from repro.isa.registers import REG8_NAMES, REG_NAMES, SEG_NAMES
+
+_SIZE_SUFFIX = {1: "b", 2: "w", 4: "l"}
+
+# op family -> AT&T mnemonic stem for ops whose name differs.
+_ATT_NAMES = {
+    "call_ind": "call",
+    "jmp_ind": "jmp",
+    "callf_ind": "lcall",
+    "jmpf_ind": "ljmp",
+    "callf": "lcall",
+    "jmpf": "ljmp",
+    "imul1": "imul",
+    "imul2": "imul",
+    "imul3": "imul",
+    "ud2": "ud2a",
+    "cwde": "cwtl",
+    "cdq": "cltd",
+}
+
+
+def _mem_str(mem):
+    parts = ""
+    if mem.disp or (mem.base is None and mem.index is None):
+        parts += "0x%x" % (mem.disp & 0xFFFFFFFF)
+    inner = ""
+    if mem.base is not None:
+        inner = "%%%s" % REG_NAMES[mem.base]
+    if mem.index is not None:
+        inner += ",%%%s,%d" % (REG_NAMES[mem.index], mem.scale)
+        if mem.base is None:
+            inner = "," + inner[1:] if inner.startswith(",") else inner
+    if inner:
+        parts += "(%s)" % inner
+    return parts
+
+
+def _operand_str(operand):
+    kind = operand[0]
+    if kind == "r":
+        return "%%%s" % REG_NAMES[operand[1]]
+    if kind == "r8":
+        return "%%%s" % REG8_NAMES[operand[1]]
+    if kind == "sr":
+        return "%%%s" % SEG_NAMES[operand[1]]
+    if kind == "m":
+        return _mem_str(operand[1])
+    if kind == "i":
+        return "$0x%x" % (operand[1] & 0xFFFFFFFF)
+    if kind == "cl":
+        return "%cl"
+    if kind == "dx":
+        return "(%dx)"
+    return "?"
+
+
+def format_instr(ins):
+    """Render one decoded instruction in AT&T syntax."""
+    op = ins.op
+    if op == "(bad)":
+        return "(bad)"
+    if op == "jcc":
+        target = (ins.addr + ins.length + ins.rel) & 0xFFFFFFFF
+        return "j%s 0x%x" % (CC_NAMES[ins.cc], target)
+    if op in ("loop", "loope", "loopne", "jcxz"):
+        target = (ins.addr + ins.length + ins.rel) & 0xFFFFFFFF
+        return "%s 0x%x" % (op, target)
+    if op in ("call", "jmp") and ins.rel is not None:
+        target = (ins.addr + ins.length + ins.rel) & 0xFFFFFFFF
+        return "%s 0x%x" % (op, target)
+    if op == "setcc":
+        return "set%s %s" % (CC_NAMES[ins.cc], _operand_str(ins.dst))
+    if op == "cmovcc":
+        return "cmov%s %s,%s" % (
+            CC_NAMES[ins.cc],
+            _operand_str(ins.src),
+            _operand_str(ins.dst),
+        )
+    name = _ATT_NAMES.get(op, op)
+    if op in ("movs", "cmps", "stos", "lods", "scas"):
+        prefix = (ins.rep + " ") if ins.rep else ""
+        return "%s%s%s" % (prefix, name, _SIZE_SUFFIX[ins.size])
+    if op in ("mov", "movzx", "movsx", "add", "or", "adc", "sbb", "and",
+              "sub", "xor", "cmp", "test", "xchg", "cmpxchg", "xadd",
+              "rol", "ror", "rcl", "rcr", "shl", "shr", "sar", "inc",
+              "dec", "not", "neg", "mul", "imul1", "div", "idiv", "push",
+              "pop", "lea", "bound", "bt", "bts", "btr", "btc", "bsf",
+              "bsr", "bswap", "call_ind", "jmp_ind", "callf_ind",
+              "jmpf_ind", "les", "lds", "aam", "aad", "in", "out",
+              "int", "ret", "lret", "mov_from_sr", "mov_to_sr",
+              "push_sr", "pop_sr", "enter", "imul2", "imul3", "shld",
+              "shrd", "sysgrp"):
+        if op in ("movzx", "movsx"):
+            name = name[:4] + _SIZE_SUFFIX[ins.size] + "l"
+        elif op == "mov" and ins.size == 1:
+            name = "movb"
+        operands = []
+        if ins.imm2 is not None and op in ("shld", "shrd", "imul3"):
+            operands.append(_operand_str(ins.imm2))
+        # AT&T order: src, dst.
+        if ins.src is not None:
+            operands.append(_operand_str(ins.src))
+        if ins.dst is not None:
+            operands.append(_operand_str(ins.dst))
+        return ("%s %s" % (name, ",".join(operands))) if operands else name
+    if op in ("mov_from_cr", "mov_to_cr", "mov_from_dr", "mov_to_dr"):
+        kind = "cr" if "cr" in op else "db"
+        creg = "%%%s%d" % (kind, ins.src[1])
+        gpr = _operand_str(ins.dst)
+        if op.startswith("mov_from"):
+            return "mov %s,%s" % (creg, gpr)
+        return "mov %s,%s" % (gpr, creg)
+    return name
+
+
+def disassemble(data, base=0):
+    """Disassemble *data* and return formatted lines.
+
+    Each line is ``(addr, hex_bytes, text)``.
+    """
+    lines = []
+    for ins in decode_all(data, base=base):
+        hex_bytes = " ".join("%02x" % b for b in ins.raw)
+        lines.append((ins.addr, hex_bytes, format_instr(ins)))
+    return lines

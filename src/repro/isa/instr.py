@@ -1,0 +1,145 @@
+"""Decoded-instruction model shared by the decoder, disassembler and CPU.
+
+A decoded instruction is deliberately flat (``__slots__`` only) because the
+CPU interpreter creates and consults millions of these per campaign.
+"""
+
+
+class Mem:
+    """A ModRM/SIB memory operand: ``disp + base + index * scale``.
+
+    ``base``/``index`` are register indices or ``None``; ``seg`` records an
+    explicit segment-override prefix (informational only — the simulated
+    machine uses a flat address space like Linux).
+    """
+
+    __slots__ = ("base", "index", "scale", "disp", "seg")
+
+    def __init__(self, base=None, index=None, scale=1, disp=0, seg=None):
+        self.base = base
+        self.index = index
+        self.scale = scale
+        self.disp = disp
+        self.seg = seg
+
+    def __eq__(self, other):
+        if not isinstance(other, Mem):
+            return NotImplemented
+        return (
+            self.base == other.base
+            and self.index == other.index
+            and self.scale == other.scale
+            and self.disp == other.disp
+        )
+
+    def __hash__(self):
+        return hash((self.base, self.index, self.scale, self.disp))
+
+    def __repr__(self):
+        return "Mem(base=%r, index=%r, scale=%r, disp=%#x)" % (
+            self.base,
+            self.index,
+            self.scale,
+            self.disp,
+        )
+
+
+class Instr:
+    """One decoded instruction.
+
+    Attributes:
+        op: mnemonic family, e.g. ``"mov"``, ``"jcc"``, ``"shl"``.
+        size: operand size in bytes (1 or 4).
+        length: total encoded length in bytes, including prefixes.
+        dst, src: operand descriptors — ``("r", idx)`` register,
+            ``("r8", idx)`` byte register, ``("sr", idx)`` segment register,
+            ``("m", Mem)`` memory, ``("i", value)`` immediate, or ``None``.
+        cc: condition-code nibble for jcc/setcc/cmovcc, else ``None``.
+        rel: branch displacement (signed) for relative control transfers.
+        rep: ``None``, ``"rep"`` or ``"repne"`` for string instructions.
+        imm2: secondary immediate (``enter``, ``imul r,r/m,imm``…).
+        addr: address the instruction was decoded from.
+        raw: the encoded bytes.
+        run: execution handler, attached by the CPU at decode time.
+    """
+
+    __slots__ = (
+        "op",
+        "size",
+        "length",
+        "dst",
+        "src",
+        "cc",
+        "rel",
+        "rep",
+        "imm2",
+        "addr",
+        "raw",
+        "run",
+    )
+
+    def __init__(
+        self,
+        op,
+        size=4,
+        length=0,
+        dst=None,
+        src=None,
+        cc=None,
+        rel=None,
+        rep=None,
+        imm2=None,
+        addr=0,
+        raw=b"",
+    ):
+        self.op = op
+        self.size = size
+        self.length = length
+        self.dst = dst
+        self.src = src
+        self.cc = cc
+        self.rel = rel
+        self.rep = rep
+        self.imm2 = imm2
+        self.addr = addr
+        self.raw = raw
+        self.run = None
+
+    @property
+    def is_cond_branch(self):
+        """True for conditional control transfers (campaign B/C targets)."""
+        return self.op in ("jcc", "loop", "loope", "loopne", "jcxz")
+
+    @property
+    def is_branch(self):
+        """True for any control-transfer instruction."""
+        return self.op in (
+            "jcc",
+            "jmp",
+            "jmpf",
+            "call",
+            "callf",
+            "ret",
+            "lret",
+            "iret",
+            "loop",
+            "loope",
+            "loopne",
+            "jcxz",
+            "int",
+            "int3",
+            "into",
+        )
+
+    def __repr__(self):
+        parts = ["Instr(%r" % self.op]
+        if self.cc is not None:
+            parts.append("cc=%d" % self.cc)
+        if self.dst is not None:
+            parts.append("dst=%r" % (self.dst,))
+        if self.src is not None:
+            parts.append("src=%r" % (self.src,))
+        if self.rel is not None:
+            parts.append("rel=%#x" % (self.rel & 0xFFFFFFFF))
+        parts.append("len=%d)" % self.length)
+        return ", ".join(parts)

@@ -1,0 +1,44 @@
+"""Register names and indices for the IA-32 subset.
+
+Register numbering follows the IA-32 ModRM ``reg`` field encoding, so the
+values below can be used directly when assembling or decoding machine code.
+"""
+
+EAX = 0
+ECX = 1
+EDX = 2
+EBX = 3
+ESP = 4
+EBP = 5
+ESI = 6
+EDI = 7
+
+REG_NAMES = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+
+# 8-bit register file: indices 0-3 alias the low byte of eax/ecx/edx/ebx,
+# indices 4-7 alias bits 8-15 of the same registers (ah/ch/dh/bh), exactly
+# as in IA-32.
+AL = 0
+CL = 1
+DL = 2
+BL = 3
+AH = 4
+CH = 5
+DH = 6
+BH = 7
+
+REG8_NAMES = ("al", "cl", "dl", "bl", "ah", "ch", "dh", "bh")
+
+# Segment register file (ModRM reg-field encoding for mov Sreg forms).
+ES = 0
+CS = 1
+SS = 2
+DS = 3
+FS = 4
+GS = 5
+
+SEG_NAMES = ("es", "cs", "ss", "ds", "fs", "gs")
+
+REG_INDEX = {name: i for i, name in enumerate(REG_NAMES)}
+REG8_INDEX = {name: i for i, name in enumerate(REG8_NAMES)}
+SEG_INDEX = {name: i for i, name in enumerate(SEG_NAMES)}

@@ -1,0 +1,17 @@
+"""The simulated kernel: a mini-OS in MinC with Linux-like structure.
+
+Subsystem layout mirrors the paper's Figure 1 / Table 1 decomposition:
+``arch`` (trap entry, page-fault handling, context-switch and user-copy
+primitives), ``kernel`` (scheduler, fork/exit/wait, timers, printk,
+panic), ``mm`` (page allocator, COW, page cache, ``do_generic_file_read``,
+``do_wp_page``, ``zap_page_range``), ``fs`` (VFS path walk, buffer cache,
+ext2-like disk filesystem, pipes, exec), plus the small ``drivers``,
+``ipc``, ``lib`` and ``net`` modules that appear in the paper's profiling
+table but are not injection targets.
+"""
+
+from repro.kernel.layout import KernelLayout
+from repro.kernel.build import KernelImage, build_kernel, kernel_source_inventory
+
+__all__ = ["KernelLayout", "KernelImage", "build_kernel",
+           "kernel_source_inventory"]

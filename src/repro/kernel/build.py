@@ -1,0 +1,121 @@
+"""Kernel build: compile + link the MinC subsystems into a boot image."""
+
+from repro.cc.compiler import compile_unit
+from repro.isa.assembler import assemble
+from repro.kernel.layout import PAGE_SIZE, KernelLayout
+from repro.kernel.source import arch_src, defs_src, drivers_src, fs_src, \
+    ipc_src, kernel_src, lib_src, mm_src, net_src
+
+# Symbols defined by the hand-written entry stubs (arch assembly).
+ASM_SYMBOLS = (
+    "_start",
+    "divide_error", "debug_trap", "nmi_trap", "int3_trap",
+    "overflow_trap", "bounds_trap", "invalid_op_trap", "device_na_trap",
+    "double_fault_trap", "coproc_trap", "invalid_tss_trap",
+    "segment_np_trap", "stack_fault_trap", "gpf_trap", "page_fault_trap",
+    "common_trap", "timer_interrupt", "system_call", "__switch_to",
+    "ret_from_fork", "enter_user_mode",
+)
+
+# (unit name, subsystem, module) in link order.
+KERNEL_UNITS = (
+    ("lib/string.c", "lib", lib_src),
+    ("drivers/char+block.c", "drivers", drivers_src),
+    ("arch/i386/traps.c", "arch", arch_src),
+    ("mm/memory.c", "mm", mm_src),
+    ("fs/vfs+ext2.c", "fs", fs_src),
+    ("kernel/sched+fork.c", "kernel", kernel_src),
+    ("ipc/sem.c", "ipc", ipc_src),
+    ("net/loopback.c", "net", net_src),
+)
+
+
+class KernelImage:
+    """A built kernel: bytes plus symbol/function metadata."""
+
+    def __init__(self, code, base, symbols, functions, layout,
+                 source_lines):
+        self.code = code
+        self.base = base                # virtual load address
+        self.symbols = symbols          # name -> virtual address
+        self.functions = functions      # FuncInfo list (addr ranges)
+        self.layout = layout
+        self.source_lines = source_lines  # subsystem -> MinC LoC
+        self._by_addr = sorted(functions, key=lambda f: f.start)
+
+    def symbol(self, name):
+        return self.symbols[name]
+
+    def find_function(self, addr):
+        """Map a virtual address to its FuncInfo (None if out of text)."""
+        lo = 0
+        hi = len(self._by_addr)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            info = self._by_addr[mid]
+            if addr < info.start:
+                hi = mid
+            elif addr >= info.end:
+                lo = mid + 1
+            else:
+                return info
+        return None
+
+    def subsystem_of(self, addr):
+        info = self.find_function(addr)
+        return info.subsystem if info is not None else None
+
+    def functions_in(self, subsystem):
+        return [f for f in self.functions if f.subsystem == subsystem]
+
+
+def kernel_source_inventory():
+    """MinC line counts per subsystem (the paper's Figure 1 analogue)."""
+    counts = {}
+    for _, subsystem, module in KERNEL_UNITS:
+        lines = sum(1 for line in module.SOURCE.splitlines()
+                    if line.strip())
+        counts[subsystem] = counts.get(subsystem, 0) + lines
+    asm_lines = sum(1 for line in arch_src.ASM_STUBS.splitlines()
+                    if line.strip() and not line.strip().startswith(";"))
+    counts["arch"] = counts.get("arch", 0) + asm_lines
+    return counts
+
+
+def build_kernel(layout=None):
+    """Compile, link, and assemble the kernel.
+
+    Returns a :class:`KernelImage` loaded (virtually) at
+    ``layout.KERNEL_TEXT``; the machine layer copies ``image.code`` to
+    physical ``layout.KERNEL_PHYS``.
+    """
+    if layout is None:
+        layout = KernelLayout()
+    sources = [("include/generated.h", "lib", layout.minc_header()),
+               ("include/defs.h", "lib", defs_src.SOURCE)]
+    for unit_name, subsystem, module in KERNEL_UNITS:
+        sources.append((unit_name, subsystem, module.SOURCE))
+    unit = compile_unit(sources, externs=ASM_SYMBOLS)
+    stubs = arch_src.ASM_STUBS % {
+        "boot_stack_top": layout.BOOT_STACK_TOP,
+        "user_cs": layout.USER_CS,
+        "user_ds": layout.USER_DS,
+    }
+    full_asm = (
+        stubs
+        + "\n"
+        + unit.text
+        + "\n.align %d\n" % PAGE_SIZE   # keep data off the text pages
+        + ".global __data_start\n"
+        + unit.data
+        + "\n.align 4\n.global __kernel_end\n.long 0\n"
+    )
+    program = assemble(full_asm, base=layout.KERNEL_TEXT)
+    return KernelImage(
+        code=program.code,
+        base=layout.KERNEL_TEXT,
+        symbols=program.symbols,
+        functions=program.functions,
+        layout=layout,
+        source_lines=kernel_source_inventory(),
+    )

@@ -1,0 +1,76 @@
+"""Physical/virtual memory layout shared by the host and the kernel.
+
+This is the single source of truth: the kernel build injects these values
+into the MinC sources as ``const`` declarations (see
+:func:`KernelLayout.minc_header`), and the machine layer uses the same
+object to place the kernel image, boot page tables and devices.
+"""
+
+PAGE_SIZE = 4096
+
+
+class KernelLayout:
+    """Address-space plan for the simulated machine (Linux 2.4-flavoured)."""
+
+    RAM_BYTES = 8 * 1024 * 1024           # 8 MiB, like a small 2002 box
+    KERNEL_BASE = 0xC0000000              # kernel linear map: virt = base+phys
+    KERNEL_PHYS = 0x00100000              # kernel image at 1 MiB
+    KERNEL_TEXT = KERNEL_BASE + KERNEL_PHYS
+
+    BOOT_PGDIR_PHYS = 0x00008000          # boot page tables grow from here
+    BOOT_STACK_TOP = KERNEL_BASE + 0x00090000
+
+    # Dynamically allocated pages (mem_map-managed) live above the image.
+    FREE_PHYS_START = 0x00300000
+    FREE_PHYS_END = RAM_BYTES
+
+    # MMIO window (physical, above RAM; mapped linearly like RAM).
+    MMIO_PHYS = 0x00E00000
+    CONSOLE_PHYS = MMIO_PHYS
+    DISK_PHYS = MMIO_PHYS + 0x1000
+    DUMP_PHYS = MMIO_PHYS + 0x2000
+    SHUTDOWN_PHYS = MMIO_PHYS + 0x3000
+    MMIO_BYTES = 0x4000
+
+    CONSOLE_VIRT = KERNEL_BASE + CONSOLE_PHYS
+    DISK_VIRT = KERNEL_BASE + DISK_PHYS
+    DUMP_VIRT = KERNEL_BASE + DUMP_PHYS
+    SHUTDOWN_VIRT = KERNEL_BASE + SHUTDOWN_PHYS
+
+    # User address space.
+    USER_TEXT = 0x08048000
+    USER_STACK_TOP = 0xBFFFE000           # top of initial user stack page
+    USER_STACK_PAGES = 2
+    USER_MIN = 0x00001000                 # below this = NULL-pointer zone
+
+    # Selectors must agree with repro.cpu.cpu.
+    KERNEL_CS = 0x10
+    KERNEL_DS = 0x18
+    USER_CS = 0x23
+    USER_DS = 0x2B
+
+    TIMER_INTERVAL = 20000                # cycles per tick
+
+    def minc_header(self):
+        """MinC ``const`` declarations mirroring this layout."""
+        pairs = [
+            ("PAGE_SIZE", PAGE_SIZE),
+            ("KERNEL_BASE", self.KERNEL_BASE),
+            ("FREE_PHYS_START", self.FREE_PHYS_START),
+            ("FREE_PHYS_END", self.FREE_PHYS_END),
+            ("CONSOLE_DEV", self.CONSOLE_VIRT),
+            ("DISK_DEV", self.DISK_VIRT),
+            ("DUMP_DEV", self.DUMP_VIRT),
+            ("SHUTDOWN_DEV", self.SHUTDOWN_VIRT),
+            ("USER_TEXT", self.USER_TEXT),
+            ("USER_STACK_TOP", self.USER_STACK_TOP),
+            ("USER_STACK_PAGES", self.USER_STACK_PAGES),
+            ("USER_MIN", self.USER_MIN),
+            ("BOOT_STACK_BASE", self.BOOT_STACK_TOP - PAGE_SIZE),
+            ("KERNEL_CS_SEL", self.KERNEL_CS),
+            ("KERNEL_DS_SEL", self.KERNEL_DS),
+            ("USER_CS_SEL", self.USER_CS),
+            ("USER_DS_SEL", self.USER_DS),
+        ]
+        return "\n".join("const %s = %d;" % (name, value)
+                         for name, value in pairs) + "\n"

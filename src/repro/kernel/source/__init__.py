@@ -1,0 +1,1 @@
+"""MinC source modules for each kernel subsystem."""

@@ -1,0 +1,530 @@
+"""Kernel ``arch/`` subsystem (i386-equivalent).
+
+Hand-written entry stubs (trap vectors, syscall entry, context switch,
+ret_from_fork, user-mode entry) plus the MinC fault-handling core:
+``do_page_fault`` (the paper's single most crash-prone function — 70% of
+arch-subsystem crashes), ``die``/oops with the exact message strings the
+paper categorizes crashes by, the LKCD-style ``crash_dump`` handler, and
+the user-copy primitives.
+
+``ASM_STUBS`` is raw assembly included verbatim by the kernel builder;
+``SOURCE`` is MinC.
+"""
+
+# Hand-written assembly, attributed to arch like Linux's entry.S.
+# %(...)s fields are filled by the kernel builder from KernelLayout.
+ASM_STUBS = r"""
+.func _start arch
+_start:
+    mov esp, %(boot_stack_top)d
+    call start_kernel
+    cli
+    hlt
+.endfunc
+
+; Exception stubs. CPU pushes an error code only for vectors
+; 8/10/11/12/13/14; the others push a fake 0 to unify the frame:
+;   [pusha regs][vector][errcode][eip][cs][eflags][esp][ss]
+
+.func divide_error arch
+divide_error:
+    push 0
+    push 0
+    jmp common_trap
+.endfunc
+
+.func debug_trap arch
+debug_trap:
+    push 0
+    push 1
+    jmp common_trap
+.endfunc
+
+.func nmi_trap arch
+nmi_trap:
+    push 0
+    push 2
+    jmp common_trap
+.endfunc
+
+.func int3_trap arch
+int3_trap:
+    push 0
+    push 3
+    jmp common_trap
+.endfunc
+
+.func overflow_trap arch
+overflow_trap:
+    push 0
+    push 4
+    jmp common_trap
+.endfunc
+
+.func bounds_trap arch
+bounds_trap:
+    push 0
+    push 5
+    jmp common_trap
+.endfunc
+
+.func invalid_op_trap arch
+invalid_op_trap:
+    push 0
+    push 6
+    jmp common_trap
+.endfunc
+
+.func device_na_trap arch
+device_na_trap:
+    push 0
+    push 7
+    jmp common_trap
+.endfunc
+
+.func double_fault_trap arch
+double_fault_trap:
+    push 8
+    jmp common_trap
+.endfunc
+
+.func coproc_trap arch
+coproc_trap:
+    push 0
+    push 9
+    jmp common_trap
+.endfunc
+
+.func invalid_tss_trap arch
+invalid_tss_trap:
+    push 10
+    jmp common_trap
+.endfunc
+
+.func segment_np_trap arch
+segment_np_trap:
+    push 11
+    jmp common_trap
+.endfunc
+
+.func stack_fault_trap arch
+stack_fault_trap:
+    push 12
+    jmp common_trap
+.endfunc
+
+.func gpf_trap arch
+gpf_trap:
+    push 13
+    jmp common_trap
+.endfunc
+
+.func page_fault_trap arch
+page_fault_trap:
+    push 14
+    jmp common_trap
+.endfunc
+
+; Frame at this point: [vector][errcode][eip][cs][eflags][esp][ss]
+.func common_trap arch
+common_trap:
+    pusha
+    push esp
+    call do_trap
+    add esp, 4
+    popa
+    add esp, 8
+    iret
+.endfunc
+
+.func timer_interrupt arch
+timer_interrupt:
+    pusha
+    push esp
+    call do_IRQ
+    add esp, 4
+    popa
+    iret
+.endfunc
+
+.func system_call arch
+system_call:
+    pusha
+    push esp
+    call do_system_call
+    mov ecx, eax
+    add esp, 4
+    mov [esp+28], ecx      ; overwrite saved eax with the return value
+    popa
+    iret
+.endfunc
+
+; __switch_to(prev, next): switch kernel stacks. The callee-saved
+; quadruple plus the return address form the switch frame.
+.func __switch_to arch
+__switch_to:
+    mov eax, [esp+4]
+    mov ecx, [esp+8]
+    push ebp
+    push ebx
+    push esi
+    push edi
+    mov [eax+16], esp      ; prev->t_esp   (T_ESP = word 4)
+    mov esp, [ecx+16]      ; next->t_esp
+    pop edi
+    pop esi
+    pop ebx
+    pop ebp
+    ret
+.endfunc
+
+.func ret_from_fork arch
+ret_from_fork:
+    popa
+    iret
+.endfunc
+
+; enter_user_mode(eip, esp): first descent into ring 3.
+.func enter_user_mode arch
+enter_user_mode:
+    mov eax, [esp+4]
+    mov ecx, [esp+8]
+    mov edx, %(user_ds)d
+    mov ds, edx
+    mov es, edx
+    push %(user_ds)d
+    push ecx
+    push 0x202             ; eflags: IF set
+    push %(user_cs)d
+    push eax
+    iret
+.endfunc
+"""
+
+SOURCE = r"""
+/* ---- IDT ------------------------------------------------------------ */
+
+int idt_table[512];         /* 256 gates x (handler, flags) */
+int die_in_progress = 0;
+int last_fault_addr = 0;
+int trap_entry_tsc = 0;     /* cycle counter at exception entry */
+int panic_eip = 0;          /* caller of panic(), for the crash dump */
+
+int set_gate(vector, handler, user_ok) {
+    idt_table[vector * 2] = handler;
+    idt_table[vector * 2 + 1] = user_ok ? 3 : 1;
+    return 0;
+}
+
+int trap_init() {
+    int v;
+    for (v = 0; v < 256; v++)
+        set_gate(v, gpf_trap, 0);
+    set_gate(0, divide_error, 0);
+    set_gate(1, debug_trap, 0);
+    set_gate(2, nmi_trap, 0);
+    set_gate(3, int3_trap, 1);
+    set_gate(4, overflow_trap, 1);
+    set_gate(5, bounds_trap, 1);
+    set_gate(6, invalid_op_trap, 0);
+    set_gate(7, device_na_trap, 0);
+    set_gate(8, double_fault_trap, 0);
+    set_gate(9, coproc_trap, 0);
+    set_gate(10, invalid_tss_trap, 0);
+    set_gate(11, segment_np_trap, 0);
+    set_gate(12, stack_fault_trap, 0);
+    set_gate(13, gpf_trap, 0);
+    set_gate(14, page_fault_trap, 0);
+    set_gate(32, timer_interrupt, 0);
+    set_gate(128, system_call, 1);
+    set_idt(idt_table);
+    return 0;
+}
+
+int setup_arch() {
+    boot_pgdir_phys = read_cr3();
+    return 0;
+}
+
+/* ---- crash dump (LKCD stand-in) ----------------------------------------- */
+
+/*
+ * Dump record layout (words), parsed by the host harness:
+ *   [0] vector  [1] error code  [2] cr2  [3] eip  [4] cs  [5] eflags
+ *   [6..13] edi esi ebp esp ebx edx ecx eax  [14] tsc  [15] pid
+ */
+int crash_dump(frame) {
+    int i;
+    int task = current;
+    dump_word(frame[8]);
+    dump_word(frame[9]);
+    dump_word(read_cr2());
+    dump_word(frame[10]);
+    dump_word(frame[11]);
+    dump_word(frame[12]);
+    for (i = 0; i < 8; i++)
+        dump_word(frame[i]);
+    /* Timestamp of the *fault*, captured at do_trap entry: keeps the
+     * crash-latency measurement free of oops-printk time (the paper
+     * subtracted the equivalent switching overhead). */
+    dump_word(trap_entry_tsc);
+    dump_word(task ? task[T_PID] : -1);
+    dump_commit();
+    return 0;
+}
+
+/* Dump without a trap frame (panic paths). */
+int crash_dump_simple(code) {
+    int i;
+    int site = panic_eip ? panic_eip : ret_addr();
+    dump_word(code);
+    dump_word(0);
+    dump_word(read_cr2());
+    dump_word(site);
+    dump_word(KERNEL_CS_SEL);
+    dump_word(0);
+    for (i = 0; i < 8; i++)
+        dump_word(0);
+    dump_word(rdtsc_lo());
+    dump_word(-1);
+    dump_commit();
+    return 0;
+}
+
+/* ---- oops ------------------------------------------------------------------ */
+
+int die(frame, msg) {
+    cli();
+    if (die_in_progress) {
+        for (;;)
+            halt();
+    }
+    die_in_progress = 1;
+    crash_dump(frame);      /* dump first: printk itself might fault */
+    printk(msg);
+    printk("\n printing eip:\n");
+    printk_hex(frame[10]);
+    printk("\nOops: 0000\n");
+    printk("CPU:    0\nEIP:    0010:[<");
+    printk_hex(frame[10]);
+    printk(">]\nEFLAGS: ");
+    printk_hex(frame[12]);
+    printk("\neax: ");
+    printk_hex(frame[7]);
+    printk("   ebx: ");
+    printk_hex(frame[4]);
+    printk("   ecx: ");
+    printk_hex(frame[6]);
+    printk("   edx: ");
+    printk_hex(frame[5]);
+    printk("\n");
+    for (;;)
+        halt();
+    return 0;
+}
+
+/* ---- page-fault handling ------------------------------------------------------ */
+
+/*
+ * do_page_fault(): 70% of the paper's arch-subsystem crashes were
+ * injections into this function.  Kernel-mode faults oops with the
+ * paper's two canonical messages; user-mode faults are resolved by
+ * handle_mm_fault() or kill the offending process.
+ */
+int do_page_fault(frame) {
+    int addr = read_cr2();
+    int errcode = frame[9];
+    int task = current;
+    int from_user = errcode & 4;
+    int write = (errcode & 2) ? 1 : 0;
+    last_fault_addr = addr;
+    if (debug_level)
+        klog("page_fault\n");
+    if (from_user) {
+        if (handle_mm_fault(task, addr, write) == 0)
+            return 0;
+        printk("segfault at ");
+        printk_hex(addr);
+        printk(" eip ");
+        printk_hex(frame[10]);
+        printk(" err ");
+        printk_dec(errcode);
+        printk(" pid ");
+        printk_dec(task[T_PID]);
+        printk("\n");
+        do_exit(139);
+        return 0;
+    }
+    /* Kernel-mode fault on a *user* address: the uaccess path (WP=1).
+     * Resolve COW/demand pages and restart the faulting instruction. */
+    if (ult(addr, KERNEL_BASE) && uge(addr, USER_MIN) && task
+            && task[T_PID] > 0) {
+        if (handle_mm_fault(task, addr, write) == 0)
+            return 0;
+        printk("bad uaccess at ");
+        printk_hex(addr);
+        printk(" pid ");
+        printk_dec(task[T_PID]);
+        printk("\n");
+        do_exit(139);
+        return 0;
+    }
+    /* Kernel-mode fault: an oops, categorized exactly as the paper does. */
+    if (ult(addr, PAGE_SIZE))
+        oops_null_pointer(frame, addr);
+    else
+        oops_paging_request(frame, addr);
+    return 0;
+}
+
+int oops_null_pointer(frame, addr) {
+    printk("Unable to handle kernel NULL pointer dereference at virtual address ");
+    printk_hex(addr);
+    die(frame, "");
+    return 0;
+}
+
+int oops_paging_request(frame, addr) {
+    printk("Unable to handle kernel paging request at virtual address ");
+    printk_hex(addr);
+    die(frame, "");
+    return 0;
+}
+
+/* ---- generic trap dispatch -------------------------------------------------------- */
+
+int do_trap(frame) {
+    int vector = frame[8];
+    int from_user = frame[11] == USER_CS_SEL;
+    int task = current;
+    trap_entry_tsc = rdtsc_lo();
+    if (frame[9] & 8)
+        BUG();              /* reserved error-code bit is never set */
+    if (vector == 14) {
+        do_page_fault(frame);
+        if (need_resched && from_user)
+            schedule();
+        return 0;
+    }
+    if (from_user) {
+        /* User-mode exception: fatal signal, like the default sigaction. */
+        printk("pid ");
+        printk_dec(task[T_PID]);
+        printk(" trap ");
+        printk_dec(vector);
+        printk("\n");
+        if (vector == 0)
+            do_exit(128 + SIGFPE);
+        else if (vector == 6)
+            do_exit(128 + SIGILL);
+        else if (vector == 3 || vector == 1)
+            do_exit(128 + SIGTRAP);
+        else
+            do_exit(128 + SIGSEGV);
+        return 0;
+    }
+    /* Kernel-mode exception: oops. */
+    if (vector == 0)
+        die(frame, "divide error");
+    else if (vector == 3)
+        die(frame, "int3");
+    else if (vector == 4)
+        die(frame, "overflow");
+    else if (vector == 5)
+        die(frame, "bounds");
+    else if (vector == 6)
+        die(frame, "kernel BUG: invalid opcode");
+    else if (vector == 8)
+        die(frame, "double fault");
+    else if (vector == 10)
+        die(frame, "invalid TSS");
+    else if (vector == 11)
+        die(frame, "segment not present");
+    else if (vector == 12)
+        die(frame, "stack exception");
+    else if (vector == 13)
+        die(frame, "general protection fault");
+    else
+        die(frame, "unknown exception");
+    return 0;
+}
+
+/* ---- user access -------------------------------------------------------------------- */
+
+/* A user range is acceptable when it lies fully below the kernel. */
+int access_ok(addr, len) {
+    if (ult(addr, USER_MIN))
+        return 0;
+    if (uge(addr + len, KERNEL_BASE))
+        return 0;
+    if (ult(addr + len, addr))
+        return 0;           /* wrap */
+    return 1;
+}
+
+/* Pre-fault a user range so kernel-mode access cannot oops. */
+int user_prefault(addr, len, write) {
+    int task = current;
+    int a = addr & ~4095;
+    int ptep;
+    int pte;
+    while (ult(a, addr + len)) {
+        ptep = pte_ptr(task[T_PGDIR], a);
+        pte = ptep ? ld(ptep) : 0;
+        if (!(pte & PTE_P) || (write && !(pte & PTE_W))) {
+            if (handle_mm_fault(task, a, write) < 0)
+                return -EFAULT;
+        }
+        a += PAGE_SIZE;
+    }
+    return 0;
+}
+
+int copy_to_user(dst, src, len) {
+    if (!access_ok(dst, len))
+        return -EFAULT;
+    if (debug_level)
+        klog("copy_to_user\n");
+    memcpy(dst, src, len);
+    return 0;
+}
+
+int copy_from_user(dst, src, len) {
+    if (!access_ok(src, len))
+        return -EFAULT;
+    memcpy(dst, src, len);
+    return 0;
+}
+
+int put_user(addr, value) {
+    if (!access_ok(addr, 4))
+        return -EFAULT;
+    st(addr, value);
+    return 0;
+}
+
+int put_user_byte(addr, value) {
+    if (!access_ok(addr, 1))
+        return -EFAULT;
+    stb(addr, value);
+    return 0;
+}
+
+int strncpy_from_user(dst, src, maxlen) {
+    int i = 0;
+    int c;
+    if (!access_ok(src, 1))
+        return -EFAULT;
+    while (i < maxlen) {
+        if (!access_ok(src + i, 1))
+            return -EFAULT;
+        c = ldb(src + i);
+        stb(dst + i, c);
+        if (!c)
+            return i;
+        i++;
+    }
+    stb(dst + maxlen - 1, 0);
+    return maxlen - 1;
+}
+"""

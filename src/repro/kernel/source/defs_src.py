@@ -1,0 +1,165 @@
+"""Shared kernel definitions: structure offsets, limits, errno values.
+
+These play the role of the kernel's header files.  All kernel structures
+are statically sized tables (Linux-2.0-style), which keeps the MinC
+kernel honest: every field access is a real load/store against kernel
+data that injected errors can corrupt.
+"""
+
+SOURCE = r"""
+/* ---- task_struct -------------------------------------------------- */
+const NR_TASKS = 8;
+const TASK_WORDS = 24;
+const T_STATE = 0;      /* 0 free, 1 runnable, 2 blocked, 3 zombie */
+const T_PID = 1;
+const T_PGDIR = 2;      /* physical address of page directory */
+const T_KSTACK = 3;     /* kernel-virtual base of the kernel stack page */
+const T_ESP = 4;        /* saved kernel esp (byte offset 16, see arch) */
+const T_PARENT = 5;     /* task table index of parent */
+const T_EXIT = 6;
+const T_COUNTER = 7;    /* remaining time slice */
+const T_PRIORITY = 8;
+const T_WCHAN = 9;      /* wait-queue address when blocked */
+const T_BRK = 10;       /* user heap end */
+const T_HEAP_START = 11;
+const T_FILES = 12;     /* NR_OFILE fd slots follow */
+const NR_OFILE = 8;
+const T_SIGPENDING = 21;    /* bitmask of pending fatal signals */
+
+const TASK_FREE = 0;
+const TASK_RUNNING = 1;
+const TASK_BLOCKED = 2;
+const TASK_ZOMBIE = 3;
+
+/* ---- file table ---------------------------------------------------- */
+const NR_FILE = 16;
+const F_WORDS = 6;
+const F_COUNT = 0;
+const F_TYPE = 1;       /* 1 regular, 2 pipe read, 3 pipe write, 4 console */
+const F_INO = 2;        /* inode-slot pointer, or pipe-slot pointer */
+const F_POS = 3;
+const F_FLAGS = 4;
+
+const FT_REG = 1;
+const FT_PIPE_R = 2;
+const FT_PIPE_W = 3;
+const FT_CONSOLE = 4;
+
+/* ---- in-core inode table ------------------------------------------- */
+const NR_INODE = 16;
+const I_WORDS = 18;
+const I_INO = 0;        /* on-disk inode number; 0 = slot free */
+const I_COUNT = 1;
+const I_TYPE = 2;       /* 1 regular file, 2 directory */
+const I_SIZE = 3;
+const I_DIRTY = 4;
+const I_BLK = 5;        /* 11 direct pointers + 1 indirect: words 5..16 */
+const EXT2_NBLOCKS = 12;
+const EXT2_NDIR = 11;   /* slots 0..10 are direct */
+const EXT2_IND_SLOT = 11;
+const EXT2_ADDR_PER_BLOCK = 256;    /* 1 KiB block / 4-byte pointers */
+const EXT2_MAX_BLOCKS = 267;        /* 11 direct + 256 indirect */
+
+const IT_FILE = 1;
+const IT_DIR = 2;
+
+/* ---- buffer cache --------------------------------------------------- */
+const NR_BUF = 16;
+const B_WORDS = 6;
+const B_BLOCK = 0;      /* block number; -1 = free */
+const B_DATA = 1;
+const B_COUNT = 2;
+const B_DIRTY = 3;
+const B_VALID = 4;
+const B_TIME = 5;
+const BLOCK_SIZE = 1024;
+
+/* ---- page cache ------------------------------------------------------ */
+const NR_PGCACHE = 16;
+const PC_WORDS = 5;
+const PC_INODE = 0;     /* inode-slot pointer; 0 = free */
+const PC_INDEX = 1;     /* page index within the file */
+const PC_PAGE = 2;      /* kernel-virtual page address */
+const PC_VALID = 3;
+const PC_TIME = 4;
+
+/* ---- pipes ------------------------------------------------------------ */
+const NR_PIPE = 4;
+const PIPE_WORDS = 7;
+const P_BUF = 0;
+const P_HEAD = 1;
+const P_TAIL = 2;
+const P_LEN = 3;
+const P_READERS = 4;
+const P_WRITERS = 5;
+const PIPE_BUF_BYTES = 4096;
+
+/* ---- on-disk layout (ext2lite) ---------------------------------------- */
+const EXT2_MAGIC = 0xEF53;
+const SB_BLOCK = 0;
+const SB_MAGIC = 0;     /* word offsets within the superblock */
+const SB_NBLOCKS = 1;
+const SB_NINODES = 2;
+const SB_BITMAP = 3;
+const SB_ITABLE = 4;
+const SB_IBLOCKS = 5;
+const SB_DATA_START = 6;
+const SB_ROOT_INO = 7;
+const SB_STATE = 8;     /* 1 = cleanly unmounted */
+const SB_MOUNTS = 9;
+
+const DINODE_BYTES = 64;
+const DI_TYPE = 0;      /* word offsets within a disk inode */
+const DI_SIZE = 1;
+const DI_LINKS = 2;
+const DI_BLK = 4;       /* 11 direct + 1 indirect pointer: words 4..15 */
+
+const DIRENT_BYTES = 32;
+const DNAME_MAX = 27;
+
+/* ---- binary format ------------------------------------------------------ */
+const BX_MAGIC = 0x0B17C0DE;
+const BXH_MAGIC = 0;
+const BXH_ENTRY = 1;    /* entry point (virtual) */
+const BXH_FILESZ = 2;   /* bytes to load from the file */
+const BXH_BSS = 3;      /* zero-filled bytes after the file image */
+const BX_HEADER_BYTES = 16;
+
+/* ---- errno --------------------------------------------------------------- */
+const EPERM = 1;
+const EINTR = 4;
+const ENOENT = 2;
+const ESRCH = 3;
+const EIO = 5;
+const ENOEXEC = 8;
+const EBADF = 9;
+const ECHILD = 10;
+const EAGAIN = 11;
+const ENOMEM = 12;
+const EFAULT = 14;
+const EBUSY = 16;
+const EEXIST = 17;
+const ENOTDIR = 20;
+const EISDIR = 21;
+const EINVAL = 22;
+const ENFILE = 23;
+const EMFILE = 24;
+const EFBIG = 27;
+const ENOSPC = 28;
+const ESPIPE = 29;
+const EPIPE = 32;
+const ENAMETOOLONG = 36;
+const ENOSYS = 38;
+
+/* ---- signals-lite --------------------------------------------------------- */
+const SIGKILL = 9;
+const SIGSEGV = 11;
+const SIGFPE = 8;
+const SIGILL = 4;
+const SIGTRAP = 5;
+
+/* ---- paging bits ------------------------------------------------------------ */
+const PTE_P = 1;
+const PTE_W = 2;
+const PTE_U = 4;
+"""

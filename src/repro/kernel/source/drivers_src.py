@@ -1,0 +1,65 @@
+"""Kernel ``drivers/`` subsystem: console, disk, and crash-dump drivers."""
+
+SOURCE = r"""
+/* ---- console ------------------------------------------------------- */
+
+int con_putc(c) {
+    stb(CONSOLE_DEV, c);
+    return 1;
+}
+
+int con_write(buf, len) {
+    int i;
+    for (i = 0; i < len; i++)
+        con_putc(ldb(buf + i));
+    return len;
+}
+
+/* ---- disk (simple DMA block controller) ----------------------------- */
+
+const DISK_REG_SECTOR = 0;
+const DISK_REG_COUNT = 4;
+const DISK_REG_DMA = 8;
+const DISK_REG_CMD = 12;
+const DISK_REG_STATUS = 16;
+const DISK_CMD_READ = 1;
+const DISK_CMD_WRITE = 2;
+
+int disk_stat_reads = 0;
+int disk_stat_writes = 0;
+
+/* Transfer one 1 KiB block between the disk and a kernel buffer. */
+int disk_io(cmd, block, buf) {
+    st(DISK_DEV + DISK_REG_SECTOR, block * 2);
+    st(DISK_DEV + DISK_REG_COUNT, 2);
+    st(DISK_DEV + DISK_REG_DMA, buf - KERNEL_BASE);
+    st(DISK_DEV + DISK_REG_CMD, cmd);
+    if (ld(DISK_DEV + DISK_REG_STATUS))
+        return -EIO;
+    if (cmd == DISK_CMD_READ)
+        disk_stat_reads++;
+    else
+        disk_stat_writes++;
+    return 0;
+}
+
+int disk_read_block(block, buf) {
+    return disk_io(DISK_CMD_READ, block, buf);
+}
+
+int disk_write_block(block, buf) {
+    return disk_io(DISK_CMD_WRITE, block, buf);
+}
+
+/* ---- crash-dump device (the LKCD stand-in) ---------------------------- */
+
+int dump_word(v) {
+    st(DUMP_DEV, v);
+    return 0;
+}
+
+int dump_commit() {
+    st(DUMP_DEV + 4, 1);
+    return 0;
+}
+"""

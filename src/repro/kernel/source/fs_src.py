@@ -1,0 +1,1304 @@
+"""Kernel ``fs/`` subsystem.
+
+Buffer cache (``get_hash_table``/``getblk``/``bread`` follow the 2.4
+naming), the ext2-like on-disk filesystem, the VFS layer
+(``link_path_walk``/``open_namei``/``sys_read``/``sys_write``), pipes
+(``pipe_read`` carries the paper's §8 fail-silence example: the ESPIPE
+check at its head), and ``do_execve``.
+"""
+
+SOURCE = r"""
+/* ---- buffer cache ---------------------------------------------------- */
+
+int buffers[96];            /* NR_BUF * B_WORDS */
+int buffer_mem = 0;         /* base of buffer data pages */
+int sb[12];                 /* in-core superblock (word copy of block 0) */
+int sb_dirty = 0;
+int root_inode = 0;
+
+int buffer_init() {
+    int i;
+    int pages = (NR_BUF * BLOCK_SIZE) / PAGE_SIZE;
+    int b;
+    buffer_mem = get_free_page();
+    for (i = 1; i < pages; i++)
+        get_free_page();    /* contiguous with first (fresh boot) */
+    for (i = 0; i < NR_BUF; i++) {
+        b = &buffers[i * B_WORDS];
+        b[B_BLOCK] = -1;
+        b[B_DATA] = buffer_mem + i * BLOCK_SIZE;
+        b[B_COUNT] = 0;
+        b[B_DIRTY] = 0;
+        b[B_VALID] = 0;
+    }
+    return 0;
+}
+
+/* Linux's get_hash_table(): find a cached buffer for a block. */
+int get_hash_table(block) {
+    int i;
+    int b;
+    if (debug_level)
+        klog("get_hash_table\n");
+    for (i = 0; i < NR_BUF; i++) {
+        b = &buffers[i * B_WORDS];
+        if (b[B_BLOCK] == block) {
+            b[B_COUNT]++;
+            b[B_TIME] = jiffies;
+            return b;
+        }
+    }
+    return 0;
+}
+
+/* Get a buffer bound to the block, evicting the LRU clean buffer. */
+int getblk(block) {
+    int b = get_hash_table(block);
+    int i;
+    int victim = 0;
+    int best = -1;
+    if (b)
+        return b;
+    for (i = 0; i < NR_BUF; i++) {
+        b = &buffers[i * B_WORDS];
+        if (b[B_COUNT])
+            continue;
+        if (best == -1 || b[B_TIME] < best) {
+            best = b[B_TIME];
+            victim = b;
+        }
+    }
+    if (!victim)
+        panic("getblk: no free buffers");
+    if (victim[B_COUNT])
+        BUG();              /* evicting a busy buffer */
+    if (victim[B_DIRTY])
+        bwrite(victim);
+    victim[B_BLOCK] = block;
+    victim[B_VALID] = 0;
+    victim[B_DIRTY] = 0;
+    victim[B_COUNT] = 1;
+    victim[B_TIME] = jiffies;
+    return victim;
+}
+
+/* Read a block through the cache. Returns buffer or 0 on I/O error. */
+int bread(block) {
+    int b = getblk(block);
+    if (b[B_BLOCK] != block)
+        BUG();
+    if (debug_level)
+        klog("bread\n");
+    if (b[B_VALID])
+        return b;
+    if (disk_read_block(block, b[B_DATA]) < 0) {
+        b[B_COUNT]--;
+        b[B_BLOCK] = -1;
+        return 0;
+    }
+    b[B_VALID] = 1;
+    return b;
+}
+
+int brelse(b) {
+    if (!b)
+        return 0;
+    if (b[B_COUNT] == 0)
+        BUG();
+    b[B_COUNT]--;
+    return 0;
+}
+
+int mark_buffer_dirty(b) {
+    b[B_DIRTY] = 1;
+    return 0;
+}
+
+int bwrite(b) {
+    if (disk_write_block(b[B_BLOCK], b[B_DATA]) < 0)
+        return -EIO;
+    b[B_DIRTY] = 0;
+    return 0;
+}
+
+int sync_buffers() {
+    int i;
+    int b;
+    int n = 0;
+    for (i = 0; i < NR_BUF; i++) {
+        b = &buffers[i * B_WORDS];
+        if (b[B_BLOCK] != -1 && b[B_DIRTY]) {
+            bwrite(b);
+            n++;
+        }
+    }
+    return n;
+}
+
+/* ---- superblock ------------------------------------------------------- */
+
+int read_super() {
+    int b = bread(SB_BLOCK);
+    if (!b)
+        return -EIO;
+    memcpy(sb, b[B_DATA], 48);
+    brelse(b);
+    if ((sb[SB_MAGIC] & 0xFFFF) != EXT2_MAGIC)
+        return -EINVAL;
+    return 0;
+}
+
+int write_super() {
+    int b = getblk(SB_BLOCK);
+    memcpy(b[B_DATA], sb, 48);
+    mark_buffer_dirty(b);
+    bwrite(b);
+    brelse(b);
+    sb_dirty = 0;
+    return 0;
+}
+
+int mount_root() {
+    if (read_super() < 0)
+        panic("VFS: unable to mount root fs");
+    if (sb[SB_STATE] != 1)
+        printk("EXT2-fs warning: mounting unchecked fs\n");
+    sb[SB_STATE] = 0;       /* mark dirty while mounted */
+    sb[SB_MOUNTS]++;
+    write_super();
+    root_inode = iget(sb[SB_ROOT_INO]);
+    if (!root_inode)
+        panic("VFS: cannot read root inode");
+    return 0;
+}
+
+/* ---- in-core inode management ------------------------------------------- */
+
+int inode_table[288];       /* NR_INODE * I_WORDS */
+
+int inode_init() {
+    int i;
+    for (i = 0; i < NR_INODE; i++)
+        inode_table[i * I_WORDS + I_INO] = 0;
+    return 0;
+}
+
+/* Read inode `ino` into the cache (or bump its refcount). */
+int iget(ino) {
+    int i;
+    int node;
+    int free_slot = 0;
+    int b;
+    int disk;
+    int j;
+    if (debug_level)
+        klog("iget\n");
+    for (i = 0; i < NR_INODE; i++) {
+        node = &inode_table[i * I_WORDS];
+        if (node[I_INO] == ino) {
+            node[I_COUNT]++;
+            return node;
+        }
+        if (!node[I_INO] && !free_slot)
+            free_slot = node;
+    }
+    if (!free_slot)
+        return 0;
+    node = free_slot;
+    if (ino <= 0)
+        BUG();
+    b = bread(sb[SB_ITABLE] + udiv(ino, BLOCK_SIZE / DINODE_BYTES));
+    if (!b)
+        return 0;
+    disk = b[B_DATA] + umod(ino, BLOCK_SIZE / DINODE_BYTES) * DINODE_BYTES;
+    node[I_INO] = ino;
+    node[I_COUNT] = 1;
+    node[I_TYPE] = ld(disk + DI_TYPE * 4);
+    node[I_SIZE] = ld(disk + DI_SIZE * 4);
+    node[I_DIRTY] = 0;
+    for (j = 0; j < EXT2_NBLOCKS; j++)
+        node[I_BLK + j] = ld(disk + (DI_BLK + j) * 4);
+    brelse(b);
+    return node;
+}
+
+/* Write a dirty inode back to the inode table on disk. */
+int ext2_write_inode(node) {
+    int ino = node[I_INO];
+    int b;
+    if (!ino)
+        BUG();
+    b = bread(sb[SB_ITABLE] + udiv(ino, BLOCK_SIZE / DINODE_BYTES));
+    int disk;
+    int j;
+    if (!b)
+        return -EIO;
+    disk = b[B_DATA] + umod(ino, BLOCK_SIZE / DINODE_BYTES) * DINODE_BYTES;
+    st(disk + DI_TYPE * 4, node[I_TYPE]);
+    st(disk + DI_SIZE * 4, node[I_SIZE]);
+    st(disk + DI_LINKS * 4, node[I_TYPE] ? 1 : 0);
+    for (j = 0; j < EXT2_NBLOCKS; j++)
+        st(disk + (DI_BLK + j) * 4, node[I_BLK + j]);
+    mark_buffer_dirty(b);
+    brelse(b);
+    node[I_DIRTY] = 0;
+    return 0;
+}
+
+int iput(node) {
+    if (!node)
+        return 0;
+    if (node[I_COUNT] == 0)
+        BUG();
+    node[I_COUNT]--;
+    if (node[I_COUNT] == 0) {
+        if (node[I_DIRTY])
+            ext2_write_inode(node);
+        node[I_INO] = 0;
+    }
+    return 0;
+}
+
+int sync_inodes() {
+    int i;
+    int node;
+    for (i = 0; i < NR_INODE; i++) {
+        node = &inode_table[i * I_WORDS];
+        if (node[I_INO] && node[I_DIRTY])
+            ext2_write_inode(node);
+    }
+    return 0;
+}
+
+/* ---- block allocation ---------------------------------------------------- */
+
+int ext2_alloc_block() {
+    int b = bread(sb[SB_BITMAP]);
+    int blk;
+    int byte;
+    int bit;
+    if (!b)
+        return -EIO;
+    for (blk = sb[SB_DATA_START]; blk < sb[SB_NBLOCKS]; blk++) {
+        byte = ldb(b[B_DATA] + (blk >> 3));
+        bit = 1 << (blk & 7);
+        if (!(byte & bit)) {
+            stb(b[B_DATA] + (blk >> 3), byte | bit);
+            mark_buffer_dirty(b);
+            brelse(b);
+            sb_dirty = 1;
+            return blk;
+        }
+    }
+    brelse(b);
+    return -ENOSPC;
+}
+
+int ext2_free_block(blk) {
+    int b = bread(sb[SB_BITMAP]);
+    int byte;
+    if (!b)
+        return -EIO;
+    byte = ldb(b[B_DATA] + (blk >> 3));
+    stb(b[B_DATA] + (blk >> 3), byte & ~(1 << (blk & 7)));
+    mark_buffer_dirty(b);
+    brelse(b);
+    return 0;
+}
+
+/*
+ * Map a file-relative block index to a disk block.  With create=1 a
+ * missing block is allocated and recorded in the inode.
+ */
+int ext2_get_block(node, index, create) {
+    int blk;
+    int ind;
+    int b;
+    if (uge(index, EXT2_MAX_BLOCKS))
+        return -EFBIG;
+    if (ult(index, EXT2_NDIR)) {
+        blk = node[I_BLK + index];
+        if (blk) {
+            if (ult(blk, sb[SB_DATA_START]))
+                BUG();      /* data pointer into the metadata area */
+            return blk;
+        }
+        if (!create)
+            return 0;
+        blk = ext2_alloc_block();
+        if (blk < 0)
+            return blk;
+        node[I_BLK + index] = blk;
+        node[I_DIRTY] = 1;
+        return blk;
+    }
+    /* Single-indirect: slot 11 points at a block of 256 pointers. */
+    ind = node[I_BLK + EXT2_IND_SLOT];
+    if (!ind) {
+        if (!create)
+            return 0;
+        ind = ext2_alloc_block();
+        if (ind < 0)
+            return ind;
+        b = getblk(ind);
+        memset(b[B_DATA], 0, BLOCK_SIZE);
+        b[B_VALID] = 1;
+        mark_buffer_dirty(b);
+        brelse(b);
+        node[I_BLK + EXT2_IND_SLOT] = ind;
+        node[I_DIRTY] = 1;
+    }
+    b = bread(ind);
+    if (!b)
+        return -EIO;
+    blk = ld(b[B_DATA] + (index - EXT2_NDIR) * 4);
+    if (blk) {
+        brelse(b);
+        if (ult(blk, sb[SB_DATA_START]))
+            BUG();
+        return blk;
+    }
+    if (!create) {
+        brelse(b);
+        return 0;
+    }
+    blk = ext2_alloc_block();
+    if (blk < 0) {
+        brelse(b);
+        return blk;
+    }
+    st(b[B_DATA] + (index - EXT2_NDIR) * 4, blk);
+    mark_buffer_dirty(b);
+    brelse(b);
+    return blk;
+}
+
+/* Free every data block (direct + indirect chain) of an inode. */
+int ext2_free_all_blocks(node) {
+    int j;
+    int blk;
+    int ind;
+    int b;
+    for (j = 0; j < EXT2_NDIR; j++) {
+        blk = node[I_BLK + j];
+        if (blk)
+            ext2_free_block(blk);
+        node[I_BLK + j] = 0;
+    }
+    ind = node[I_BLK + EXT2_IND_SLOT];
+    if (ind) {
+        b = bread(ind);
+        if (b) {
+            for (j = 0; j < EXT2_ADDR_PER_BLOCK; j++) {
+                blk = ld(b[B_DATA] + j * 4);
+                if (blk)
+                    ext2_free_block(blk);
+            }
+            brelse(b);
+        }
+        ext2_free_block(ind);
+        node[I_BLK + EXT2_IND_SLOT] = 0;
+    }
+    return 0;
+}
+
+/* ---- inode allocation ------------------------------------------------------ */
+
+int ext2_new_inode(type) {
+    int ino;
+    int b;
+    int disk;
+    for (ino = 2; ino < sb[SB_NINODES]; ino++) {
+        b = bread(sb[SB_ITABLE] + udiv(ino, BLOCK_SIZE / DINODE_BYTES));
+        if (!b)
+            return -EIO;
+        disk = b[B_DATA]
+            + umod(ino, BLOCK_SIZE / DINODE_BYTES) * DINODE_BYTES;
+        if (ld(disk + DI_TYPE * 4) == 0) {
+            st(disk + DI_TYPE * 4, type);
+            st(disk + DI_SIZE * 4, 0);
+            st(disk + DI_LINKS * 4, 1);
+            mark_buffer_dirty(b);
+            brelse(b);
+            return ino;
+        }
+        brelse(b);
+    }
+    return -ENOSPC;
+}
+
+int ext2_free_inode(node) {
+    ext2_free_all_blocks(node);
+    node[I_TYPE] = 0;
+    node[I_SIZE] = 0;
+    node[I_DIRTY] = 1;
+    ext2_write_inode(node);
+    invalidate_inode_pages(node);
+    return 0;
+}
+
+/* ---- directories -------------------------------------------------------------- */
+
+/* Look up `name` in directory inode; returns ino or -ENOENT. */
+int ext2_lookup(dir, name) {
+    int nblocks = udiv(dir[I_SIZE] + BLOCK_SIZE - 1, BLOCK_SIZE);
+    if (ugt(nblocks, EXT2_NDIR))
+        nblocks = EXT2_NDIR;
+    int i;
+    int off;
+    int b;
+    int entry;
+    int ino;
+    for (i = 0; i < nblocks; i++) {
+        b = bread(dir[I_BLK + i]);
+        if (!b)
+            return -EIO;
+        for (off = 0; off < BLOCK_SIZE; off += DIRENT_BYTES) {
+            entry = b[B_DATA] + off;
+            ino = ld(entry);
+            if (ino && strncmp(entry + 4, name, DNAME_MAX) == 0) {
+                brelse(b);
+                return ino;
+            }
+        }
+        brelse(b);
+    }
+    return -ENOENT;
+}
+
+/* Add a directory entry. */
+int ext2_add_entry(dir, name, ino) {
+    int nblocks = udiv(dir[I_SIZE] + BLOCK_SIZE - 1, BLOCK_SIZE);
+    int i;
+    int off;
+    int b;
+    int entry;
+    int blk;
+    for (i = 0; i < nblocks; i++) {
+        b = bread(dir[I_BLK + i]);
+        if (!b)
+            return -EIO;
+        for (off = 0; off < BLOCK_SIZE; off += DIRENT_BYTES) {
+            entry = b[B_DATA] + off;
+            if (ld(entry) == 0) {
+                st(entry, ino);
+                strncpy(entry + 4, name, DNAME_MAX);
+                stb(entry + 4 + DNAME_MAX, 0);
+                mark_buffer_dirty(b);
+                brelse(b);
+                return 0;
+            }
+        }
+        brelse(b);
+    }
+    /* Need a fresh directory block. */
+    blk = ext2_get_block(dir, nblocks, 1);
+    if (blk < 0)
+        return blk;
+    b = getblk(blk);
+    memset(b[B_DATA], 0, BLOCK_SIZE);
+    b[B_VALID] = 1;
+    st(b[B_DATA], ino);
+    strncpy(b[B_DATA] + 4, name, DNAME_MAX);
+    mark_buffer_dirty(b);
+    brelse(b);
+    dir[I_SIZE] = dir[I_SIZE] + BLOCK_SIZE;
+    dir[I_DIRTY] = 1;
+    return 0;
+}
+
+int ext2_del_entry(dir, name) {
+    int nblocks = udiv(dir[I_SIZE] + BLOCK_SIZE - 1, BLOCK_SIZE);
+    int i;
+    int off;
+    int b;
+    int entry;
+    for (i = 0; i < nblocks; i++) {
+        b = bread(dir[I_BLK + i]);
+        if (!b)
+            return -EIO;
+        for (off = 0; off < BLOCK_SIZE; off += DIRENT_BYTES) {
+            entry = b[B_DATA] + off;
+            if (ld(entry) && strncmp(entry + 4, name, DNAME_MAX) == 0) {
+                st(entry, 0);
+                mark_buffer_dirty(b);
+                brelse(b);
+                return 0;
+            }
+        }
+        brelse(b);
+    }
+    return -ENOENT;
+}
+
+/* ---- path walk ------------------------------------------------------------------ */
+
+/*
+ * link_path_walk(): resolve a path to an inode number.  Appears twice in
+ * the paper's most-severe-crash table (cases 3 and 4).
+ */
+int link_path_walk(path) {
+    int component[8];       /* 32-byte name buffer */
+    int ino = sb[SB_ROOT_INO];
+    int dir;
+    int i;
+    int c;
+    if (!path)
+        BUG();
+    if (debug_level)
+        klog("path_walk\n");
+    if (ldb(path) != '/')
+        return -ENOENT;
+    path++;
+    while (ldb(path)) {
+        i = 0;
+        c = ldb(path);
+        while (c && c != '/') {
+            if (i >= DNAME_MAX)
+                return -ENAMETOOLONG;
+            stb(component + i, c);
+            i++;
+            path++;
+            c = ldb(path);
+        }
+        stb(component + i, 0);
+        if (c == '/')
+            path++;
+        if (i == 0)
+            continue;
+        dir = iget(ino);
+        if (!dir)
+            return -ENOENT;
+        if (dir[I_TYPE] != IT_DIR) {
+            iput(dir);
+            return -ENOTDIR;
+        }
+        ino = ext2_lookup(dir, component);
+        iput(dir);
+        if (ino < 0)
+            return ino;
+    }
+    return ino;
+}
+
+/* Split path into (parent directory inode number, final component). */
+int dir_of_path(path, namebuf) {
+    int last = path;
+    int p = path;
+    int n = 0;
+    int parent;
+    int c = ldb(p);
+    while (c) {
+        if (c == '/')
+            last = p + 1;
+        p++;
+        c = ldb(p);
+    }
+    while (ldb(last + n) && n < DNAME_MAX) {
+        stb(namebuf + n, ldb(last + n));
+        n++;
+    }
+    stb(namebuf + n, 0);
+    if (last == path + 1)
+        return sb[SB_ROOT_INO];
+    /* Walk everything before the final component. */
+    stb(last - 1, 0);       /* NB: temporarily truncates caller buffer */
+    parent = link_path_walk(path);
+    stb(last - 1, '/');
+    return parent;
+}
+
+/* open_namei(): path lookup for open(); case 1 in the paper's Table 5. */
+int open_namei(path) {
+    int ino = link_path_walk(path);
+    if (ino < 0)
+        return ino;
+    return ino;
+}
+
+/* ---- file table ------------------------------------------------------------------- */
+
+int file_table[96];         /* NR_FILE * F_WORDS */
+
+int files_init() {
+    int i;
+    for (i = 0; i < NR_FILE; i++)
+        file_table[i * F_WORDS + F_COUNT] = 0;
+    return 0;
+}
+
+int get_empty_filp() {
+    int i;
+    int f;
+    for (i = 0; i < NR_FILE; i++) {
+        f = &file_table[i * F_WORDS];
+        if (f[F_COUNT] == 0) {
+            f[F_COUNT] = 1;
+            f[F_TYPE] = 0;
+            f[F_INO] = 0;
+            f[F_POS] = 0;
+            f[F_FLAGS] = 0;
+            return f;
+        }
+    }
+    return 0;
+}
+
+/* Find a free fd slot in the current task; install file. */
+int fd_install(f) {
+    int task = current;
+    int fd;
+    for (fd = 0; fd < NR_OFILE; fd++) {
+        if (task[T_FILES + fd] == 0) {
+            task[T_FILES + fd] = f;
+            return fd;
+        }
+    }
+    return -EMFILE;
+}
+
+int fget(fd) {
+    int task = current;
+    int f;
+    if (!ult(fd, NR_OFILE))
+        return 0;
+    f = task[T_FILES + fd];
+    if (f && f[F_COUNT] == 0)
+        BUG();              /* fd table points at a closed file */
+    return f;
+}
+
+/* Drop one reference to an open file. */
+int fput(f) {
+    int pipe;
+    if (!f)
+        return 0;
+    if (f[F_COUNT] == 0)
+        BUG();
+    f[F_COUNT]--;
+    if (f[F_COUNT])
+        return 0;
+    if (f[F_TYPE] == FT_REG)
+        iput(f[F_INO]);
+    else if (f[F_TYPE] == FT_PIPE_R || f[F_TYPE] == FT_PIPE_W) {
+        pipe = f[F_INO];
+        if (f[F_TYPE] == FT_PIPE_R)
+            pipe[P_READERS]--;
+        else
+            pipe[P_WRITERS]--;
+        wake_up(pipe);
+        if (pipe[P_READERS] == 0 && pipe[P_WRITERS] == 0) {
+            free_page(pipe[P_BUF] - KERNEL_BASE);
+            pipe[P_BUF] = 0;
+        }
+    }
+    return 0;
+}
+
+/* ---- syscalls: open/close/read/write/lseek --------------------------------------------- */
+
+int sys_open(path_user) {
+    int path[32];
+    int err = strncpy_from_user(path, path_user, 120);
+    int ino;
+    int node;
+    int f;
+    int fd;
+    if (err < 0)
+        return err;
+    if (strcmp(path, "/dev/console") == 0) {
+        f = get_empty_filp();
+        if (!f)
+            return -ENFILE;
+        f[F_TYPE] = FT_CONSOLE;
+        fd = fd_install(f);
+        if (fd < 0)
+            fput(f);
+        return fd;
+    }
+    ino = open_namei(path);
+    if (ino < 0)
+        return ino;
+    node = iget(ino);
+    if (!node)
+        return -ENFILE;
+    if (node[I_TYPE] == IT_DIR) {
+        iput(node);
+        return -EISDIR;
+    }
+    f = get_empty_filp();
+    if (!f) {
+        iput(node);
+        return -ENFILE;
+    }
+    f[F_TYPE] = FT_REG;
+    f[F_INO] = node;
+    f[F_POS] = 0;
+    fd = fd_install(f);
+    if (fd < 0)
+        fput(f);
+    return fd;
+}
+
+int sys_creat(path_user) {
+    int path[32];
+    int name[8];
+    int err = strncpy_from_user(path, path_user, 120);
+    int parent_ino;
+    int dir;
+    int ino;
+    int node;
+    int f;
+    int fd;
+    if (err < 0)
+        return err;
+    parent_ino = dir_of_path(path, name);
+    if (parent_ino < 0)
+        return parent_ino;
+    dir = iget(parent_ino);
+    if (!dir)
+        return -ENOENT;
+    if (dir[I_TYPE] != IT_DIR) {
+        iput(dir);
+        return -ENOTDIR;
+    }
+    ino = ext2_lookup(dir, name);
+    if (ino == -ENOENT) {
+        ino = ext2_new_inode(IT_FILE);
+        if (ino < 0) {
+            iput(dir);
+            return ino;
+        }
+        err = ext2_add_entry(dir, name, ino);
+        if (err < 0) {
+            iput(dir);
+            return err;
+        }
+    }
+    iput(dir);
+    if (ino < 0)
+        return ino;
+    node = iget(ino);
+    if (!node)
+        return -ENFILE;
+    /* Truncate. */
+    ext2_truncate(node);
+    f = get_empty_filp();
+    if (!f) {
+        iput(node);
+        return -ENFILE;
+    }
+    f[F_TYPE] = FT_REG;
+    f[F_INO] = node;
+    fd = fd_install(f);
+    if (fd < 0)
+        fput(f);
+    return fd;
+}
+
+int ext2_truncate(node) {
+    ext2_free_all_blocks(node);
+    node[I_SIZE] = 0;
+    node[I_DIRTY] = 1;
+    invalidate_inode_pages(node);
+    return 0;
+}
+
+int sys_unlink(path_user) {
+    int path[32];
+    int name[8];
+    int err = strncpy_from_user(path, path_user, 120);
+    int parent_ino;
+    int dir;
+    int ino;
+    int node;
+    if (err < 0)
+        return err;
+    parent_ino = dir_of_path(path, name);
+    if (parent_ino < 0)
+        return parent_ino;
+    dir = iget(parent_ino);
+    if (!dir)
+        return -ENOENT;
+    ino = ext2_lookup(dir, name);
+    if (ino < 0) {
+        iput(dir);
+        return ino;
+    }
+    err = ext2_del_entry(dir, name);
+    iput(dir);
+    if (err < 0)
+        return err;
+    node = iget(ino);
+    if (node) {
+        ext2_free_inode(node);
+        node[I_INO] = 0;    /* slot free; on-disk inode cleared */
+    }
+    return 0;
+}
+
+/* stat(): type, size, block count, inode number. */
+int sys_stat(path_user, buf_user) {
+    int path[32];
+    int err = strncpy_from_user(path, path_user, 120);
+    int ino;
+    int node;
+    int nblocks;
+    int j;
+    if (err < 0)
+        return err;
+    if (!access_ok(buf_user, 16))
+        return -EFAULT;
+    ino = open_namei(path);
+    if (ino < 0)
+        return ino;
+    node = iget(ino);
+    if (!node)
+        return -ENFILE;
+    nblocks = 0;
+    for (j = 0; j < EXT2_NBLOCKS; j++)
+        if (node[I_BLK + j])
+            nblocks++;
+    put_user(buf_user, node[I_TYPE]);
+    put_user(buf_user + 4, node[I_SIZE]);
+    put_user(buf_user + 8, nblocks);
+    put_user(buf_user + 12, ino);
+    iput(node);
+    return 0;
+}
+
+int sys_close(fd) {
+    int task = current;
+    int f = fget(fd);
+    if (!f)
+        return -EBADF;
+    task[T_FILES + fd] = 0;
+    fput(f);
+    return 0;
+}
+
+int sys_dup(fd) {
+    int f = fget(fd);
+    int newfd;
+    if (!f)
+        return -EBADF;
+    newfd = fd_install(f);
+    if (newfd >= 0)
+        f[F_COUNT]++;
+    return newfd;
+}
+
+int sys_lseek(fd, offset, whence) {
+    int f = fget(fd);
+    if (!f)
+        return -EBADF;
+    if (f[F_TYPE] != FT_REG)
+        return -ESPIPE;
+    if (whence == 0)
+        f[F_POS] = offset;
+    else if (whence == 1)
+        f[F_POS] = f[F_POS] + offset;
+    else if (whence == 2) {
+        int node = f[F_INO];
+        f[F_POS] = node[I_SIZE] + offset;
+    } else
+        return -EINVAL;
+    return f[F_POS];
+}
+
+int generic_file_read(f, buf, count) {
+    if (count == 0)
+        return 0;
+    if (!access_ok(buf, count))
+        return -EFAULT;
+    return do_generic_file_read(f, buf, count);
+}
+
+/*
+ * generic_file_write() + generic_commit_write(): the write path whose
+ * inode-size commit is the paper's severe-crash case 8.
+ */
+int generic_file_write(f, buf, count) {
+    int node = f[F_INO];
+    int pos = f[F_POS];
+    int written = 0;
+    int blk;
+    int b;
+    int off;
+    int nr;
+    int err;
+    if (!access_ok(buf, count))
+        return -EFAULT;
+    while (ult(written, count)) {
+        off = umod(pos, BLOCK_SIZE);
+        nr = BLOCK_SIZE - off;
+        if (ugt(nr, count - written))
+            nr = count - written;
+        blk = ext2_get_block(node, udiv(pos, BLOCK_SIZE), 1);
+        if (blk < 0)
+            return written ? written : blk;
+        if (off == 0 && nr == BLOCK_SIZE) {
+            b = getblk(blk);
+            b[B_VALID] = 1;
+        } else {
+            b = bread(blk);
+            if (!b)
+                return written ? written : -EIO;
+        }
+        err = copy_from_user(b[B_DATA] + off, buf + written, nr);
+        if (err < 0) {
+            brelse(b);
+            return err;
+        }
+        mark_buffer_dirty(b);
+        brelse(b);
+        pos += nr;
+        written += nr;
+        generic_commit_write(f, node, pos);
+    }
+    invalidate_inode_pages(node);
+    return written;
+}
+
+/* Commit a write: advance f_pos and the inode size. */
+int generic_commit_write(f, node, pos) {
+    if (!node[I_INO])
+        BUG();
+    f[F_POS] = pos;
+    if (ugt(pos, node[I_SIZE])) {
+        node[I_SIZE] = pos;
+        node[I_DIRTY] = 1;
+    }
+    return 0;
+}
+
+int sys_read(fd, buf, count) {
+    int f = fget(fd);
+    if (debug_level)
+        klog("read\n");
+    if (!f)
+        return -EBADF;
+    if (f[F_TYPE] == FT_REG)
+        return generic_file_read(f, buf, count);
+    if (f[F_TYPE] == FT_PIPE_R)
+        return pipe_read(f, &f[F_POS], buf, count);
+    if (f[F_TYPE] == FT_CONSOLE)
+        return 0;           /* no input device */
+    return -EBADF;
+}
+
+int sys_write(fd, buf, count) {
+    int f = fget(fd);
+    int i;
+    if (debug_level)
+        klog("write\n");
+    if (!f)
+        return -EBADF;
+    if (f[F_TYPE] == FT_CONSOLE) {
+        if (!access_ok(buf, count))
+            return -EFAULT;
+        for (i = 0; i < count; i++)
+            con_putc(ldb(buf + i));
+        return count;
+    }
+    if (f[F_TYPE] == FT_REG)
+        return generic_file_write(f, buf, count);
+    if (f[F_TYPE] == FT_PIPE_W)
+        return pipe_write(f, buf, count);
+    return -EBADF;
+}
+
+int sys_sync() {
+    sync_inodes();
+    sync_buffers();
+    if (sb_dirty)
+        write_super();
+    return 0;
+}
+
+/* ---- pipes -------------------------------------------------------------------------- */
+
+int pipe_table[28];         /* NR_PIPE * PIPE_WORDS */
+
+int pipe_new() {
+    int i;
+    int p;
+    for (i = 0; i < NR_PIPE; i++) {
+        p = &pipe_table[i * PIPE_WORDS];
+        if (p[P_READERS] == 0 && p[P_WRITERS] == 0) {
+            p[P_BUF] = get_free_page();
+            if (!p[P_BUF])
+                return 0;
+            p[P_HEAD] = 0;
+            p[P_TAIL] = 0;
+            p[P_LEN] = 0;
+            p[P_READERS] = 1;
+            p[P_WRITERS] = 1;
+            return p;
+        }
+    }
+    return 0;
+}
+
+int sys_pipe(fds_user) {
+    int p;
+    int fr;
+    int fw;
+    int rfd;
+    int wfd;
+    if (!access_ok(fds_user, 8))
+        return -EFAULT;
+    p = pipe_new();
+    if (!p)
+        return -ENFILE;
+    fr = get_empty_filp();
+    fw = get_empty_filp();
+    if (!fr || !fw) {
+        if (fr)
+            fr[F_COUNT] = 0;
+        if (fw)
+            fw[F_COUNT] = 0;
+        p[P_READERS] = 0;
+        p[P_WRITERS] = 0;
+        free_page(p[P_BUF] - KERNEL_BASE);
+        return -ENFILE;
+    }
+    fr[F_TYPE] = FT_PIPE_R;
+    fr[F_INO] = p;
+    fw[F_TYPE] = FT_PIPE_W;
+    fw[F_INO] = p;
+    rfd = fd_install(fr);
+    wfd = fd_install(fw);
+    if (rfd < 0 || wfd < 0)
+        return -EMFILE;
+    put_user(fds_user, rfd);
+    put_user(fds_user + 4, wfd);
+    return 0;
+}
+
+/*
+ * pipe_read(): §8 of the paper quotes this function's fail-silence
+ * example — the "Seeks are not allowed on pipes" check at its head.
+ */
+int pipe_read(f, ppos, buf, count) {
+    int p = f[F_INO];
+    int read = 0;
+    int ret = -ESPIPE;
+    int chunk;
+    int tail_room;
+    /* Seeks are not allowed on pipes (paper example: reversing this
+     * branch makes the kernel return -ESPIPE to a correct caller --
+     * a fail-silence violation). */
+    if (ppos != &f[F_POS])
+        return ret;
+    if (debug_level)
+        klog("pipe_read\n");
+    if (!access_ok(buf, count))
+        return -EFAULT;
+    while (ult(read, count)) {
+        while (p[P_LEN] == 0) {
+            if (p[P_WRITERS] == 0 || read)
+                return read;
+            sleep_on(p);
+            if (current[T_SIGPENDING])
+                return read ? read : -EINTR;
+        }
+        chunk = p[P_LEN];
+        if (ugt(chunk, PIPE_BUF_BYTES))
+            BUG();
+        if (ugt(chunk, count - read))
+            chunk = count - read;
+        tail_room = PIPE_BUF_BYTES - p[P_TAIL];
+        if (ugt(chunk, tail_room))
+            chunk = tail_room;
+        memcpy(buf + read, p[P_BUF] + p[P_TAIL], chunk);
+        p[P_TAIL] = umod(p[P_TAIL] + chunk, PIPE_BUF_BYTES);
+        p[P_LEN] -= chunk;
+        read += chunk;
+        wake_up(p);
+    }
+    return read;
+}
+
+int pipe_write(f, buf, count) {
+    int p = f[F_INO];
+    int written = 0;
+    int chunk;
+    int head_room;
+    if (!access_ok(buf, count))
+        return -EFAULT;
+    while (ult(written, count)) {
+        while (p[P_LEN] == PIPE_BUF_BYTES) {
+            if (p[P_READERS] == 0)
+                return written ? written : -EPIPE;
+            wake_up(p);
+            sleep_on(p);
+            if (current[T_SIGPENDING])
+                return written ? written : -EINTR;
+        }
+        if (p[P_READERS] == 0)
+            return written ? written : -EPIPE;
+        if (ugt(p[P_LEN], PIPE_BUF_BYTES))
+            BUG();
+        chunk = PIPE_BUF_BYTES - p[P_LEN];
+        if (ugt(chunk, count - written))
+            chunk = count - written;
+        head_room = PIPE_BUF_BYTES - p[P_HEAD];
+        if (ugt(chunk, head_room))
+            chunk = head_room;
+        memcpy(p[P_BUF] + p[P_HEAD], buf + written, chunk);
+        p[P_HEAD] = umod(p[P_HEAD] + chunk, PIPE_BUF_BYTES);
+        p[P_LEN] += chunk;
+        written += chunk;
+    }
+    wake_up(p);
+    return written;
+}
+
+/* ---- exec ---------------------------------------------------------------------------------- */
+
+int exec_entry = 0;
+int exec_user_esp = 0;
+
+/*
+ * do_execve(): load a flat "bx" binary into a fresh user address space.
+ * On success, exec_entry/exec_user_esp describe the new user context.
+ */
+int do_execve(path) {
+    int task = current;
+    int ino;
+    if (!task)
+        BUG();
+    ino = open_namei(path);
+    int node;
+    int header[4];
+    int f[6];               /* transient file object on the stack */
+    int filesz;
+    int bss;
+    int vaddr;
+    int page;
+    int got;
+    int err;
+    int i;
+    if (ino < 0)
+        return ino;
+    node = iget(ino);
+    if (!node)
+        return -ENFILE;
+    if (node[I_TYPE] != IT_FILE) {
+        iput(node);
+        return -EISDIR;
+    }
+    f[F_COUNT] = 1;
+    f[F_TYPE] = FT_REG;
+    f[F_INO] = node;
+    f[F_POS] = 0;
+    got = kernel_file_read(f, header, 16);
+    if (got != 16 || header[BXH_MAGIC] != BX_MAGIC) {
+        iput(node);
+        return -ENOEXEC;
+    }
+    filesz = header[BXH_FILESZ];
+    bss = header[BXH_BSS];
+    if (ugt(filesz, EXT2_NBLOCKS * BLOCK_SIZE)) {
+        iput(node);
+        return -ENOEXEC;
+    }
+    /* Point of no return: tear down the old user image. */
+    exit_mmap(task);
+    /* Load text+data. */
+    vaddr = USER_TEXT;
+    f[F_POS] = 0;
+    i = 0;
+    while (ult(i, filesz + bss)) {
+        page = get_free_page();
+        if (!page) {
+            iput(node);
+            do_exit(139);
+        }
+        if (ult(i, filesz)) {
+            got = kernel_file_read(f, page, PAGE_SIZE);
+            if (got < 0) {
+                iput(node);
+                do_exit(139);
+            }
+        }
+        err = map_user_page(task[T_PGDIR], vaddr + i,
+                            page - KERNEL_BASE, 1);
+        if (err < 0) {
+            iput(node);
+            do_exit(139);
+        }
+        i += PAGE_SIZE;
+    }
+    /* Stack pages. */
+    i = 0;
+    while (i < USER_STACK_PAGES) {
+        page = get_free_page();
+        if (!page) {
+            iput(node);
+            do_exit(139);
+        }
+        map_user_page(task[T_PGDIR],
+                      USER_STACK_TOP - (i + 1) * PAGE_SIZE,
+                      page - KERNEL_BASE, 1);
+        i++;
+    }
+    flush_tlb();
+    task[T_HEAP_START] = (USER_TEXT + filesz + bss + 4095) & ~4095;
+    task[T_BRK] = task[T_HEAP_START];
+    exec_entry = header[BXH_ENTRY];
+    exec_user_esp = USER_STACK_TOP - 16;
+    iput(node);
+    return 0;
+}
+
+/* Read into a KERNEL buffer through the page cache (exec loader). */
+int kernel_file_read(f, buf, count) {
+    int node = f[F_INO];
+    int pos = f[F_POS];
+    int done = 0;
+    int e;
+    int index;
+    int off;
+    int nr;
+    int err;
+    while (ult(done, count) && ult(pos, node[I_SIZE])) {
+        index = udiv(pos, PAGE_SIZE);
+        off = umod(pos, PAGE_SIZE);
+        nr = PAGE_SIZE - off;
+        if (ugt(nr, count - done))
+            nr = count - done;
+        if (ugt(nr, node[I_SIZE] - pos))
+            nr = node[I_SIZE] - pos;
+        e = find_page(node, index);
+        if (!e) {
+            e = add_to_page_cache(node, index);
+            if (!e)
+                return -ENOMEM;
+            err = readpage(node, e);
+            if (err < 0)
+                return err;
+        }
+        memcpy(buf + done, e[PC_PAGE] + off, nr);
+        done += nr;
+        pos += nr;
+    }
+    f[F_POS] = pos;
+    return done;
+}
+
+int sys_exec(path_user, arg2, arg3, arg4, frame) {
+    int path[32];
+    int err = strncpy_from_user(path, path_user, 120);
+    if (err < 0)
+        return err;
+    err = do_execve(path);
+    if (err < 0)
+        return err;
+    /* Rewrite the syscall frame: resume in the fresh image. */
+    frame[8] = exec_entry;
+    frame[11] = exec_user_esp;
+    return 0;
+}
+"""

@@ -1,0 +1,27 @@
+"""Kernel ``ipc/`` subsystem — a single System-V-style semaphore op.
+
+The paper's Table 1 profiles exactly one ipc function; this is ours.
+"""
+
+SOURCE = r"""
+int ipc_sem_value = 1;
+
+/* sys_ipc(op): op 0 = P (down, may block), op 1 = V (up). */
+int sys_ipc(op) {
+    if (op == 0) {
+        while (ipc_sem_value <= 0) {
+            sleep_on(&ipc_sem_value);
+            if (current[T_SIGPENDING])
+                return -EINTR;
+        }
+        ipc_sem_value--;
+        return 0;
+    }
+    if (op == 1) {
+        ipc_sem_value++;
+        wake_up(&ipc_sem_value);
+        return 0;
+    }
+    return -EINVAL;
+}
+"""

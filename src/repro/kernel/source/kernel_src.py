@@ -1,0 +1,655 @@
+"""Kernel ``kernel/`` subsystem.
+
+Scheduler (``schedule``/``reschedule_idle`` following the 2.4 shapes the
+paper quotes in §8), process lifecycle (``do_fork``/``do_exit``/
+``sys_wait``), timers, ``printk``, ``panic``, the system-call dispatch
+table, and ``start_kernel``.
+"""
+
+SOURCE = r"""
+/* ---- globals ----------------------------------------------------------- */
+
+int task_structs[192];      /* NR_TASKS * TASK_WORDS */
+int current = 0;            /* pointer to the running task_struct */
+int jiffies = 0;
+int need_resched = 0;
+int next_pid = 2;
+int boot_pgdir_phys = 0;    /* patched in by setup_arch() */
+int smp_num_cpus = 1;
+int panic_in_progress = 0;
+
+/* ---- printk / kernel log ring ------------------------------------------- */
+
+int log_buf[256];           /* 1 KiB in-memory log ring (dmesg-style) */
+int log_pos = 0;
+int debug_level = 0;        /* KERN_DEBUG messages stay in the ring */
+
+int printk(s) {
+    klog(s);
+    return con_write(s, strlen(s));
+}
+
+/* Log to the in-memory ring only (not the console). */
+int klog(s) {
+    int c = ldb(s);
+    while (c) {
+        stb(log_buf + log_pos, c);
+        log_pos = umod(log_pos + 1, 1024);
+        s++;
+        c = ldb(s);
+    }
+    return 0;
+}
+
+/* Cross-CPU reschedule kick: a no-op on this UP configuration. */
+int smp_ipi_count = 0;
+
+int smp_send_reschedule(cpu) {
+    smp_ipi_count++;
+    return 0;
+}
+
+int printk_hex(v) {
+    int buf[4];
+    sprint_hex(buf, v);
+    return con_write(buf, 8);
+}
+
+int printk_dec(v) {
+    int buf[4];
+    int n = sprint_dec(buf, v);
+    return con_write(buf, n);
+}
+
+int panic(msg) {
+    cli();
+    panic_eip = ret_addr();
+    if (panic_in_progress) {
+        for (;;)
+            halt();
+    }
+    panic_in_progress = 1;
+    printk("Kernel panic: ");
+    printk(msg);
+    printk("\n");
+    crash_dump_simple(255);
+    for (;;)
+        halt();
+    return 0;
+}
+
+/* ---- task helpers ---------------------------------------------------------- */
+
+int task_ptr(index) {
+    return &task_structs[index * TASK_WORDS];
+}
+
+int task_index(task) {
+    return udiv(task - task_structs, TASK_WORDS * 4);
+}
+
+int find_free_task() {
+    int i;
+    int t;
+    for (i = 1; i < NR_TASKS; i++) {
+        t = task_ptr(i);
+        if (t[T_STATE] == TASK_FREE)
+            return t;
+    }
+    return 0;
+}
+
+int find_task_by_pid(pid) {
+    int i;
+    int t;
+    for (i = 0; i < NR_TASKS; i++) {
+        t = task_ptr(i);
+        if (t[T_STATE] != TASK_FREE && t[T_PID] == pid)
+            return t;
+    }
+    return 0;
+}
+
+/* ---- scheduler --------------------------------------------------------------- */
+
+/* can_schedule(): on a uniprocessor this is always true for a runnable
+ * task — the §8 not-manifested example relies on exactly that. */
+int can_schedule(p, cpu) {
+    if (p[T_STATE] != TASK_RUNNING)
+        return 0;
+    if (cpu >= smp_num_cpus)
+        return 0;
+    return 1;
+}
+
+/*
+ * reschedule_idle(): the paper's §8 redundancy example.  On a UP machine
+ * the shortcut branch is always taken; reversing it changes nothing
+ * observable because there is only one CPU to run on anyway.
+ */
+int reschedule_idle(p) {
+    int best_cpu = 0;       /* this task's last CPU */
+    if (can_schedule(p, best_cpu)) {
+        /* Shortcut: the woken task's CPU is this one; just mark a
+         * reschedule and let schedule() pick the winner. */
+        need_resched = 1;
+        return 0;
+    }
+    /* SMP path: kick another CPU (nothing to kick on UP). */
+    if (smp_num_cpus > 1)
+        smp_send_reschedule(best_cpu);
+    need_resched = 1;
+    return 0;
+}
+
+/* Recharge time slices when every runnable task has used its quantum. */
+int recalc_counters() {
+    int i;
+    int t;
+    for (i = 0; i < NR_TASKS; i++) {
+        t = task_ptr(i);
+        if (t[T_STATE] != TASK_FREE)
+            t[T_COUNTER] = t[T_PRIORITY];
+    }
+    return 0;
+}
+
+/*
+ * schedule(): pick the runnable task with the best remaining quantum
+ * (2.4 "goodness"), falling back to the idle task.  50% of the paper's
+ * kernel-subsystem crashes came from injections into this function.
+ */
+int schedule() {
+    int prev = current;
+    int next = 0;
+    int best = -1;
+    int i;
+    int t;
+    int c;
+    if (prev[T_STATE] == TASK_FREE)
+        BUG();
+    if (debug_level)
+        klog("schedule()\n");
+    need_resched = 0;
+    for (i = 1; i < NR_TASKS; i++) {
+        t = task_ptr(i);
+        if (t[T_STATE] != TASK_RUNNING)
+            continue;
+        c = t[T_COUNTER];
+        if (c > best) {
+            best = c;
+            next = t;
+        }
+    }
+    if (next && best == 0) {
+        recalc_counters();
+        next = 0;
+        best = -1;
+        for (i = 1; i < NR_TASKS; i++) {
+            t = task_ptr(i);
+            if (t[T_STATE] != TASK_RUNNING)
+                continue;
+            if (t[T_COUNTER] > best) {
+                best = t[T_COUNTER];
+                next = t;
+            }
+        }
+    }
+    if (!next)
+        next = task_ptr(0);     /* idle */
+    if (next != task_ptr(0) && next[T_KSTACK] == 0)
+        BUG();
+    if (next == prev)
+        return 0;
+    current = next;
+    set_esp0(next[T_KSTACK] + PAGE_SIZE);
+    write_cr3(next[T_PGDIR]);
+    __switch_to(prev, next);
+    return 0;
+}
+
+/* ---- wait queues ----------------------------------------------------------------- */
+
+int sleep_on(wchan) {
+    int task = current;
+    if (task[T_STATE] != TASK_RUNNING)
+        BUG();
+    task[T_STATE] = TASK_BLOCKED;
+    task[T_WCHAN] = wchan;
+    schedule();
+    return 0;
+}
+
+int wake_up(wchan) {
+    int i;
+    int t;
+    int n = 0;
+    for (i = 1; i < NR_TASKS; i++) {
+        t = task_ptr(i);
+        if (t[T_STATE] == TASK_BLOCKED && t[T_WCHAN] == wchan) {
+            t[T_STATE] = TASK_RUNNING;
+            t[T_WCHAN] = 0;
+            if (debug_level)
+                klog("wake\n");
+            reschedule_idle(t);
+            n++;
+        }
+    }
+    return n;
+}
+
+/* ---- timers -------------------------------------------------------------------------- */
+
+/*
+ * do_timer(): the tick. Decrement the current slice; request a
+ * reschedule when it runs out.
+ */
+int do_timer() {
+    int task = current;
+    if (!task)
+        BUG();
+    jiffies++;
+    if (debug_level)
+        klog("tick\n");
+    if (task[T_COUNTER] > 0)
+        task[T_COUNTER]--;
+    if (task[T_COUNTER] == 0)
+        need_resched = 1;
+    return 0;
+}
+
+/* Interrupt dispatch (only IRQ0 exists on this platform). */
+int do_IRQ(frame) {
+    do_timer();
+    /* Kernel is non-preemptive (2.4): only resched on return to user. */
+    if (frame[9] == USER_CS_SEL) {
+        if (need_resched)
+            schedule();
+        if (current[T_SIGPENDING])
+            do_signal();
+    }
+    return 0;
+}
+
+/* ---- fork/exit/wait ---------------------------------------------------------------------- */
+
+/*
+ * do_fork(): duplicate the current task.  The child's kernel stack is
+ * hand-crafted so that __switch_to() "returns" into ret_from_fork,
+ * which unwinds a copy of the parent's syscall frame with eax = 0.
+ */
+int do_fork(frame) {
+    int parent = current;
+    int child = find_free_task();
+    int kstack;
+    int pgdir;
+    int sp;
+    int i;
+    int f;
+    if (parent[T_STATE] != TASK_RUNNING)
+        BUG();
+    if (debug_level)
+        klog("fork\n");
+    if (!child)
+        return -EAGAIN;
+    kstack = get_free_page();
+    if (!kstack)
+        return -ENOMEM;
+    pgdir = pgdir_alloc();
+    if (!pgdir) {
+        free_page(kstack - KERNEL_BASE);
+        return -ENOMEM;
+    }
+    if (copy_page_range(pgdir, parent[T_PGDIR], USER_TEXT,
+                        parent[T_BRK]) < 0
+            || copy_page_range(pgdir, parent[T_PGDIR],
+                               USER_STACK_TOP - 65536,
+                               USER_STACK_TOP + PAGE_SIZE) < 0) {
+        zap_page_range(pgdir, USER_TEXT, parent[T_BRK]);
+        zap_page_range(pgdir, USER_STACK_TOP - 65536,
+                       USER_STACK_TOP + PAGE_SIZE);
+        free_page_tables(pgdir);
+        free_page(kstack - KERNEL_BASE);
+        return -ENOMEM;
+    }
+    child[T_PID] = next_pid++;
+    child[T_PGDIR] = pgdir;
+    child[T_KSTACK] = kstack;
+    child[T_PARENT] = task_index(parent);
+    child[T_EXIT] = 0;
+    child[T_COUNTER] = parent[T_PRIORITY];
+    child[T_PRIORITY] = parent[T_PRIORITY];
+    child[T_WCHAN] = 0;
+    child[T_BRK] = parent[T_BRK];
+    child[T_HEAP_START] = parent[T_HEAP_START];
+    child[T_SIGPENDING] = 0;
+    for (i = 0; i < NR_OFILE; i++) {
+        f = parent[T_FILES + i];
+        child[T_FILES + i] = f;
+        if (f)
+            f[F_COUNT]++;
+    }
+    /*
+     * Build the child kernel stack (top down):
+     *   [ss, esp, eflags, cs, eip]   copied user return context
+     *   [8-word pusha block]         copied, with eax forced to 0
+     *   [edi, esi, ebx, ebp, ret]    __switch_to frame -> ret_from_fork
+     */
+    /* Syscall frame layout: [0..7]=pusha, [8]=eip, [9]=cs,
+     * [10]=eflags, [11]=user esp, [12]=ss. */
+    sp = kstack + PAGE_SIZE;
+    for (i = 0; i < 5; i++)
+        st(sp - 20 + i * 4, frame[8 + i]);
+    sp -= 20;
+    for (i = 0; i < 8; i++)
+        st(sp - 32 + i * 4, frame[i]);
+    st(sp - 32 + 28, 0);    /* child sees eax = 0 */
+    sp -= 32;
+    st(sp - 4, ret_from_fork);
+    st(sp - 8, 0);          /* ebp */
+    st(sp - 12, 0);         /* ebx */
+    st(sp - 16, 0);         /* esi */
+    st(sp - 20, 0);         /* edi */
+    sp -= 20;
+    child[T_ESP] = sp;
+    child[T_STATE] = TASK_RUNNING;
+    reschedule_idle(child);
+    return child[T_PID];
+}
+
+int sys_fork(arg1, arg2, arg3, arg4, frame) {
+    return do_fork(frame);
+}
+
+/* Release a zombie's last resources and return its pid. */
+int release_task(t, status_ptr) {
+    int pid = t[T_PID];
+    if (status_ptr)
+        put_user(status_ptr, t[T_EXIT]);
+    free_page(t[T_KSTACK] - KERNEL_BASE);
+    free_page_tables(t[T_PGDIR]);
+    t[T_STATE] = TASK_FREE;
+    return pid;
+}
+
+int do_exit(code) {
+    int task = current;
+    int parent;
+    int i;
+    if (task == task_ptr(0))
+        BUG();              /* the idle task never exits */
+    for (i = 0; i < NR_OFILE; i++) {
+        if (task[T_FILES + i]) {
+            fput(task[T_FILES + i]);
+            task[T_FILES + i] = 0;
+        }
+    }
+    exit_mmap(task);
+    task[T_EXIT] = code;
+    task[T_STATE] = TASK_ZOMBIE;
+    parent = task_ptr(task[T_PARENT]);
+    wake_up(parent);
+    schedule();
+    /* unreachable */
+    panic("schedule returned to a dead task");
+    return 0;
+}
+
+int sys_exit(code) {
+    return do_exit(code & 255);
+}
+
+int sys_wait(status_ptr) {
+    int task = current;
+    int i;
+    int t;
+    int children;
+    for (;;) {
+        children = 0;
+        for (i = 1; i < NR_TASKS; i++) {
+            t = task_ptr(i);
+            if (t[T_STATE] == TASK_FREE)
+                continue;
+            if (task_ptr(t[T_PARENT]) != task)
+                continue;
+            children++;
+            if (t[T_STATE] == TASK_ZOMBIE)
+                return release_task(t, status_ptr);
+        }
+        if (!children)
+            return -ECHILD;
+        sleep_on(task);
+        if (task[T_SIGPENDING])
+            return -EINTR;      /* interruptible sleep */
+    }
+}
+
+/*
+ * Signals-lite: every signal's default action is fatal.  kill() marks
+ * the target's pending mask; the signal is *delivered* on the target's
+ * next return toward user mode (do_signal), so the dying task releases
+ * its own resources via the normal do_exit() path.
+ */
+int send_sig(sig, t) {
+    if (sig < 1 || sig > 31)
+        return -EINVAL;
+    t[T_SIGPENDING] = t[T_SIGPENDING] | (1 << sig);
+    if (t[T_STATE] == TASK_BLOCKED) {
+        t[T_STATE] = TASK_RUNNING;
+        t[T_WCHAN] = 0;
+        reschedule_idle(t);
+    }
+    return 0;
+}
+
+/* Deliver the lowest pending signal (fatal default action). */
+int do_signal() {
+    int task = current;
+    int pending = task[T_SIGPENDING];
+    int sig = 1;
+    if (!pending)
+        return 0;
+    while (sig < 32 && !(pending & (1 << sig)))
+        sig++;
+    task[T_SIGPENDING] = 0;
+    do_exit(128 + sig);
+    return 0;
+}
+
+int sys_kill(pid, sig) {
+    int t = find_task_by_pid(pid);
+    if (!t)
+        return -ESRCH;
+    if (t[T_STATE] == TASK_ZOMBIE)
+        return -ESRCH;
+    return send_sig(sig, t);
+}
+
+int sys_getpid() {
+    int task = current;
+    return task[T_PID];
+}
+
+int sys_sched_yield() {
+    int task = current;
+    task[T_COUNTER] = 0;
+    need_resched = 1;
+    schedule();
+    return 0;
+}
+
+int sys_reboot(code) {
+    sys_sync();
+    sb[SB_STATE] = 1;       /* clean unmount */
+    write_super();
+    st(SHUTDOWN_DEV, code);
+    return 0;               /* not reached */
+}
+
+int sys_ni_syscall() {
+    return -ENOSYS;
+}
+
+/* sysinfo(): memory and scheduler counters for userland. */
+int sys_sysinfo(buf) {
+    int running = 0;
+    int i;
+    int t;
+    if (!access_ok(buf, 16))
+        return -EFAULT;
+    for (i = 0; i < NR_TASKS; i++) {
+        t = task_ptr(i);
+        if (t[T_STATE] == TASK_RUNNING)
+            running++;
+    }
+    put_user(buf, nr_free_pages);
+    put_user(buf + 4, FREE_PHYS_END - FREE_PHYS_START >> 12);
+    put_user(buf + 8, jiffies);
+    put_user(buf + 12, running);
+    return 0;
+}
+
+/* ---- system-call dispatch -------------------------------------------------------------------- */
+
+const NR_SYSCALLS = 24;
+
+int sys_call_table[] = {
+    sys_ni_syscall,         /* 0 */
+    sys_exit,               /* 1 */
+    sys_fork,               /* 2 */
+    sys_read,               /* 3 */
+    sys_write,              /* 4 */
+    sys_open,               /* 5 */
+    sys_close,              /* 6 */
+    sys_wait,               /* 7 */
+    sys_creat,              /* 8 */
+    sys_unlink,             /* 9 */
+    sys_exec,               /* 10 */
+    sys_stat,               /* 11 */
+    sys_lseek,              /* 12 */
+    sys_getpid,             /* 13 */
+    sys_dup,                /* 14 */
+    sys_pipe,               /* 15 */
+    sys_brk,                /* 16 */
+    sys_sched_yield,        /* 17 */
+    sys_kill,               /* 18 */
+    sys_sync,               /* 19 */
+    sys_reboot,             /* 20 */
+    sys_ipc,                /* 21 */
+    sys_net_ping,           /* 22 */
+    sys_sysinfo             /* 23 */
+};
+
+/*
+ * do_system_call(): dispatch int 0x80.  Argument registers follow the
+ * Linux convention: eax = number, ebx/ecx/edx/esi = arguments.
+ */
+int do_system_call(frame) {
+    int nr = frame[7];
+    int fn;
+    int ret;
+    if (!current)
+        BUG();
+    if (debug_level)
+        klog("syscall\n");
+    if (!ult(nr, NR_SYSCALLS))
+        return -ENOSYS;
+    fn = sys_call_table[nr];
+    ret = fn(frame[4], frame[6], frame[5], frame[1], frame);
+    if (need_resched)
+        schedule();
+    if (current[T_SIGPENDING])
+        do_signal();
+    return ret;
+}
+
+/* ---- boot ---------------------------------------------------------------------------------------- */
+
+int init_task_setup() {
+    int t = task_ptr(0);
+    t[T_STATE] = TASK_RUNNING;
+    t[T_PID] = 0;
+    t[T_PGDIR] = boot_pgdir_phys;
+    t[T_KSTACK] = BOOT_STACK_BASE;
+    t[T_COUNTER] = 0;
+    t[T_PRIORITY] = 0;      /* idle: never preferred */
+    current = t;
+    set_esp0(t[T_KSTACK] + PAGE_SIZE);
+    return 0;
+}
+
+/* Create task 1 as a kernel thread running kernel_init(). */
+int spawn_kernel_init() {
+    int t = task_ptr(1);
+    int kstack = get_free_page();
+    int pgdir = pgdir_alloc();
+    int sp;
+    if (!kstack || !pgdir)
+        panic("cannot allocate init task");
+    t[T_STATE] = TASK_RUNNING;
+    t[T_PID] = 1;
+    t[T_PGDIR] = pgdir;
+    t[T_KSTACK] = kstack;
+    t[T_PARENT] = 0;
+    t[T_COUNTER] = 8;
+    t[T_PRIORITY] = 8;
+    t[T_BRK] = 0;
+    t[T_HEAP_START] = 0;
+    sp = kstack + PAGE_SIZE;
+    st(sp - 4, kernel_init);    /* __switch_to returns here */
+    st(sp - 8, 0);
+    st(sp - 12, 0);
+    st(sp - 16, 0);
+    st(sp - 20, 0);
+    sp -= 20;
+    t[T_ESP] = sp;
+    return 0;
+}
+
+/* First kernel thread: mount late state and exec the user init. */
+int kernel_init() {
+    int err;
+    sti();
+    err = do_execve("/bin/init");
+    if (err < 0) {
+        printk("Kernel panic: No init found.  Try passing init= ...\n");
+        crash_dump_simple(254);
+        cli();
+        for (;;)
+            halt();
+    }
+    enter_user_mode(exec_entry, exec_user_esp);
+    return 0;
+}
+
+int start_kernel() {
+    setup_arch();
+    trap_init();
+    printk("Linux version 2.4.19-repro (sim) booting\n");
+    mem_init();
+    pgcache_init();
+    buffer_init();
+    inode_init();
+    files_init();
+    init_task_setup();
+    mount_root();
+    spawn_kernel_init();
+    sti();
+    cpu_idle();
+    return 0;
+}
+
+/* The idle loop (task 0).  IF is live CPU state, not part of the
+ * switch frame: re-enable interrupts every iteration, because the
+ * scheduler may hand control back with them disabled (resumed from a
+ * syscall-gate context). */
+int cpu_idle() {
+    for (;;) {
+        if (need_resched)
+            schedule();
+        sti();
+        halt();
+    }
+    return 0;
+}
+"""

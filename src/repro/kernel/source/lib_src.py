@@ -1,0 +1,166 @@
+"""Kernel ``lib/`` subsystem: string and memory primitives."""
+
+SOURCE = r"""
+int strlen(s) {
+    int n = 0;
+    while (ldb(s + n))
+        n++;
+    return n;
+}
+
+int strcmp(a, b) {
+    int ca;
+    int cb;
+    for (;;) {
+        ca = ldb(a);
+        cb = ldb(b);
+        if (ca != cb)
+            return ca - cb;
+        if (!ca)
+            return 0;
+        a++;
+        b++;
+    }
+}
+
+int strncmp(a, b, n) {
+    int ca;
+    int cb;
+    while (n > 0) {
+        ca = ldb(a);
+        cb = ldb(b);
+        if (ca != cb)
+            return ca - cb;
+        if (!ca)
+            return 0;
+        a++;
+        b++;
+        n--;
+    }
+    return 0;
+}
+
+int strcpy(dst, src) {
+    int d = dst;
+    int c;
+    do {
+        c = ldb(src);
+        stb(d, c);
+        src++;
+        d++;
+    } while (c);
+    return dst;
+}
+
+int strncpy(dst, src, n) {
+    int i = 0;
+    int c = 1;
+    while (i < n) {
+        if (c)
+            c = ldb(src + i);
+        stb(dst + i, c);
+        i++;
+    }
+    return dst;
+}
+
+int memcpy(dst, src, n) {
+    if (n >= 16 && !((dst | src | n) & 3)) {
+        rep_movsd(dst, src, n >> 2);
+        return dst;
+    }
+    rep_movsb(dst, src, n);
+    return dst;
+}
+
+int memset(dst, c, n) {
+    int word;
+    if (!(dst & 3) && n >= 16) {
+        word = c & 255;
+        word = word | (word << 8);
+        word = word | (word << 16);
+        rep_stosd(dst, word, n >> 2);
+        dst = dst + (n & ~3);
+        n = n & 3;
+    }
+    while (n > 0) {
+        stb(dst, c);
+        dst++;
+        n--;
+    }
+    return dst;
+}
+
+int memcmp(a, b, n) {
+    int ca;
+    int cb;
+    while (n > 0) {
+        ca = ldb(a);
+        cb = ldb(b);
+        if (ca != cb)
+            return ca - cb;
+        a++;
+        b++;
+        n--;
+    }
+    return 0;
+}
+
+/* Render an unsigned value in hex into buf; returns length (8). */
+int sprint_hex(buf, v) {
+    int i;
+    int digit;
+    for (i = 0; i < 8; i++) {
+        digit = (v >> ((7 - i) * 4)) & 15;
+        if (digit < 10)
+            stb(buf + i, '0' + digit);
+        else
+            stb(buf + i, 'a' + digit - 10);
+    }
+    stb(buf + 8, 0);
+    return 8;
+}
+
+/* Render a signed decimal into buf; returns length. */
+int sprint_dec(buf, v) {
+    int tmp[12];
+    int n = 0;
+    int len = 0;
+    int neg = 0;
+    if (v < 0) {
+        neg = 1;
+        v = -v;
+    }
+    if (v == 0) {
+        tmp[n] = '0';
+        n = 1;
+    }
+    while (v) {
+        tmp[n] = '0' + umod(v, 10);
+        v = udiv(v, 10);
+        n++;
+    }
+    if (neg) {
+        stb(buf, '-');
+        len = 1;
+    }
+    while (n > 0) {
+        n--;
+        stb(buf + len, tmp[n]);
+        len++;
+    }
+    stb(buf + len, 0);
+    return len;
+}
+
+int simple_atoi(s) {
+    int v = 0;
+    int c = ldb(s);
+    while (c >= '0' && c <= '9') {
+        v = v * 10 + (c - '0');
+        s++;
+        c = ldb(s);
+    }
+    return v;
+}
+"""

@@ -1,0 +1,486 @@
+"""Kernel ``mm/`` subsystem.
+
+Page allocator over ``mem_map`` refcounts, two-level page-table
+manipulation (the PTEs live in simulated RAM and drive the real MMU),
+copy-on-write fault handling (``do_wp_page``), user-range teardown
+(``zap_page_range``), demand paging (``handle_mm_fault`` /
+``do_anonymous_page``), and the page cache with
+``do_generic_file_read`` — the function whose corruption produced the
+paper's catastrophic case 9 (Figure 5).
+"""
+
+SOURCE = r"""
+int mem_map[2048];          /* per-pfn refcount (8 MiB / 4 KiB) */
+int nr_free_pages = 0;
+int next_free_hint = 0;
+int pgcache[80];            /* NR_PGCACHE * PC_WORDS */
+int pgcache_clock = 0;
+
+const MAP_NR_LIMIT = 2048;
+
+/* ---- physical page allocator ------------------------------------------ */
+
+int mem_init() {
+    int pfn;
+    int first = FREE_PHYS_START >> 12;
+    int last = FREE_PHYS_END >> 12;
+    for (pfn = 0; pfn < MAP_NR_LIMIT; pfn++)
+        mem_map[pfn] = 1;               /* reserved */
+    for (pfn = first; pfn < last; pfn++) {
+        mem_map[pfn] = 0;
+        nr_free_pages++;
+    }
+    next_free_hint = first;
+    return nr_free_pages;
+}
+
+/* Returns the physical address of a free page, or 0. */
+int alloc_page() {
+    int pfn = next_free_hint;
+    if (debug_level)
+        klog("alloc_page\n");
+    int limit = FREE_PHYS_END >> 12;
+    int first = FREE_PHYS_START >> 12;
+    int scanned = 0;
+    int span = limit - first;
+    while (scanned < span) {
+        if (pfn >= limit)
+            pfn = first;
+        if (mem_map[pfn] == 0) {
+            mem_map[pfn] = 1;
+            nr_free_pages--;
+            next_free_hint = pfn + 1;
+            return pfn << 12;
+        }
+        pfn++;
+        scanned++;
+    }
+    return 0;
+}
+
+/* Allocate a zeroed page and return its kernel-virtual address (0 on OOM). */
+int get_free_page() {
+    int phys = alloc_page();
+    if (!phys)
+        return 0;
+    memset(KERNEL_BASE + phys, 0, PAGE_SIZE);
+    return KERNEL_BASE + phys;
+}
+
+int get_page(phys) {
+    int pfn = ugt(phys, 0) ? (phys >> 12) : 0;
+    if (!ult(pfn, MAP_NR_LIMIT))
+        BUG();
+    mem_map[pfn]++;
+    return phys;
+}
+
+int free_page(phys) {
+    int pfn = phys >> 12;
+    if (!ult(pfn, MAP_NR_LIMIT))
+        BUG();
+    if (mem_map[pfn] == 0)
+        BUG();                          /* double free */
+    mem_map[pfn]--;
+    if (mem_map[pfn] == 0)
+        nr_free_pages++;
+    return 0;
+}
+
+int page_count(phys) {
+    return mem_map[phys >> 12];
+}
+
+/* ---- page-table plumbing ------------------------------------------------ */
+
+/* Pointer to the PDE for vaddr within pgdir (a physical address). */
+int pde_ptr(pgdir, vaddr) {
+    return KERNEL_BASE + pgdir + (vaddr >> 22) * 4;
+}
+
+/* Pointer to the PTE for vaddr, or 0 if no page table is present. */
+int pte_ptr(pgdir, vaddr) {
+    int pde = ld(pde_ptr(pgdir, vaddr));
+    if (!(pde & PTE_P))
+        return 0;
+    return KERNEL_BASE + (pde & ~4095) + (((vaddr >> 12) & 1023) * 4);
+}
+
+/* Ensure a page table exists and return the PTE pointer (0 on OOM). */
+int pte_alloc(pgdir, vaddr) {
+    int pdep = pde_ptr(pgdir, vaddr);
+    int pde = ld(pdep);
+    int table;
+    if (uge(vaddr, KERNEL_BASE))
+        BUG();              /* only user mappings are built here */
+    if (!(pde & PTE_P)) {
+        table = get_free_page();
+        if (!table)
+            return 0;
+        st(pdep, (table - KERNEL_BASE) | PTE_P | PTE_W | PTE_U);
+    }
+    return pte_ptr(pgdir, vaddr);
+}
+
+/* Map one page into a user address space. */
+int map_user_page(pgdir, vaddr, phys, writable) {
+    int ptep = pte_alloc(pgdir, vaddr);
+    int flags = PTE_P | PTE_U;
+    if (!ptep)
+        return -ENOMEM;
+    if (writable)
+        flags = flags | PTE_W;
+    if (ld(ptep) & PTE_P)
+        BUG();                          /* mapping over a live page */
+    st(ptep, phys | flags);
+    return 0;
+}
+
+/* Allocate a page directory that shares the kernel mappings. */
+int pgdir_alloc() {
+    int virt = get_free_page();
+    int i;
+    if (!virt)
+        return 0;
+    /* Kernel PDEs (indices 768+) are shared with the boot directory. */
+    for (i = 768; i < 1024; i++)
+        st(virt + i * 4, ld(KERNEL_BASE + boot_pgdir_phys + i * 4));
+    return virt - KERNEL_BASE;
+}
+
+/*
+ * Remove user pages in [start, end) — Linux's zap_page_range().  One of
+ * the paper's three crash-heavy functions (30% of mm crashes).
+ */
+int zap_page_range(pgdir, start, end) {
+    int addr = start & ~4095;
+    int freed = 0;
+    int pde;
+    int ptep;
+    int pte;
+    while (ult(addr, end)) {
+        pde = ld(pde_ptr(pgdir, addr));
+        if (!(pde & PTE_P)) {
+            /* Whole page table absent: skip to the next 4 MiB slot. */
+            addr = (addr & ~0x3FFFFF) + 0x400000;
+            if (addr == 0)
+                break;      /* wrapped */
+            continue;
+        }
+        ptep = KERNEL_BASE + (pde & ~4095) + (((addr >> 12) & 1023) * 4);
+        pte = ld(ptep);
+        if (pte & PTE_P) {
+            free_page(pte & ~4095);
+            st(ptep, 0);
+            freed++;
+        }
+        addr += PAGE_SIZE;
+    }
+    flush_tlb();
+    return freed;
+}
+
+/* Free the page tables themselves plus the directory. */
+int free_page_tables(pgdir) {
+    int i;
+    int pde;
+    for (i = 0; i < 768; i++) {
+        pde = ld(KERNEL_BASE + pgdir + i * 4);
+        if (pde & PTE_P)
+            free_page(pde & ~4095);
+    }
+    free_page(pgdir);
+    return 0;
+}
+
+/*
+ * Copy-on-write duplication of the user half of an address space.
+ * Writable pages become read-only and shared; do_wp_page() breaks the
+ * sharing on the first write fault.
+ */
+int copy_page_range(dst_pgdir, src_pgdir, start, end) {
+    int addr = start & ~4095;
+    int src_pde;
+    int ptep;
+    int dst_ptep;
+    int pte;
+    while (ult(addr, end)) {
+        src_pde = ld(pde_ptr(src_pgdir, addr));
+        if (!(src_pde & PTE_P)) {
+            addr = (addr & ~0x3FFFFF) + 0x400000;
+            if (addr == 0)
+                break;
+            continue;
+        }
+        ptep = KERNEL_BASE + (src_pde & ~4095)
+            + (((addr >> 12) & 1023) * 4);
+        pte = ld(ptep);
+        if (pte & PTE_P) {
+            if (pte & PTE_W) {
+                /* Demote to read-only in the parent as well (COW). */
+                pte = pte & ~PTE_W;
+                st(ptep, pte);
+            }
+            dst_ptep = pte_alloc(dst_pgdir, addr);
+            if (!dst_ptep)
+                return -ENOMEM;
+            st(dst_ptep, pte);
+            get_page(pte & ~4095);
+        }
+        addr += PAGE_SIZE;
+    }
+    flush_tlb();
+    return 0;
+}
+
+/* Tear down the task's user mappings (text+heap and stack windows). */
+int exit_mmap(task) {
+    int pgdir = task[T_PGDIR];
+    zap_page_range(pgdir, USER_TEXT, task[T_BRK]);
+    zap_page_range(pgdir, USER_STACK_TOP - 65536,
+                   USER_STACK_TOP + PAGE_SIZE);
+    return 0;
+}
+
+/*
+ * Write fault on a present read-only page: break COW sharing.
+ * The paper's severe crashes 2 and 7 were injections into this path.
+ */
+int do_wp_page(pgdir, addr) {
+    int ptep = pte_ptr(pgdir, addr);
+    int pte;
+    int old_phys;
+    int new_virt;
+    if (!ptep)
+        return -EFAULT;
+    pte = ld(ptep);
+    if (!(pte & PTE_P))
+        return -EFAULT;
+    old_phys = pte & ~4095;
+    if (page_count(old_phys) == 0)
+        BUG();              /* shared page with a zero refcount */
+    if (page_count(old_phys) == 1) {
+        /* Sole owner: simply restore write permission. */
+        st(ptep, pte | PTE_W);
+        invlpg(addr);
+        return 0;
+    }
+    new_virt = get_free_page();
+    if (!new_virt)
+        return -ENOMEM;
+    memcpy(new_virt, KERNEL_BASE + old_phys, PAGE_SIZE);
+    st(ptep, (new_virt - KERNEL_BASE) | PTE_P | PTE_W | PTE_U);
+    free_page(old_phys);
+    invlpg(addr);
+    return 0;
+}
+
+/* Demand-zero page for heap/stack growth. */
+int do_anonymous_page(pgdir, addr) {
+    int page = get_free_page();
+    if (!page)
+        return -ENOMEM;
+    return map_user_page(pgdir, addr & ~4095, page - KERNEL_BASE, 1);
+}
+
+/*
+ * Top-level user-fault resolution: returns 0 when the fault was handled
+ * (page mapped / COW broken) and negative when the access is bad.
+ */
+int handle_mm_fault(task, addr, write) {
+    int pgdir = task[T_PGDIR];
+    int ptep;
+    int pte = 0;
+    if (uge(addr, KERNEL_BASE))
+        return -EFAULT;     /* user touched kernel space */
+    if (debug_level)
+        klog("mm_fault\n");
+    ptep = pte_ptr(pgdir, addr);
+    if (ptep)
+        pte = ld(ptep);
+    if (pte & PTE_P) {
+        if (write && !(pte & PTE_W))
+            return do_wp_page(pgdir, addr);
+        return 0;                       /* spurious (TLB) */
+    }
+    /* Stack growth: within 64 KiB below the stack top. */
+    if (ult(USER_STACK_TOP - 65536, addr) && ult(addr, USER_STACK_TOP + PAGE_SIZE))
+        return do_anonymous_page(pgdir, addr);
+    /* Heap: between heap start and current brk. */
+    if (uge(addr, task[T_HEAP_START]) && ult(addr, task[T_BRK]))
+        return do_anonymous_page(pgdir, addr);
+    return -EFAULT;
+}
+
+/* Grow (or shrink) the heap; returns the new break. */
+int sys_brk(new_brk) {
+    int task = current;
+    if (new_brk == 0)
+        return task[T_BRK];
+    if (ult(new_brk, task[T_HEAP_START]))
+        return -EINVAL;
+    if (uge(new_brk, USER_STACK_TOP - 0x100000))
+        return -ENOMEM;
+    if (ult(new_brk, task[T_BRK]))
+        zap_page_range(task[T_PGDIR], (new_brk + 4095) & ~4095,
+                       (task[T_BRK] + 4095) & ~4095);
+    task[T_BRK] = new_brk;
+    return new_brk;
+}
+
+/* ---- page cache -------------------------------------------------------- */
+
+int pgcache_init() {
+    int i;
+    for (i = 0; i < NR_PGCACHE; i++)
+        pgcache[i * PC_WORDS + PC_INODE] = 0;
+    return 0;
+}
+
+/* find_get_page(): look up (inode number, index) in the page cache. */
+int find_page(inode, index) {
+    int i;
+    int e;
+    int ino = inode[I_INO];
+    if (!ino)
+        BUG();              /* lookup against a dead inode */
+    for (i = 0; i < NR_PGCACHE; i++) {
+        e = &pgcache[i * PC_WORDS];
+        if (e[PC_INODE] == ino && e[PC_INDEX] == index && e[PC_VALID]) {
+            e[PC_TIME] = jiffies;
+            return e;
+        }
+    }
+    return 0;
+}
+
+/* Evict the oldest entry and return a slot bound to (inode, index). */
+int add_to_page_cache(inode, index) {
+    int i;
+    int e;
+    int victim = 0;
+    int best = -1;
+    for (i = 0; i < NR_PGCACHE; i++) {
+        e = &pgcache[i * PC_WORDS];
+        if (!e[PC_INODE]) {
+            victim = e;
+            break;
+        }
+        if (best == -1 || e[PC_TIME] < best) {
+            best = e[PC_TIME];
+            victim = e;
+        }
+    }
+    if (!victim[PC_INODE]) {
+        victim[PC_PAGE] = get_free_page();
+        if (!victim[PC_PAGE])
+            return 0;
+    }
+    victim[PC_INODE] = inode[I_INO];
+    victim[PC_INDEX] = index;
+    victim[PC_VALID] = 0;
+    victim[PC_TIME] = jiffies;
+    return victim;
+}
+
+/* Drop cached pages of an inode (on truncate/unlink). */
+int invalidate_inode_pages(inode) {
+    int i;
+    int e;
+    int ino = inode[I_INO];
+    for (i = 0; i < NR_PGCACHE; i++) {
+        e = &pgcache[i * PC_WORDS];
+        if (e[PC_INODE] == ino)
+            e[PC_INODE] = 0, e[PC_VALID] = 0;
+    }
+    return 0;
+}
+
+/* Fill one page-cache page from disk through the block layer. */
+int readpage(inode, e) {
+    int index = e[PC_INDEX];
+    int page = e[PC_PAGE];
+    int fpos = index * PAGE_SIZE;
+    int copied = 0;
+    int blk;
+    int b;
+    if (!page)
+        BUG();
+    memset(page, 0, PAGE_SIZE);
+    while (copied < PAGE_SIZE && ult(fpos + copied, inode[I_SIZE])) {
+        blk = ext2_get_block(inode, udiv(fpos + copied, BLOCK_SIZE), 0);
+        if (blk > 0) {
+            b = bread(blk);
+            if (!b)
+                return -EIO;
+            memcpy(page + copied, b[B_DATA], BLOCK_SIZE);
+            brelse(b);
+        }
+        copied += BLOCK_SIZE;
+    }
+    e[PC_VALID] = 1;
+    return 0;
+}
+
+/*
+ * do_generic_file_read(): the paper's Figure 5 case study — transfers
+ * file data from the page cache (filling it from disk on miss) into a
+ * user buffer.  The structure deliberately follows the 2.4 original:
+ * end_index bounds the for-loop; a corrupted end_index ends the read
+ * early and silently truncates what the caller sees.
+ */
+int do_generic_file_read(file, buf, count) {
+    int inode = file[F_INO];
+    int pos = file[F_POS];
+    int index = udiv(pos, PAGE_SIZE);
+    int offset = umod(pos, PAGE_SIZE);
+    int end_index = udiv(inode[I_SIZE], PAGE_SIZE);
+    int read = 0;
+    int e;
+    int nr;
+    int err;
+    if (!inode)
+        BUG();
+    if (uge(offset, PAGE_SIZE))
+        BUG();
+    if (debug_level)
+        klog("generic_file_read\n");
+    while (ugt(count, 0)) {
+        if (ugt(index, end_index))
+            break;
+        if (index == end_index) {
+            nr = umod(inode[I_SIZE], PAGE_SIZE);
+            if (uge(offset, nr))
+                break;
+        } else {
+            nr = PAGE_SIZE;
+        }
+        nr = nr - offset;
+        if (ugt(nr, count))
+            nr = count;
+        e = find_page(inode, index);
+        if (!e) {
+            e = add_to_page_cache(inode, index);
+            if (!e)
+                return -ENOMEM;
+            err = readpage(inode, e);
+            if (err < 0)
+                return err;
+        }
+        if (!e[PC_VALID])
+            BUG();
+        err = copy_to_user(buf + read, e[PC_PAGE] + offset, nr);
+        if (err < 0)
+            return err;
+        read += nr;
+        count -= nr;
+        offset += nr;
+        if (offset == PAGE_SIZE) {
+            offset = 0;
+            index++;
+        }
+    }
+    file[F_POS] = pos + read;
+    return read;
+}
+"""

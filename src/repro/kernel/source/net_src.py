@@ -1,0 +1,55 @@
+"""Kernel ``net/`` subsystem — loopback-only, profiled but not injected.
+
+The paper explicitly excluded ``net`` from injection but it appears in
+the profiling table; a loopback echo keeps it minimally alive.
+"""
+
+SOURCE = r"""
+int loopback_buf[64];       /* one 256-byte loopback frame */
+int loopback_len = 0;
+
+/* Internet checksum over a byte range. */
+int ip_compute_csum(buf, len) {
+    int sum = 0;
+    int i = 0;
+    while (i + 1 < len) {
+        sum += ldb(buf + i) | (ldb(buf + i + 1) << 8);
+        i += 2;
+    }
+    if (i < len)
+        sum += ldb(buf + i);
+    while (ugt(sum, 0xFFFF))
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    return (~sum) & 0xFFFF;
+}
+
+int loopback_xmit(buf, len) {
+    if (ugt(len, 256))
+        len = 256;
+    memcpy(loopback_buf, buf, len);
+    loopback_len = len;
+    return len;
+}
+
+int netif_rx(buf, maxlen) {
+    int n = loopback_len;
+    if (ugt(n, maxlen))
+        n = maxlen;
+    memcpy(buf, loopback_buf, n);
+    loopback_len = 0;
+    return n;
+}
+
+/* sys_net_ping(): echo a word through the loopback with a checksum. */
+int sys_net_ping(value) {
+    int frame[4];
+    int echo[4];
+    frame[0] = value;
+    frame[1] = ip_compute_csum(frame, 4);
+    loopback_xmit(frame, 8);
+    netif_rx(echo, 8);
+    if (echo[0] != value)
+        return -EIO;
+    return echo[1];
+}
+"""

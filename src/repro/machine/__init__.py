@@ -1,0 +1,29 @@
+"""Machine lifecycle: disk image tools, boot, run, reboot, severity."""
+
+from repro.machine.disk import (
+    BLOCK_SIZE,
+    DISK_BLOCKS,
+    FsckReport,
+    LIBC_CONTENT,
+    mkfs,
+    fsck,
+    read_file,
+    list_dir,
+)
+from repro.machine.machine import CrashRecord, Machine, RunResult, \
+    build_standard_disk
+
+__all__ = [
+    "BLOCK_SIZE",
+    "DISK_BLOCKS",
+    "FsckReport",
+    "LIBC_CONTENT",
+    "mkfs",
+    "fsck",
+    "read_file",
+    "list_dir",
+    "CrashRecord",
+    "Machine",
+    "RunResult",
+    "build_standard_disk",
+]

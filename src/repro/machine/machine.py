@@ -1,0 +1,332 @@
+"""The simulated machine: RAM + CPU + devices + boot protocol.
+
+Mirrors the paper's experimental rig (Figure 3): build the machine,
+configure which workload ``init`` runs (via ``/etc/workload``), boot,
+optionally arm a debug-register breakpoint for the injector, run under a
+host watchdog, and collect console output, crash dumps and the final
+disk image for severity grading.
+"""
+
+import struct
+
+from repro.cpu.cpu import CPU, CpuHalted, WatchdogExpired
+from repro.cpu.devices import ConsoleDevice, DiskDevice, DumpDevice, \
+    MachineShutdown, ShutdownDevice
+from repro.cpu.memory import MemoryBus, PageTableBuilder
+from repro.cpu.traps import TripleFault
+from repro.kernel.layout import KernelLayout
+from repro.machine.disk import LIBC_CONTENT, mkfs
+
+DEFAULT_WATCHDOG = 30_000_000
+
+
+class CrashRecord:
+    """Parsed kernel crash dump (written by the kernel's crash handler).
+
+    Word layout (see arch crash_dump): vector, error code, cr2, eip, cs,
+    eflags, 8 pusha registers, tsc, pid.
+    """
+
+    REG_NAMES = ("edi", "esi", "ebp", "esp", "ebx", "edx", "ecx", "eax")
+
+    def __init__(self, words):
+        self.words = list(words)
+        self.vector = words[0]
+        self.error_code = words[1]
+        self.cr2 = words[2]
+        self.eip = words[3]
+        self.cs = words[4]
+        self.eflags = words[5]
+        self.regs = dict(zip(self.REG_NAMES, words[6:14]))
+        self.tsc = words[14] if len(words) > 14 else 0
+        self.pid = words[15] if len(words) > 15 else -1
+
+    def __repr__(self):
+        return ("CrashRecord(vector=%d, cr2=%#x, eip=%#x, tsc=%d)"
+                % (self.vector, self.cr2, self.eip, self.tsc))
+
+
+class RunResult:
+    """Outcome of one machine run."""
+
+    def __init__(self, status, exit_code, console, crash, cycles, instret,
+                 disk_image, detail=""):
+        #: "shutdown" (clean power-off), "halted" (CPU wedged — a dumped
+        #: crash if ``crash`` is set, otherwise a hang), "watchdog"
+        #: (hang), or "triple_fault" (unknown crash, no dump possible).
+        self.status = status
+        self.exit_code = exit_code
+        self.console = console
+        self.crash = crash          # CrashRecord or None
+        self.cycles = cycles
+        self.instret = instret
+        self.disk_image = disk_image
+        self.detail = detail
+
+    @property
+    def crashed(self):
+        return self.crash is not None or self.status == "triple_fault"
+
+    def __repr__(self):
+        return "RunResult(%s, exit=%r, cycles=%d)" % (
+            self.status, self.exit_code, self.cycles)
+
+
+def build_standard_disk(binaries, workload, extra_files=None):
+    """Assemble the root filesystem image.
+
+    Args:
+        binaries: name -> :class:`~repro.userland.build.UserBinary`.
+        workload: program that ``init`` should run (e.g. ``"pipe"``),
+            or None for a boot-only image.
+        extra_files: extra path -> bytes entries.
+    """
+    files = {"/lib/libc.txt": LIBC_CONTENT,
+             "/etc/motd": b"Welcome to linux-sim 2.4.19-repro\n"}
+    for name, binary in binaries.items():
+        files["/bin/" + name] = binary.image
+    if workload is not None:
+        files["/etc/workload"] = ("/bin/" + workload).encode()
+    if extra_files:
+        files.update(extra_files)
+    return mkfs(files)
+
+
+class Machine:
+    """One bootable machine instance.
+
+    The constructor is cheap relative to a run: it copies the kernel
+    image and disk image into fresh RAM, so every injection experiment
+    gets a pristine machine, exactly like the paper's reboot-per-run
+    protocol.
+    """
+
+    def __init__(self, kernel, disk_image, layout=None, timer=True):
+        self.kernel = kernel
+        self.layout = layout or kernel.layout or KernelLayout()
+        lay = self.layout
+        self.bus = MemoryBus(lay.RAM_BYTES)
+        # Kernel image into physical memory.
+        self.bus.phys_write_bytes(lay.KERNEL_PHYS, kernel.code)
+        # Boot page tables: linear kernel map + MMIO window.
+        builder = PageTableBuilder(self.bus, lay.BOOT_PGDIR_PHYS)
+        builder.map_range(lay.KERNEL_BASE, 0, lay.RAM_BYTES)
+        builder.map_range(lay.KERNEL_BASE + lay.MMIO_PHYS, lay.MMIO_PHYS,
+                          lay.MMIO_BYTES)
+        builder.activate()
+        # Devices.
+        self.console = ConsoleDevice()
+        self.disk = DiskDevice(self.bus, disk_image)
+        self.dump = DumpDevice()
+        self.bus.attach_device(lay.CONSOLE_PHYS, 0x100, self.console)
+        self.bus.attach_device(lay.DISK_PHYS, 0x100, self.disk)
+        self.bus.attach_device(lay.DUMP_PHYS, 0x100, self.dump)
+        self.bus.attach_device(lay.SHUTDOWN_PHYS, 0x100, ShutdownDevice())
+        # CPU.
+        self.cpu = CPU(self.bus)
+        self.cpu.eip = kernel.symbols["_start"]
+        if timer:
+            self.cpu.timer_interval = lay.TIMER_INTERVAL
+            self.cpu.timer_next = lay.TIMER_INTERVAL
+        self._page_table_pages = builder.next_free
+
+    # -- injection plumbing -------------------------------------------------
+
+    def arm_breakpoint(self, vaddr, callback):
+        """Arm DR0 at *vaddr*; *callback(machine)* fires on first hit.
+
+        This is the paper's injection trigger: the injector flips a bit
+        in the instruction, records the cycle counter, disarms the
+        breakpoint, and resumes the kernel.
+        """
+        cpu = self.cpu
+
+        def hook(_cpu, index):
+            cpu.write_dr(7, 0)      # one-shot
+            callback(self)
+
+        cpu.write_dr(0, vaddr)
+        cpu.write_dr(7, 1)
+        cpu.on_breakpoint = hook
+
+    def flip_bit(self, vaddr, bit):
+        """Flip one bit of the byte at kernel-virtual *vaddr*."""
+        phys = vaddr - self.layout.KERNEL_BASE
+        value = self.bus.phys_read(phys, 1)
+        self.bus.phys_write(phys, 1, value ^ (1 << bit))
+
+    def write_byte(self, vaddr, value):
+        phys = vaddr - self.layout.KERNEL_BASE
+        self.bus.phys_write(phys, 1, value & 0xFF)
+
+    def read_byte(self, vaddr):
+        return self.bus.phys_read(vaddr - self.layout.KERNEL_BASE, 1)
+
+    def read_word(self, vaddr):
+        return self.bus.phys_read(vaddr - self.layout.KERNEL_BASE, 4)
+
+    def snapshot(self):
+        """Freeze the current state (see :class:`MachineSnapshot`)."""
+        return MachineSnapshot(self)
+
+    # -- running -------------------------------------------------------------
+
+    def run(self, max_cycles=DEFAULT_WATCHDOG, coverage=None):
+        """Boot/resume the machine until it stops; returns a RunResult."""
+        cpu = self.cpu
+        status = "watchdog"
+        exit_code = None
+        detail = ""
+        try:
+            cpu.run(max_cycles, coverage=coverage)
+        except MachineShutdown as stop:
+            status = "shutdown"
+            exit_code = stop.code
+        except CpuHalted as stop:
+            status = "halted"
+            detail = str(stop)
+        except WatchdogExpired as stop:
+            status = "watchdog"
+            detail = str(stop)
+        except TripleFault as stop:
+            status = "triple_fault"
+            detail = str(stop)
+        crash = None
+        if self.dump.records:
+            crash = CrashRecord(self.dump.records[-1])
+        return RunResult(
+            status=status,
+            exit_code=exit_code,
+            console=self.console.text,
+            crash=crash,
+            cycles=cpu.cycles,
+            instret=cpu.instret,
+            disk_image=bytes(self.disk.image),
+            detail=detail,
+        )
+
+    def run_until_console(self, marker, max_cycles=DEFAULT_WATCHDOG,
+                          chunk=4096):
+        """Run until *marker* appears on the console (boot milestone).
+
+        Used to reproduce the paper's protocol: the injector is armed on
+        a running system, just before the benchmark starts.  Raises
+        WatchdogExpired if the marker never appears.
+        """
+        needle = marker.encode("latin-1")
+        cpu = self.cpu
+        while needle not in self.console.buffer:
+            if cpu.cycles >= max_cycles:
+                raise WatchdogExpired("marker %r never appeared" % marker)
+            try:
+                cpu.run(min(cpu.cycles + chunk, max_cycles))
+            except WatchdogExpired:
+                if cpu.cycles >= max_cycles:
+                    raise
+
+    def run_sampled(self, max_cycles=DEFAULT_WATCHDOG, sample_interval=997,
+                    skip_cycles=0):
+        """Run while sampling the program counter (Kernprof-style).
+
+        Returns ``(RunResult, samples)`` where *samples* is a list of
+        sampled EIP values.  The odd default interval avoids aliasing
+        with loop periods, as real sampling profilers do.  Samples before
+        *skip_cycles* are discarded (lets profiling exclude boot, like
+        the paper's steady-state Kernprof runs).
+        """
+        cpu = self.cpu
+        samples = []
+        status = exit_code = None
+        detail = ""
+        try:
+            while cpu.cycles < max_cycles:
+                try:
+                    cpu.run(min(cpu.cycles + sample_interval, max_cycles))
+                except WatchdogExpired:
+                    if cpu.cycles >= max_cycles:
+                        raise
+                if cpu.cycles >= skip_cycles:
+                    samples.append(cpu.eip)
+            raise WatchdogExpired("profiling budget exhausted")
+        except MachineShutdown as stop:
+            status, exit_code = "shutdown", stop.code
+        except CpuHalted as stop:
+            status, detail = "halted", str(stop)
+        except WatchdogExpired as stop:
+            status, detail = "watchdog", str(stop)
+        except TripleFault as stop:
+            status, detail = "triple_fault", str(stop)
+        crash = None
+        if self.dump.records:
+            crash = CrashRecord(self.dump.records[-1])
+        result = RunResult(status, exit_code, self.console.text, crash,
+                           cpu.cycles, cpu.instret,
+                           bytes(self.disk.image), detail)
+        return result, samples
+
+
+class MachineSnapshot:
+    """Frozen machine state (RAM, disk, CPU, console) for fast cloning.
+
+    Booting to the injection point costs more than most injected runs;
+    campaigns snapshot the freshly-booted machine once per workload and
+    clone it per experiment.  Cloning copies every mutable buffer, so a
+    clone is exactly as pristine as a fresh boot (verified by test).
+    """
+
+    CPU_FIELDS = ("eip", "cf", "pf", "zf", "sf", "of", "if_flag", "df",
+                  "cpl", "cr0", "cr2", "cr4", "esp0", "idt_base",
+                  "cycles", "timer_interval", "timer_next",
+                  "pending_irq", "instret")
+
+    def __init__(self, machine):
+        cpu = machine.cpu
+        self.kernel = machine.kernel
+        self.layout = machine.layout
+        self.ram = bytes(machine.bus.ram)
+        self.cr3 = machine.bus.cr3
+        self.paging_enabled = machine.bus.paging_enabled
+        self.disk = bytes(machine.disk.image)
+        self.console = bytes(machine.console.buffer)
+        self.regs = list(cpu.regs)
+        self.segs = list(cpu.segs)
+        self.dr = list(cpu.dr)
+        self.fields = {name: getattr(cpu, name)
+                       for name in self.CPU_FIELDS}
+
+    def clone(self):
+        """Materialize a runnable Machine from this snapshot."""
+        machine = Machine.__new__(Machine)
+        machine.kernel = self.kernel
+        machine.layout = self.layout
+        lay = self.layout
+        from repro.cpu.memory import MemoryBus
+        bus = MemoryBus(lay.RAM_BYTES)
+        bus.ram[:] = self.ram
+        bus.cr3 = self.cr3
+        bus.paging_enabled = self.paging_enabled
+        machine.bus = bus
+        machine.console = ConsoleDevice()
+        machine.console.buffer[:] = self.console
+        machine.disk = DiskDevice(bus, self.disk)
+        machine.dump = DumpDevice()
+        bus.attach_device(lay.CONSOLE_PHYS, 0x100, machine.console)
+        bus.attach_device(lay.DISK_PHYS, 0x100, machine.disk)
+        bus.attach_device(lay.DUMP_PHYS, 0x100, machine.dump)
+        bus.attach_device(lay.SHUTDOWN_PHYS, 0x100, ShutdownDevice())
+        cpu = CPU(bus)
+        cpu.regs[:] = self.regs
+        cpu.segs[:] = self.segs
+        for index, value in enumerate(self.dr):
+            cpu.dr[index] = value
+        cpu._recompute_breakpoints()
+        for name, value in self.fields.items():
+            setattr(cpu, name, value)
+        machine.cpu = cpu
+        machine._page_table_pages = None
+        return machine
+
+
+def parse_bx_header(image):
+    """Parse a user binary header -> (magic, entry, filesz, bss)."""
+    return struct.unpack_from("<4I", image, 0)

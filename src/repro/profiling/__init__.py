@@ -1,0 +1,8 @@
+"""Kernel profiling (the paper's §4): PC sampling over the workloads."""
+
+from repro.profiling.sampler import FunctionProfile, KernelProfile, \
+    profile_kernel
+from repro.profiling.report import format_table1, format_top_functions
+
+__all__ = ["FunctionProfile", "KernelProfile", "profile_kernel",
+           "format_table1", "format_top_functions"]

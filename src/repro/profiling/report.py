@@ -1,0 +1,38 @@
+"""Textual reports for profiling results (the paper's Table 1)."""
+
+
+def format_table1(profile, coverage=0.95):
+    """Render the paper's Table 1: function distribution among modules."""
+    core = profile.top_functions(coverage=coverage)
+    rows = profile.subsystem_table(core=core)
+    lines = []
+    lines.append("Table 1: Function Distribution Among Kernel Modules")
+    lines.append("%-10s %28s %26s" % ("Subsystem", "Profiled functions",
+                                      "Contribution to core %d" % len(core)))
+    total_funcs = 0
+    total_core = 0
+    for name, funcs, core_count in rows:
+        core_text = str(core_count) if core_count else "n/a"
+        lines.append("%-10s %28d %26s" % (name, funcs, core_text))
+        total_funcs += funcs
+        total_core += core_count
+    lines.append("%-10s %28d %26d" % ("Total", total_funcs, total_core))
+    return "\n".join(lines)
+
+
+def format_top_functions(profile, coverage=0.95):
+    """List the core (top-N) functions with their sample shares."""
+    core = profile.top_functions(coverage=coverage)
+    kernel_total = max(1, profile.kernel_samples)
+    lines = ["Top %d kernel functions (>= %.0f%% of kernel samples):"
+             % (len(core), coverage * 100)]
+    acc = 0
+    for i, item in enumerate(core, start=1):
+        acc += item.samples
+        lines.append(
+            "%3d. %-26s %-8s %6d samples  %5.1f%%  (cum %5.1f%%)  via %s"
+            % (i, item.name, item.subsystem, item.samples,
+               100.0 * item.samples / kernel_total,
+               100.0 * acc / kernel_total,
+               item.dominant_workload()))
+    return "\n".join(lines)

@@ -1,0 +1,1 @@
+"""Command-line utilities: objdump/ksymoops equivalents for the kernel."""

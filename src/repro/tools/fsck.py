@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Check an ext2lite image file (host-side fsck front-end).
+
+    python3 -m repro.tools.fsck IMAGE [--repair REPAIRED_IMAGE]
+
+Prints the §7.1 severity classification (clean / dirty / inconsistent /
+unrecoverable) and every issue found; with ``--repair`` also writes the
+repaired image.  Exit status: 0 clean, 1 dirty, 2 inconsistent,
+3 unrecoverable.
+"""
+
+import argparse
+import sys
+
+from repro.machine.disk import fsck
+
+_EXIT = {"clean": 0, "dirty": 1, "inconsistent": 2, "unrecoverable": 3}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("image")
+    parser.add_argument("--repair", metavar="OUT",
+                        help="write a repaired image here")
+    args = parser.parse_args(argv)
+    with open(args.image, "rb") as fh:
+        image = fh.read()
+    report = fsck(image, repair=args.repair is not None)
+    print("status: %s" % report.status)
+    for issue in report.issues:
+        print("  - %s" % issue)
+    if args.repair and report.repaired is not None:
+        with open(args.repair, "wb") as fh:
+            fh.write(report.repaired)
+        print("repaired image written to %s" % args.repair)
+    return _EXIT[report.status]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

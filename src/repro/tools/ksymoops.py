@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Annotate a crash by re-running one injection (ksymoops equivalent).
+
+    python3 -m repro.tools.ksymoops FUNCTION BYTE BIT [--workload W]
+
+Re-runs a single-bit injection against the named kernel function (bit
+BIT of byte BYTE of its first instruction, or use --addr-offset to pick
+another instruction) and prints the fully symbolized oops report:
+registers, the corrupted code listing, and the call-trace guess.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.oops import annotate_crash
+from repro.injection.runner import BOOT_MARKER, InjectionHarness
+from repro.kernel.build import build_kernel
+from repro.machine.machine import Machine, build_standard_disk
+from repro.profiling.sampler import profile_kernel
+from repro.userland.build import build_all_programs
+from repro.userland.programs import WORKLOADS
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("function")
+    parser.add_argument("byte", type=int)
+    parser.add_argument("bit", type=int)
+    parser.add_argument("--addr-offset", type=int, default=0,
+                        help="offset from the function start")
+    parser.add_argument("--workload", default=None)
+    args = parser.parse_args(argv)
+
+    kernel = build_kernel()
+    binaries = build_all_programs()
+    info = next((f for f in kernel.functions
+                 if f.name == args.function), None)
+    if info is None:
+        parser.error("unknown kernel function %r" % args.function)
+
+    workload = args.workload
+    if workload is None:
+        profile = profile_kernel(kernel, binaries, WORKLOADS)
+        harness = InjectionHarness(kernel, binaries, profile)
+        workload = harness.workload_priority(args.function)[0]
+    print("driving workload: %s" % workload, file=sys.stderr)
+
+    machine = Machine(kernel, build_standard_disk(binaries, workload))
+    machine.run_until_console(BOOT_MARKER)
+    target = info.start + args.addr_offset
+
+    def flip(m):
+        m.flip_bit(target + args.byte, args.bit)
+
+    machine.arm_breakpoint(target, flip)
+    result = machine.run(max_cycles=60_000_000)
+    print("run status: %s (exit %r)" % (result.status, result.exit_code))
+    if result.crash is None:
+        print("no crash dump recorded; console tail:")
+        print(result.console[-400:])
+        return 1
+    print(annotate_crash(kernel, result.crash, machine=machine))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Disassemble the simulated kernel (objdump -d equivalent).
+
+    python3 -m repro.tools.objdump [function ...]
+    python3 -m repro.tools.objdump --list
+    python3 -m repro.tools.objdump --subsystem fs
+
+With no arguments, disassembles every kernel function.  ``--list``
+prints the symbol table (address, size, subsystem, name).
+"""
+
+import argparse
+import sys
+
+from repro.isa.decoder import decode_all
+from repro.isa.disasm import format_instr
+from repro.kernel.build import build_kernel
+
+
+def disassemble_function(kernel, info, out=sys.stdout):
+    out.write("\n%08x <%s>:   ; %s, %d bytes\n"
+              % (info.start, info.name, info.subsystem, info.size))
+    code = kernel.code[info.start - kernel.base:info.end - kernel.base]
+    for ins in decode_all(code, base=info.start):
+        hex_bytes = " ".join("%02x" % b for b in ins.raw)
+        out.write("%8x:\t%-24s\t%s\n"
+                  % (ins.addr, hex_bytes, format_instr(ins)))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("functions", nargs="*",
+                        help="function names to disassemble")
+    parser.add_argument("--list", action="store_true",
+                        help="print the symbol table only")
+    parser.add_argument("--subsystem",
+                        help="restrict to one subsystem (arch/fs/...)")
+    args = parser.parse_args(argv)
+
+    kernel = build_kernel()
+    functions = sorted(kernel.functions, key=lambda f: f.start)
+    if args.subsystem:
+        functions = [f for f in functions
+                     if f.subsystem == args.subsystem]
+    if args.functions:
+        wanted = set(args.functions)
+        functions = [f for f in functions if f.name in wanted]
+        missing = wanted - {f.name for f in functions}
+        if missing:
+            parser.error("unknown function(s): %s"
+                         % ", ".join(sorted(missing)))
+    if args.list:
+        for info in functions:
+            print("%08x %6d %-8s %s"
+                  % (info.start, info.size, info.subsystem, info.name))
+        return 0
+    for info in functions:
+        disassemble_function(kernel, info)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

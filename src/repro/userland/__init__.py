@@ -1,0 +1,7 @@
+"""User-mode programs: init plus the UnixBench-like workload suite."""
+
+from repro.userland.build import UserBinary, build_program, build_all_programs
+from repro.userland.programs import PROGRAMS, WORKLOADS
+
+__all__ = ["UserBinary", "build_program", "build_all_programs",
+           "PROGRAMS", "WORKLOADS"]

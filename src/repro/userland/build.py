@@ -1,0 +1,82 @@
+"""Build user programs into flat "bx" binaries.
+
+Binary layout (matching the kernel's exec loader)::
+
+    +0   magic 0x0B17C0DE
+    +4   entry (virtual address of _ustart)
+    +8   file size (bytes the loader reads from the file)
+    +12  bss size (zero bytes appended after the image)
+    +16  text ... [page-aligned gap] ... data
+"""
+
+import struct
+
+from repro.cc.compiler import compile_unit
+from repro.isa.assembler import assemble
+from repro.kernel.layout import PAGE_SIZE, KernelLayout
+from repro.userland.programs import PROGRAMS, ULIB, USTART_ASM
+
+
+class UserBinary:
+    """One built user program."""
+
+    def __init__(self, name, image, entry, symbols, functions):
+        self.name = name
+        self.image = image          # bytes incl. the 16-byte header
+        self.entry = entry
+        self.symbols = symbols
+        self.functions = functions
+
+    def __len__(self):
+        return len(self.image)
+
+
+def build_program(name, iters=None, layout=None, extra_source=""):
+    """Compile one user program into a :class:`UserBinary`.
+
+    Args:
+        name: key into :data:`~repro.userland.programs.PROGRAMS`.
+        iters: override the program's CFG_ITERS build parameter.
+        extra_source: additional MinC appended to the program unit
+            (used by tests to craft custom programs).
+    """
+    if layout is None:
+        layout = KernelLayout()
+    source, default_iters = PROGRAMS[name]
+    if iters is None:
+        iters = default_iters
+    config = "const CFG_ITERS = %d;\n" % iters
+    unit = compile_unit([
+        ("config.h", "user", config),
+        ("ulib.c", "user", ULIB),
+        (name + ".c", "user", source + extra_source),
+    ], externs=("_ustart",))
+    asm_text = (
+        ".long %d\n" % 0x0B17C0DE
+        + ".long _ustart\n"
+        + ".long 0\n"               # file size, patched below
+        + ".long 0\n"               # bss
+        + USTART_ASM
+        + unit.text
+        + "\n.align %d\n" % PAGE_SIZE
+        + unit.data
+    )
+    program = assemble(asm_text, base=layout.USER_TEXT)
+    image = bytearray(program.code)
+    struct.pack_into("<I", image, 8, len(image))
+    return UserBinary(
+        name=name,
+        image=bytes(image),
+        entry=program.symbols["_ustart"],
+        symbols=program.symbols,
+        functions=program.functions,
+    )
+
+
+def build_all_programs(iters_overrides=None, layout=None):
+    """Build every program; returns name -> :class:`UserBinary`."""
+    overrides = iters_overrides or {}
+    return {
+        name: build_program(name, iters=overrides.get(name), layout=layout)
+        for name in PROGRAMS
+    }

@@ -1,0 +1,557 @@
+"""MinC sources for the user programs.
+
+``WORKLOADS`` mirrors the eight UnixBench programs the paper selected
+(§4): context1, dhry, fstime, hanoi, looper, pipe, spawn, syscall.  Each
+prints deterministic results so the harness can compare every injected
+run against the golden run (not-manifested vs fail-silence
+classification).
+
+Programs reference ``CFG_ITERS`` for their main loop count; the builder
+prepends the ``const`` declaration, so workload sizes are a build
+parameter.
+"""
+
+# Shared user-space runtime ("libc").
+ULIB = r"""
+int exit(code) {
+    syscall(1, code);
+    for (;;)
+        ;
+    return 0;
+}
+
+int fork() { return syscall(2); }
+int read(fd, buf, n) { return syscall(3, fd, buf, n); }
+int write(fd, buf, n) { return syscall(4, fd, buf, n); }
+int open(path) { return syscall(5, path); }
+int close(fd) { return syscall(6, fd); }
+int wait(status_ptr) { return syscall(7, status_ptr); }
+int creat(path) { return syscall(8, path); }
+int unlink(path) { return syscall(9, path); }
+int exec(path) { return syscall(10, path); }
+int lseek(fd, off, whence) { return syscall(12, fd, off, whence); }
+int getpid() { return syscall(13); }
+int dup(fd) { return syscall(14, fd); }
+int pipe(fds) { return syscall(15, fds); }
+int brk(p) { return syscall(16, p); }
+int sched_yield() { return syscall(17); }
+int kill(pid, sig) { return syscall(18, pid, sig); }
+int sync() { return syscall(19); }
+int reboot(code) { return syscall(20, code); }
+int sem_op(op) { return syscall(21, op); }
+int net_ping(v) { return syscall(22, v); }
+int stat(path, buf) { return syscall(11, path, buf); }
+int sysinfo(buf) { return syscall(23, buf); }
+
+int strlen(s) {
+    int n = 0;
+    while (ldb(s + n))
+        n++;
+    return n;
+}
+
+int strcpy(dst, src) {
+    int d = dst;
+    int c;
+    do {
+        c = ldb(src);
+        stb(d, c);
+        src++;
+        d++;
+    } while (c);
+    return dst;
+}
+
+int strcmp(a, b) {
+    int ca;
+    int cb;
+    for (;;) {
+        ca = ldb(a);
+        cb = ldb(b);
+        if (ca != cb)
+            return ca - cb;
+        if (!ca)
+            return 0;
+        a++;
+        b++;
+    }
+}
+
+int print(s) {
+    return write(1, s, strlen(s));
+}
+
+int printn(v) {
+    int buf[12];
+    int tmp[12];
+    int n = 0;
+    int len = 0;
+    if (v < 0) {
+        stb(buf, '-');
+        len = 1;
+        v = -v;
+    }
+    if (v == 0) {
+        tmp[n] = '0';
+        n = 1;
+    }
+    while (v) {
+        tmp[n] = '0' + umod(v, 10);
+        v = udiv(v, 10);
+        n++;
+    }
+    while (n > 0) {
+        n--;
+        stb(buf + len, tmp[n]);
+        len++;
+    }
+    return write(1, buf, len);
+}
+
+int printx(v) {
+    int buf[4];
+    int i;
+    int digit;
+    for (i = 0; i < 8; i++) {
+        digit = (v >> ((7 - i) * 4)) & 15;
+        if (digit < 10)
+            stb(buf + i, '0' + digit);
+        else
+            stb(buf + i, 'a' + digit - 10);
+    }
+    return write(1, buf, 8);
+}
+"""
+
+# Entry stub assembled in front of each program.
+USTART_ASM = r"""
+.func _ustart user
+_ustart:
+    call main
+    push eax
+    call exit
+.endfunc
+"""
+
+INIT = r"""
+int status = 0;
+
+int check_libc() {
+    int fd = open("/lib/libc.txt");
+    int buf[8];
+    int got;
+    if (fd < 0)
+        return -1;
+    got = read(fd, buf, 14);
+    close(fd);
+    if (got < 14)
+        return -1;
+    stb(buf + 14, 0);
+    if (strcmp(buf, "LIBC-2.2.4-SIM") != 0)
+        return -1;
+    return 0;
+}
+
+int append_bootlog() {
+    int fd = open("/var/bootlog");
+    if (fd < 0) {
+        fd = creat("/var/bootlog");
+        if (fd < 0)
+            return -1;
+    }
+    lseek(fd, 0, 2);
+    write(fd, "boot\n", 5);
+    close(fd);
+    return 0;
+}
+
+int main() {
+    int path[32];
+    int got;
+    int fd;
+    int pid;
+    open("/dev/console");       /* fd 0 */
+    dup(0);                     /* fd 1 */
+    dup(0);                     /* fd 2 */
+    print("INIT: version 2.84-sim booting\n");
+    if (check_libc() < 0) {
+        print("INIT: error while loading shared libraries: /lib/libc.txt: file too short\n");
+        reboot(86);
+    }
+    append_bootlog();
+    fd = open("/etc/workload");
+    if (fd < 0) {
+        print("INIT: no workload configured\n");
+        sync();
+        reboot(0);
+    }
+    got = read(fd, path, 100);
+    close(fd);
+    if (got <= 0) {
+        print("INIT: empty workload file\n");
+        sync();
+        reboot(0);
+    }
+    stb(path + got, 0);
+    print("INIT: starting workload\n");
+    pid = fork();
+    if (pid == 0) {
+        exec(path);
+        print("INIT: cannot exec workload\n");
+        exit(127);
+    }
+    if (pid < 0) {
+        print("INIT: fork failed\n");
+        sync();
+        reboot(1);
+    }
+    wait(&status);
+    print("INIT: workload exited status=");
+    printn(status);
+    print("\n");
+    sync();
+    reboot(0);
+}
+"""
+
+NULLTASK = r"""
+int main() {
+    return 0;
+}
+"""
+
+# -- the eight UnixBench-equivalent workloads -----------------------------
+
+SYSCALL_BENCH = r"""
+/* syscall.c: raw system-call overhead (getpid/dup/close/umask-ish). */
+int main() {
+    int i;
+    int ok = 0;
+    int fd;
+    open("/dev/console");
+    for (i = 0; i < CFG_ITERS; i++) {
+        if (getpid() > 0)
+            ok++;
+        fd = dup(0);
+        if (fd >= 0) {
+            close(fd);
+            ok++;
+        }
+        sem_op(0);
+        sem_op(1);
+        if (net_ping(i) >= 0)
+            ok++;
+    }
+    print("syscall: ");
+    printn(ok);
+    print(" ok\n");
+    return 0;
+}
+"""
+
+PIPE_BENCH = r"""
+/* pipe.c: 512-byte round trips through a self-pipe. */
+int fds[2];
+int buf[128];
+
+int main() {
+    int i;
+    int j;
+    int sum = 0;
+    int got;
+    open("/dev/console");
+    if (pipe(fds) < 0) {
+        print("pipe: FAIL create\n");
+        return 1;
+    }
+    for (i = 0; i < CFG_ITERS; i++) {
+        for (j = 0; j < 128; j++)
+            buf[j] = i * 131 + j;
+        if (write(fds[1], buf, 512) != 512) {
+            print("pipe: FAIL write\n");
+            return 1;
+        }
+        for (j = 0; j < 128; j++)
+            buf[j] = 0;
+        got = read(fds[0], buf, 512);
+        if (got != 512) {
+            print("pipe: FAIL read\n");
+            return 1;
+        }
+        for (j = 0; j < 128; j++)
+            sum += buf[j] & 255;
+    }
+    print("pipe: sum=");
+    printn(sum);
+    print("\n");
+    return 0;
+}
+"""
+
+CONTEXT1_BENCH = r"""
+/* context1.c: token ping-pong between two processes over two pipes. */
+int p1[2];
+int p2[2];
+
+int main() {
+    int i;
+    int token[1];
+    int pid;
+    int status;
+    open("/dev/console");
+    if (pipe(p1) < 0 || pipe(p2) < 0) {
+        print("context1: FAIL pipes\n");
+        return 1;
+    }
+    pid = fork();
+    if (pid == 0) {
+        /* child: echo tokens from p1 to p2, incremented */
+        for (i = 0; i < CFG_ITERS; i++) {
+            if (read(p1[0], token, 4) != 4)
+                exit(2);
+            token[0] = token[0] + 1;
+            if (write(p2[1], token, 4) != 4)
+                exit(3);
+        }
+        exit(0);
+    }
+    if (pid < 0) {
+        print("context1: FAIL fork\n");
+        return 1;
+    }
+    token[0] = 0;
+    for (i = 0; i < CFG_ITERS; i++) {
+        if (write(p1[1], token, 4) != 4) {
+            print("context1: FAIL write\n");
+            return 1;
+        }
+        if (read(p2[0], token, 4) != 4) {
+            print("context1: FAIL read\n");
+            return 1;
+        }
+        token[0] = token[0] + 1;
+    }
+    wait(&status);
+    print("context1: token=");
+    printn(token[0]);
+    print(" child=");
+    printn(status);
+    print("\n");
+    return 0;
+}
+"""
+
+SPAWN_BENCH = r"""
+/* spawn.c: process creation rate. */
+int main() {
+    int i;
+    int pid;
+    int status;
+    int ok = 0;
+    int marker[1];
+    open("/dev/console");
+    for (i = 0; i < CFG_ITERS; i++) {
+        marker[0] = i ^ 0x5A;
+        pid = fork();
+        if (pid == 0) {
+            /* touch the COW'd stack page, then exit */
+            marker[0] = marker[0] + 1;
+            exit(marker[0] & 127);
+        }
+        if (pid < 0) {
+            print("spawn: FAIL fork\n");
+            return 1;
+        }
+        status = -1;
+        wait(&status);
+        if (status == (((i ^ 0x5A) + 1) & 127))
+            ok++;
+    }
+    print("spawn: ");
+    printn(ok);
+    print(" ok\n");
+    return 0;
+}
+"""
+
+FSTIME_BENCH = r"""
+/* fstime.c: file write / rewind / read / verify / unlink cycle. */
+int buf[256];
+
+int main() {
+    int fd;
+    int i;
+    int j;
+    int sum = 0;
+    int got;
+    open("/dev/console");
+    for (i = 0; i < CFG_ITERS; i++) {
+        fd = creat("/var/fstime.tmp");
+        if (fd < 0) {
+            print("fstime: FAIL creat\n");
+            return 1;
+        }
+        for (j = 0; j < 256; j++)
+            buf[j] = i * 977 + j * 13;
+        for (j = 0; j < 4; j++)
+            if (write(fd, buf, 1024) != 1024) {
+                print("fstime: FAIL write\n");
+                return 1;
+            }
+        close(fd);
+        fd = open("/var/fstime.tmp");
+        if (fd < 0) {
+            print("fstime: FAIL reopen\n");
+            return 1;
+        }
+        for (j = 0; j < 4; j++) {
+            got = read(fd, buf, 1024);
+            if (got != 1024) {
+                print("fstime: FAIL read\n");
+                return 1;
+            }
+        }
+        close(fd);
+        for (j = 0; j < 256; j++)
+            sum += buf[j] & 1023;
+        unlink("/var/fstime.tmp");
+    }
+    sync();
+    print("fstime: sum=");
+    printn(sum);
+    print("\n");
+    return 0;
+}
+"""
+
+DHRY_BENCH = r"""
+/* dhry: Dhrystone-flavoured integer and string CPU work. */
+int int_glob = 0;
+int bool_glob = 0;
+int arr1[50];
+int arr2[50];
+int str1[12];
+int str2[12];
+
+int proc7(a, b) {
+    return a + b + 2;
+}
+
+int proc8(a1, a2, idx, val) {
+    a1[idx] = val;
+    a1[idx + 1] = a1[idx];
+    a1[idx + 30] = idx;
+    a2[idx] = a1[idx] + int_glob;
+    return 0;
+}
+
+int func2(s1, s2) {
+    if (strcmp(s1, s2) != 0) {
+        int_glob = int_glob + 10;
+        return 1;
+    }
+    return 0;
+}
+
+int main() {
+    int run;
+    int i;
+    int sum = 0;
+    open("/dev/console");
+    strcpy(str1, "DHRYSTONE PROGRAM, 1ST STRING");
+    for (run = 0; run < CFG_ITERS; run++) {
+        strcpy(str2, "DHRYSTONE PROGRAM, 2ND STRING");
+        int_glob = run & 7;
+        proc8(arr1, arr2, run % 16, run * 3);
+        bool_glob = func2(str1, str2);
+        for (i = 0; i < 50; i++)
+            sum += arr2[i] ^ arr1[i];
+        sum += proc7(run, int_glob);
+        if (bool_glob)
+            sum += 5;
+        else
+            sum -= 3;
+        if (run % 16 == 0)
+            getpid();       /* sprinkle kernel entries, like timer ticks */
+    }
+    print("dhry: sum=");
+    printn(sum);
+    print("\n");
+    return 0;
+}
+"""
+
+HANOI_BENCH = r"""
+/* hanoi.c: deep recursion. */
+int moves = 0;
+
+int hanoi(n, from, to, via) {
+    if (n == 1) {
+        moves++;
+        return 0;
+    }
+    hanoi(n - 1, from, via, to);
+    moves++;
+    hanoi(n - 1, via, to, from);
+    return 0;
+}
+
+int main() {
+    int i;
+    open("/dev/console");
+    for (i = 0; i < CFG_ITERS; i++)
+        hanoi(9, 1, 3, 2);
+    print("hanoi: moves=");
+    printn(moves);
+    print("\n");
+    return 0;
+}
+"""
+
+LOOPER_BENCH = r"""
+/* looper.c: repeated fork+exec of a trivial program. */
+int main() {
+    int i;
+    int pid;
+    int status;
+    int ok = 0;
+    open("/dev/console");
+    for (i = 0; i < CFG_ITERS; i++) {
+        pid = fork();
+        if (pid == 0) {
+            exec("/bin/nulltask");
+            exit(99);
+        }
+        if (pid < 0) {
+            print("looper: FAIL fork\n");
+            return 1;
+        }
+        status = -1;
+        wait(&status);
+        if (status == 0)
+            ok++;
+    }
+    print("looper: ");
+    printn(ok);
+    print(" ok\n");
+    return 0;
+}
+"""
+
+# name -> (source, default CFG_ITERS)
+PROGRAMS = {
+    "init": (INIT, 0),
+    "nulltask": (NULLTASK, 0),
+    "syscall": (SYSCALL_BENCH, 15),
+    "pipe": (PIPE_BENCH, 10),
+    "context1": (CONTEXT1_BENCH, 10),
+    "spawn": (SPAWN_BENCH, 4),
+    "fstime": (FSTIME_BENCH, 2),
+    "dhry": (DHRY_BENCH, 25),
+    "hanoi": (HANOI_BENCH, 3),
+    "looper": (LOOPER_BENCH, 2),
+}
+
+# The eight benchmark programs of the paper's §4, in its order.
+WORKLOADS = ("context1", "dhry", "fstime", "hanoi", "looper", "pipe",
+             "spawn", "syscall")

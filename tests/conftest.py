@@ -1,0 +1,29 @@
+"""Shared fixtures: expensive artifacts are built once per session."""
+
+import pytest
+
+from repro.kernel.build import build_kernel
+from repro.userland.build import build_all_programs
+
+
+@pytest.fixture(scope="session")
+def kernel():
+    return build_kernel()
+
+
+@pytest.fixture(scope="session")
+def binaries():
+    return build_all_programs()
+
+
+@pytest.fixture(scope="session")
+def profile(kernel, binaries):
+    from repro.profiling.sampler import profile_kernel
+    from repro.userland.programs import WORKLOADS
+    return profile_kernel(kernel, binaries, WORKLOADS)
+
+
+@pytest.fixture(scope="session")
+def harness(kernel, binaries, profile):
+    from repro.injection.runner import InjectionHarness
+    return InjectionHarness(kernel, binaries, profile)

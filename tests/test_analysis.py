@@ -1,0 +1,200 @@
+"""Analysis/statistics unit tests over synthetic injection results."""
+
+import pytest
+
+from repro.analysis.availability import (
+    allowed_failures_per_year,
+    availability_given_rates,
+    downtime_budget,
+    years_between_failures,
+)
+from repro.analysis.propagation import (
+    propagation_graph,
+    propagation_matrix,
+    propagation_rate,
+)
+from repro.analysis.stats import (
+    activation_stats,
+    crash_cause_distribution,
+    latency_histogram,
+    outcome_pie,
+    per_function_crash_shares,
+    severity_counts,
+    subsystem_outcome_table,
+)
+from repro.injection.outcomes import InjectionResult
+
+
+def make_result(**kw):
+    defaults = dict(campaign="A", function="f", subsystem="fs",
+                    addr=0xC0100000, byte_offset=0, bit=0, mnemonic="mov",
+                    workload="syscall", activated=True,
+                    outcome="not_manifested")
+    defaults.update(kw)
+    return InjectionResult(**defaults)
+
+
+@pytest.fixture()
+def sample():
+    return [
+        make_result(outcome="not_activated", activated=False),
+        make_result(outcome="not_manifested"),
+        make_result(outcome="fail_silence_violation"),
+        make_result(outcome="crash_dumped", crash_cause="null_pointer",
+                    crash_subsystem="fs", latency=5, severity="normal"),
+        make_result(outcome="crash_dumped", crash_cause="paging_request",
+                    crash_subsystem="kernel", latency=250_000,
+                    severity="severe"),
+        make_result(subsystem="mm", outcome="crash_dumped",
+                    crash_cause="invalid_opcode", crash_subsystem="mm",
+                    latency=2, severity="most_severe"),
+        make_result(subsystem="mm", outcome="hang"),
+        make_result(subsystem="kernel", outcome="crash_unknown"),
+    ]
+
+
+class TestStats:
+    def test_activation(self, sample):
+        injected, activated = activation_stats(sample)
+        assert injected == 8
+        assert activated == 7
+
+    def test_outcome_pie_counts_activated_only(self, sample):
+        pie = outcome_pie(sample)
+        assert pie["activated"] == 7
+        assert pie["crash_dumped"] == 3
+        assert pie["hang"] == 1
+        assert "not_activated" not in pie
+
+    def test_subsystem_table_rows(self, sample):
+        rows = subsystem_outcome_table(sample)
+        by_name = {row["subsystem"]: row for row in rows}
+        assert by_name["fs"]["injected"] == 5
+        assert by_name["fs"]["activated"] == 4
+        assert by_name["fs"]["crash_hang"] == 2
+        assert by_name["mm"]["crash_hang"] == 2
+        assert by_name["Total"]["injected"] == 8
+
+    def test_crash_causes(self, sample):
+        causes = crash_cause_distribution(sample)
+        assert causes == {"null_pointer": 1, "paging_request": 1,
+                          "invalid_opcode": 1}
+
+    def test_latency_histogram(self, sample):
+        histogram = latency_histogram(sample)
+        assert histogram["0-10"] == 2
+        assert histogram[">1e5"] == 1
+
+    def test_latency_by_subsystem(self, sample):
+        per = latency_histogram(sample, by_subsystem=True)
+        assert per["fs"]["0-10"] == 1
+        assert per["mm"]["0-10"] == 1
+
+    def test_per_function_shares(self, sample):
+        shares = per_function_crash_shares(sample)
+        name, count, share = shares["fs"][0]
+        assert name == "f" and count == 2 and share == 1.0
+
+    def test_severity_counts(self, sample):
+        counts = severity_counts(sample)
+        assert counts == {"normal": 1, "severe": 1, "most_severe": 1}
+
+
+class TestPropagation:
+    def test_matrix(self, sample):
+        matrix = propagation_matrix(sample)
+        assert matrix["fs"]["fs"] == 1
+        assert matrix["fs"]["kernel"] == 1
+        assert matrix["mm"]["mm"] == 1
+
+    def test_rate(self, sample):
+        # 3 attributable dumped crashes, 1 escaped its subsystem
+        assert propagation_rate(sample) == pytest.approx(1 / 3)
+
+    def test_rate_excludes_wild_by_default(self, sample):
+        wild = sample + [make_result(outcome="crash_dumped",
+                                     crash_cause="gpf",
+                                     crash_subsystem=None)]
+        assert propagation_rate(wild) == pytest.approx(1 / 3)
+        assert propagation_rate(wild, include_wild=True) \
+            == pytest.approx(2 / 4)
+
+    def test_wild_fraction(self, sample):
+        from repro.analysis.propagation import wild_crash_fraction
+        wild = sample + [make_result(outcome="crash_dumped",
+                                     crash_cause="gpf",
+                                     crash_subsystem=None)]
+        assert wild_crash_fraction(wild) == pytest.approx(1 / 4)
+
+    def test_graph_structure(self, sample):
+        graph = propagation_graph(sample, "fs")
+        assert graph.nodes["fs"]["crashes"] == 2
+        assert graph.edges["fs", "kernel"]["fraction"] == pytest.approx(0.5)
+        assert graph.nodes["kernel"]["causes"] == {"paging_request": 1}
+
+    def test_wild_eip_bucketed(self):
+        results = [make_result(outcome="crash_dumped",
+                               crash_cause="gpf", crash_subsystem=None)]
+        matrix = propagation_matrix(results)
+        assert matrix["fs"]["(wild)"] == 1
+
+
+class TestAvailability:
+    def test_five_nines_budget(self):
+        # ~5.3 minutes/year
+        assert downtime_budget(0.99999) == pytest.approx(315.36)
+
+    def test_paper_claims(self):
+        """§7.1: at 5 nines, one most-severe (~1 h) every ~12 years."""
+        years = years_between_failures(0.99999, 55 * 60)
+        assert 9 < years < 12
+        # a normal crash (<4 min reboot) at most ~once a year
+        per_year = allowed_failures_per_year(0.99999, 4 * 60)
+        assert 1.0 < per_year < 1.5
+
+    def test_availability_from_rates(self):
+        availability = availability_given_rates(
+            {"normal": (1, 240), "most_severe": (1 / 12, 3300)})
+        assert 0.99998 < availability < 0.999999
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            downtime_budget(1.5)
+        with pytest.raises(ValueError):
+            allowed_failures_per_year(0.999, 0)
+
+
+class TestResultModel:
+    def test_roundtrip(self):
+        result = make_result(outcome="crash_dumped", latency=42,
+                             crash_cause="gpf")
+        clone = InjectionResult.from_dict(result.to_dict())
+        assert clone.latency == 42
+        assert clone.crash_cause == "gpf"
+        assert clone.crashed
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            InjectionResult(bogus=1)
+
+
+class TestLatencyPropagation:
+    def test_split_and_medians(self, ):
+        from repro.analysis.stats import latency_by_propagation
+        results = [
+            make_result(outcome="crash_dumped", crash_cause="gpf",
+                        crash_subsystem="fs", latency=4),
+            make_result(outcome="crash_dumped", crash_cause="gpf",
+                        crash_subsystem="fs", latency=6),
+            make_result(outcome="crash_dumped", crash_cause="gpf",
+                        crash_subsystem="kernel", latency=100_000),
+        ]
+        split = latency_by_propagation(results)
+        assert split["contained"] == (2, 5)
+        assert split["escaped"] == (1, 100_000)
+
+    def test_empty(self):
+        from repro.analysis.stats import latency_by_propagation
+        split = latency_by_propagation([])
+        assert split["contained"] == (0, None)
+        assert split["escaped"] == (0, None)

@@ -1,0 +1,78 @@
+"""Case-study extraction (Tables 6/7 machinery) against the real kernel."""
+
+from repro.analysis.cases import case_study, find_case_studies, \
+    format_case_study
+from repro.injection.outcomes import InjectionResult
+
+
+def make_result(kernel, function, byte_offset=0, bit=6, **kw):
+    info = next(f for f in kernel.functions if f.name == function)
+    fields = dict(campaign="A", function=function,
+                  subsystem=info.subsystem, addr=info.start,
+                  byte_offset=byte_offset, bit=bit, mnemonic="push",
+                  workload="syscall", activated=True,
+                  outcome="crash_dumped", crash_cause="gpf")
+    fields.update(kw)
+    return InjectionResult(**fields)
+
+
+class TestCaseStudy:
+    def test_before_after_differ(self, kernel):
+        result = make_result(kernel, "schedule")
+        case = case_study(kernel, result)
+        assert case["before"] != case["after"]
+        assert case["function"] == "schedule"
+
+    def test_prologue_flip_shows_push_ebp(self, kernel):
+        result = make_result(kernel, "schedule", byte_offset=0, bit=3)
+        case = case_study(kernel, result)
+        # every MinC function starts with push %ebp
+        assert "push %ebp" in case["before"][0]
+        # 0x55 ^ 0x08 = 0x5d -> pop %ebp
+        assert "pop %ebp" in case["after"][0]
+
+    def test_format_contains_both_listings(self, kernel):
+        result = make_result(kernel, "do_generic_file_read")
+        text = format_case_study(kernel, result)
+        assert "before:" in text
+        assert "after bit" in text
+        assert "do_generic_file_read" in text
+
+    def test_condition_flip_renders_like_paper(self, kernel):
+        """A campaign-C case renders je -> jne like Table 7 ex. 4."""
+        from repro.isa.decoder import decode_all
+        info = next(f for f in kernel.functions if f.name == "free_page")
+        code = kernel.code[info.start - kernel.base:
+                           info.end - kernel.base]
+        jcc = next(i for i in decode_all(code, base=info.start)
+                   if i.op == "jcc")
+        offset = 1 if jcc.raw[0] == 0x0F else 0
+        result = make_result(kernel, "free_page", byte_offset=offset,
+                             bit=0, campaign="C", mnemonic="jcc",
+                             addr=jcc.addr)
+        case = case_study(kernel, result)
+        before_ops = case["before"][0].split()[-2]
+        after_ops = case["after"][0].split()[-2]
+        assert before_ops != after_ops  # je <-> jne (or similar pair)
+
+
+class TestFindCases:
+    def test_selects_one_per_kind(self, kernel):
+        results = [
+            make_result(kernel, "schedule", outcome="not_manifested",
+                        crash_cause=None, mnemonic="jcc"),
+            make_result(kernel, "iget", crash_cause="null_pointer"),
+            make_result(kernel, "getblk", crash_cause="null_pointer"),
+            make_result(kernel, "bread", crash_cause="invalid_opcode"),
+        ]
+        found = find_case_studies(kernel, results)
+        assert found["not_manifested_branch"].function == "schedule"
+        assert found["null_pointer"].function == "iget"  # first wins
+        assert found["invalid_opcode"].function == "bread"
+        assert "paging_request" not in found
+
+    def test_ignores_unactivated(self, kernel):
+        results = [make_result(kernel, "iget", activated=False,
+                               outcome="not_activated",
+                               crash_cause=None)]
+        assert find_case_studies(kernel, results) == {}

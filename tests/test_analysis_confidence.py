@@ -1,0 +1,75 @@
+"""Wilson intervals and proportion tests."""
+
+import pytest
+
+from repro.analysis.confidence import (
+    format_intervals,
+    outcome_intervals,
+    proportion_diff_pvalue,
+    wilson_interval,
+)
+from tests.test_analysis import make_result
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_narrows_with_more_data(self):
+        low1, high1 = wilson_interval(30, 100)
+        low2, high2 = wilson_interval(300, 1000)
+        assert (high2 - low2) < (high1 - low1)
+
+    def test_edge_counts(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0 and high < 0.15
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0 and low > 0.85
+
+    def test_empty_total(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_invalid_successes(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_confidence_widens(self):
+        n95 = wilson_interval(30, 100, 0.95)
+        n99 = wilson_interval(30, 100, 0.99)
+        assert (n99[1] - n99[0]) > (n95[1] - n95[0])
+
+
+class TestProportionTest:
+    def test_identical_proportions_not_significant(self):
+        assert proportion_diff_pvalue(30, 100, 60, 200) > 0.9
+
+    def test_clear_difference_significant(self):
+        assert proportion_diff_pvalue(10, 100, 70, 100) < 1e-6
+
+    def test_degenerate_inputs(self):
+        assert proportion_diff_pvalue(0, 0, 5, 10) == 1.0
+        assert proportion_diff_pvalue(0, 10, 0, 10) == 1.0
+
+
+class TestOutcomeIntervals:
+    def sample(self):
+        out = []
+        out += [make_result(outcome="not_manifested")] * 6
+        out += [make_result(outcome="crash_dumped",
+                            crash_cause="gpf")] * 3
+        out += [make_result(outcome="not_activated",
+                            activated=False)] * 5
+        return out
+
+    def test_shares_over_activated_only(self):
+        intervals = outcome_intervals(self.sample())
+        share, low, high = intervals["not_manifested"]
+        assert share == pytest.approx(6 / 9)
+        assert low < share < high
+
+    def test_format(self):
+        text = format_intervals(self.sample())
+        assert "Wilson" in text
+        assert "not_manifested" in text
+        assert "[" in text

@@ -1,0 +1,110 @@
+"""ksymoops-style annotation and the assertion-placement advisor."""
+
+from repro.analysis.assertions import format_recommendations, \
+    recommend_assertion_sites
+from repro.analysis.oops import annotate_crash, disassemble_around, \
+    symbolize
+from repro.machine.machine import Machine, build_standard_disk
+from tests.test_analysis import make_result
+
+
+class TestSymbolize:
+    def test_kernel_text_symbolized(self, kernel):
+        address = kernel.symbols["schedule"] + 3
+        text = symbolize(kernel, address)
+        assert text.startswith("schedule+0x3/")
+
+    def test_non_text_address_hex(self, kernel):
+        assert symbolize(kernel, 0x1234) == "0x00001234"
+
+    def test_disassemble_around_marks_fault(self, kernel):
+        address = kernel.symbols["schedule"]
+        lines = disassemble_around(kernel, address + 1)
+        assert any(line.startswith("->") for line in lines)
+        assert any("push %ebp" in line for line in lines)
+
+
+class TestAnnotateCrash:
+    def crash_machine(self, kernel, binaries):
+        """Produce a real crash by injecting ud2 into the scheduler."""
+        from repro.isa.decoder import decode_all
+        disk = build_standard_disk(binaries, "context1")
+        machine = Machine(kernel, disk)
+        machine.run_until_console("INIT: starting workload")
+        info = kernel.find_function(kernel.symbols["schedule"])
+        code = kernel.code[info.start - kernel.base:
+                           info.end - kernel.base]
+        # an always-executed prologue boundary (mov %esp,%ebp)
+        target = decode_all(code, base=info.start)[1].addr
+
+        def corrupt(m):
+            m.write_byte(target, 0x0F)
+            m.write_byte(target + 1, 0x0B)
+
+        machine.arm_breakpoint(target, corrupt)
+        result = machine.run(max_cycles=60_000_000)
+        return machine, result
+
+    def test_real_crash_annotation(self, kernel, binaries):
+        machine, result = self.crash_machine(kernel, binaries)
+        assert result.crash is not None
+        report = annotate_crash(kernel, result.crash, machine=machine)
+        assert "EIP:" in report
+        assert "schedule+" in report
+        assert "Code:" in report
+        assert "ud2a" in report
+        assert "Call Trace:" in report
+
+    def test_page_fault_message(self, kernel):
+        from repro.machine.machine import CrashRecord
+        crash = CrashRecord([14, 0, 0x1B, kernel.symbols["iget"], 0x10,
+                             0x202, 0, 0, 0, 0, 0, 0, 0, 0, 123, 2])
+        report = annotate_crash(kernel, crash)
+        assert "NULL pointer dereference" in report
+        assert "0000001b" in report
+        assert "iget+0x0" in report
+
+
+class TestAssertionAdvisor:
+    def test_escaping_functions_rank_first(self):
+        results = []
+        for _ in range(4):
+            results.append(make_result(
+                function="leaky", outcome="crash_dumped",
+                crash_cause="gpf", crash_subsystem="kernel"))  # escapes fs
+        for _ in range(4):
+            results.append(make_result(
+                function="contained", outcome="crash_dumped",
+                crash_cause="gpf", crash_subsystem="fs"))
+        sites = recommend_assertion_sites(results)
+        assert sites[0].function == "leaky"
+        assert sites[0].escapes == 4
+        assert sites[0].escape_rate == 1.0
+        assert sites[1].function == "contained"
+        assert sites[1].escapes == 0
+
+    def test_severity_raises_score(self):
+        results = [make_result(function="benign", outcome="crash_dumped",
+                               crash_cause="gpf", crash_subsystem="fs",
+                               severity="normal")] * 2 + \
+                  [make_result(function="nasty", outcome="crash_dumped",
+                               crash_cause="gpf", crash_subsystem="fs",
+                               severity="most_severe")] * 2
+        sites = recommend_assertion_sites(results)
+        assert sites[0].function == "nasty"
+
+    def test_min_crashes_filters_noise(self):
+        results = [make_result(function="once", outcome="crash_dumped",
+                               crash_cause="gpf", crash_subsystem="fs")]
+        assert recommend_assertion_sites(results, min_crashes=2) == []
+
+    def test_report_renders(self):
+        results = [make_result(function="leaky", outcome="crash_dumped",
+                               crash_cause="gpf",
+                               crash_subsystem="kernel")] * 3
+        text = format_recommendations(results)
+        assert "leaky" in text
+        assert "kernel:3" in text
+
+    def test_empty_report(self):
+        assert "no dumped crashes" in format_recommendations([])

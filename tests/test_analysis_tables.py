@@ -1,0 +1,97 @@
+"""Renderers: charts, Figure 4/6/7/8 tables with synthetic results."""
+
+from repro.analysis.charts import ascii_pie, bar, percent
+from repro.analysis.tables import (
+    crash_hang_split,
+    format_fig4,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_severity_table,
+)
+from tests.test_analysis import make_result
+
+
+def sample_results():
+    return [
+        make_result(outcome="not_activated", activated=False),
+        make_result(outcome="not_manifested", mnemonic="jcc"),
+        make_result(outcome="fail_silence_violation"),
+        make_result(outcome="crash_dumped", crash_cause="null_pointer",
+                    crash_subsystem="fs", latency=3, severity="normal"),
+        make_result(outcome="crash_dumped", crash_cause="invalid_opcode",
+                    crash_subsystem="kernel", latency=50_000,
+                    severity="most_severe", fs_status="unrecoverable",
+                    campaign="C"),
+        make_result(subsystem="kernel", outcome="hang"),
+        make_result(subsystem="mm", outcome="crash_unknown"),
+    ]
+
+
+class TestCharts:
+    def test_bar_clamps(self):
+        assert bar(0.5, width=10) == "#####....."
+        assert bar(2.0, width=4) == "####"
+        assert bar(-1, width=4) == "...."
+
+    def test_percent(self):
+        assert percent(1, 4) == 25.0
+        assert percent(1, 0) == 0.0
+
+    def test_ascii_pie_sorted_by_count(self):
+        from collections import Counter
+        text = ascii_pie(Counter(a=3, b=1))
+        assert text.index("a") < text.index("b")
+        assert "75.0%" in text
+
+
+class TestTableRenderers:
+    def test_fig4_table(self):
+        text = format_fig4("A", sample_results())
+        assert "Any Random Error" in text
+        assert "fs[" in text
+        assert "Total[" in text
+        assert "activated" in text.lower()
+
+    def test_fig6(self):
+        text = format_fig6("C", sample_results())
+        assert "null_pointer" in text
+        assert "dominant causes" in text
+
+    def test_fig7(self):
+        text = format_fig7("B", sample_results())
+        assert "0-10" in text
+        assert "within 10 cycles" in text
+
+    def test_fig8(self):
+        text = format_fig8("A", sample_results(), "fs")
+        assert "fs -> fs" in text or "fs -> kernel" in text
+
+    def test_severity_table(self):
+        text = format_severity_table(sample_results())
+        assert "Table 5" in text
+        assert "most severe" in text
+        assert "C" in text  # the most-severe case's campaign
+
+    def test_crash_hang_split(self):
+        dumped, unknown, hangs = crash_hang_split(sample_results())
+        assert (dumped, unknown, hangs) == (2, 1, 1)
+
+
+class TestComparison:
+    def test_build_comparison_with_fake_campaigns(self, monkeypatch):
+        from repro.experiments.comparison import build_comparison
+        from repro.injection.runner import CampaignResults
+
+        class FakeCtx:
+            scale = "test"
+            seed = 1
+
+            def campaign(self, key):
+                return CampaignResults(key, sample_results())
+
+        text = build_comparison(FakeCtx())
+        assert "Fig. 4" in text
+        assert "Fig. 6" in text
+        assert "Table 5" in text
+        assert "| Paper |" in text

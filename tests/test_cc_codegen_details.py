@@ -1,0 +1,128 @@
+"""Codegen shape details that the injection fidelity relies on."""
+
+from repro.cc import compile_single
+from repro.isa.assembler import assemble
+from repro.isa.decoder import decode_all
+
+
+def compile_and_decode(source, name):
+    unit = compile_single(source)
+    program = assemble(unit.text + "\n.align 64\n" + unit.data,
+                       base=0x1000)
+    info = next(f for f in program.functions if f.name == name)
+    code = program.code[info.start - 0x1000:info.end - 0x1000]
+    return decode_all(code, base=info.start), info, program
+
+
+class TestColdBlocks:
+    def test_error_return_compiles_to_branch_past_ret(self):
+        source = """
+        int f(err) {
+            if (err < 0)
+                return err;
+            return err + 1;
+        }
+        """
+        instrs, info, _ = compile_and_decode(source, "f")
+        ret_addr = next(i.addr for i in instrs if i.op == "ret")
+        branches = [i for i in instrs if i.op == "jcc"]
+        assert branches, "error check must be a conditional branch"
+        target = branches[0].addr + branches[0].length + branches[0].rel
+        assert target > ret_addr, \
+            "cold error block must live after the hot ret"
+
+    def test_bug_guard_is_branch_over_ud2(self):
+        source = """
+        int f(p) {
+            if (!p)
+                BUG();
+            return *p;
+        }
+        """
+        instrs, _, _ = compile_and_decode(source, "f")
+        ops = [i.op for i in instrs]
+        assert "ud2" in ops
+        ud2_index = ops.index("ud2")
+        # a conditional branch precedes (and skips) the ud2
+        assert any(i.op == "jcc"
+                   and i.addr + i.length + i.rel > instrs[ud2_index].addr
+                   for i in instrs[:ud2_index])
+
+    def test_break_and_continue_bodies_can_be_cold(self):
+        source = """
+        int f(n) {
+            int i;
+            int total = 0;
+            for (i = 0; i < n; i++) {
+                if (i == 97)
+                    break;
+                if (i % 2)
+                    continue;
+                total += i;
+            }
+            return total;
+        }
+        """
+        from tests.test_cc_compiler import run_minc
+        assert run_minc("int main() { return 0; }" ) == 0  # smoke
+        # semantics preserved:
+        full = """
+        %s
+        int main() { return f(10); }
+        """ % source
+        assert run_minc(full) == sum(i for i in range(10) if i % 2 == 0)
+
+    def test_nested_cold_blocks(self):
+        source = """
+        int f(a, b) {
+            if (a < 0) {
+                if (b < 0)
+                    return -2;
+                return -1;
+            }
+            return a + b;
+        }
+        int main() {
+            return f(-1, -1) * 100 + f(-1, 1) * 10 + f(2, 3);
+        }
+        """
+        from tests.test_cc_compiler import run_minc
+        assert run_minc(source) == ((-2) * 100 + (-1) * 10 + 5) \
+            & 0xFFFFFFFF
+
+
+class TestInstructionShapes:
+    def test_zeroing_uses_xor(self):
+        source = "int f() { int x = 0; return x; }"
+        instrs, _, _ = compile_and_decode(source, "f")
+        assert any(i.op == "xor" for i in instrs)
+
+    def test_test_against_zero(self):
+        source = "int f(x) { if (x) return 1; return 0; }"
+        instrs, _, _ = compile_and_decode(source, "f")
+        assert any(i.op == "test" for i in instrs)
+
+    def test_comparison_fuses_cmp_jcc(self):
+        source = "int f(x) { if (x < 5) return 1; return 0; }"
+        instrs, _, _ = compile_and_decode(source, "f")
+        ops = [i.op for i in instrs]
+        cmp_index = ops.index("cmp")
+        assert ops[cmp_index + 1] == "jcc"
+
+    def test_epilogue_is_leave_ret(self):
+        source = "int f() { return 7; }"
+        instrs, _, _ = compile_and_decode(source, "f")
+        ops = [i.op for i in instrs]
+        assert ops[-2:] == ["leave", "ret"]
+
+    def test_string_literals_are_pooled(self):
+        source = """
+        int f() { return "abc"; }
+        int g() { return "abc"; }
+        """
+        unit = compile_single(source)
+        assert unit.data.count('.asciz "abc"') == 1
+
+    def test_functions_record_subsystem(self):
+        unit = compile_single("int f() { return 0; }", subsystem="mm")
+        assert (".func f mm") in unit.text

@@ -1,0 +1,330 @@
+"""MinC compiler tests: compile programs and execute them on the CPU."""
+
+import pytest
+
+from repro.cc import CompileError, compile_single
+from repro.cc.lexer import LexError, tokenize
+from repro.cc.parser import ParseError, parse
+from tests.helpers import FlatMachine
+
+HARNESS = """
+_start:
+    mov esp, 0x8000
+    call main
+    mov ebx, 0x200100
+    mov [ebx], eax
+    hlt
+%s
+.align 4096
+%s
+"""
+
+
+def run_minc(source, max_cycles=2_000_000):
+    """Compile MinC, run main(), return its result."""
+    unit = compile_single(source)
+    machine = FlatMachine(HARNESS % (unit.text, unit.data))
+    return machine.run(max_cycles=max_cycles)
+
+
+class TestExpressions:
+    @pytest.mark.parametrize("expr,expected", [
+        ("1 + 2 * 3", 7),
+        ("(1 + 2) * 3", 9),
+        ("10 - 3 - 2", 5),
+        ("100 / 7", 14),
+        ("100 % 7", 2),
+        ("-100 / 7", (-14) & 0xFFFFFFFF),
+        ("1 << 10", 1024),
+        ("0x80000000 >> 31", 1),        # >> is logical in MinC
+        ("asr(0x80000000, 31)", 0xFFFFFFFF),
+        ("5 & 3", 1),
+        ("5 | 3", 7),
+        ("5 ^ 3", 6),
+        ("~0", 0xFFFFFFFF),
+        ("!5", 0),
+        ("!0", 1),
+        ("3 < 5", 1),
+        ("5 < 3", 0),
+        ("-1 < 1", 1),                  # signed comparison
+        ("ult(1, -1)", 1),              # -1 is big unsigned
+        ("ugt(-1, 1)", 1),
+        ("uge(5, 5)", 1),
+        ("ule(5, 5)", 1),
+        ("udiv(0xFFFFFFFE, 2)", 0x7FFFFFFF),
+        ("umod(0xFFFFFFFF, 10)", 5),
+        ("1 && 2", 1),
+        ("1 && 0", 0),
+        ("0 || 3", 1),
+        ("0 || 0", 0),
+        ("1 ? 42 : 7", 42),
+        ("0 ? 42 : 7", 7),
+        ("'A'", 65),
+    ])
+    def test_constant_expressions(self, expr, expected):
+        # via a runtime variable so nothing constant-folds away entirely
+        source = "int main() { int x = %s; return x; }" % expr
+        assert run_minc(source) == expected
+
+    def test_runtime_short_circuit(self):
+        source = """
+        int calls = 0;
+        int bump() { calls++; return 0; }
+        int main() {
+            int a = 0;
+            if (a && bump()) ;
+            if (1 || bump()) ;
+            return calls;
+        }
+        """
+        assert run_minc(source) == 0
+
+    def test_comma_operator(self):
+        source = "int main() { int x; x = (1, 2, 3); return x; }"
+        assert run_minc(source) == 3
+
+    def test_compound_assignment(self):
+        source = """
+        int main() {
+            int x = 10;
+            x += 5; x -= 3; x *= 2; x /= 4; x %= 4; x <<= 3; x |= 1;
+            x ^= 2; x &= 0xff;
+            return x;
+        }
+        """
+        x = 10
+        x += 5; x -= 3; x *= 2; x //= 4; x %= 4; x <<= 3; x |= 1
+        x ^= 2; x &= 0xFF
+        assert run_minc(source) == x
+
+    def test_pre_post_incdec(self):
+        source = """
+        int main() {
+            int x = 5;
+            int a = x++;
+            int b = ++x;
+            int c = x--;
+            int d = --x;
+            return a * 1000 + b * 100 + c * 10 + d;
+        }
+        """
+        assert run_minc(source) == 5 * 1000 + 7 * 100 + 7 * 10 + 5
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        source = """
+        int classify(n) {
+            if (n < 0) return 1;
+            else if (n == 0) return 2;
+            else return 3;
+        }
+        int main() {
+            return classify(-5) * 100 + classify(0) * 10 + classify(9);
+        }
+        """
+        assert run_minc(source) == 123
+
+    def test_while_and_break_continue(self):
+        source = """
+        int main() {
+            int i = 0;
+            int sum = 0;
+            while (1) {
+                i++;
+                if (i > 10) break;
+                if (i % 2) continue;
+                sum += i;
+            }
+            return sum;     /* 2+4+6+8+10 */
+        }
+        """
+        assert run_minc(source) == 30
+
+    def test_do_while(self):
+        source = """
+        int main() {
+            int n = 0;
+            do { n++; } while (n < 5);
+            return n;
+        }
+        """
+        assert run_minc(source) == 5
+
+    def test_for_loop(self):
+        source = """
+        int main() {
+            int sum = 0;
+            int i;
+            for (i = 1; i <= 10; i++) sum += i;
+            return sum;
+        }
+        """
+        assert run_minc(source) == 55
+
+    def test_nested_loops(self):
+        source = """
+        int main() {
+            int total = 0;
+            int i;
+            int j;
+            for (i = 0; i < 5; i++)
+                for (j = 0; j < i; j++)
+                    total++;
+            return total;
+        }
+        """
+        assert run_minc(source) == 10
+
+    def test_recursion(self):
+        source = """
+        int fact(n) { return n < 2 ? 1 : n * fact(n - 1); }
+        int main() { return fact(7); }
+        """
+        assert run_minc(source) == 5040
+
+
+class TestDataAccess:
+    def test_globals_and_arrays(self):
+        source = """
+        int counter = 3;
+        int table[10];
+        int main() {
+            int i;
+            for (i = 0; i < 10; i++) table[i] = i * i;
+            counter += table[7];
+            return counter;
+        }
+        """
+        assert run_minc(source) == 3 + 49
+
+    def test_global_initializer_list(self):
+        source = """
+        int primes[] = {2, 3, 5, 7, 11};
+        int main() { return primes[0] + primes[4]; }
+        """
+        assert run_minc(source) == 13
+
+    def test_pointers_and_addrof(self):
+        source = """
+        int value = 7;
+        int main() {
+            int local = 5;
+            int p = &value;
+            int q = &local;
+            *p = *p + 1;
+            *q = *q + 2;
+            return value * 10 + local;
+        }
+        """
+        assert run_minc(source) == 87
+
+    def test_local_array_and_index_lvalue(self):
+        source = """
+        int main() {
+            int a[4];
+            a[0] = 1;
+            a[1] = a[0] + 1;
+            a[2] = a[1] * 3;
+            a[3] = a[2] - a[0];
+            return a[3];
+        }
+        """
+        assert run_minc(source) == 5
+
+    def test_byte_access(self):
+        source = """
+        int buf[2];
+        int main() {
+            stb(buf, 0x11);
+            stb(buf + 1, 0x22);
+            return ldb(buf) + ldb(buf + 1);
+        }
+        """
+        assert run_minc(source) == 0x33
+
+    def test_string_literal(self):
+        source = """
+        int main() {
+            int s = "AB";
+            return ldb(s) * 256 + ldb(s + 1);
+        }
+        """
+        assert run_minc(source) == ord("A") * 256 + ord("B")
+
+    def test_function_pointer_call(self):
+        source = """
+        int double_(x) { return x * 2; }
+        int triple(x) { return x * 3; }
+        int ops[] = {double_, triple};
+        int main() {
+            int f = ops[1];
+            return f(7);
+        }
+        """
+        assert run_minc(source) == 21
+
+    def test_const_decl(self):
+        source = """
+        const SIZE = 4 * 3;
+        int main() { return SIZE + 1; }
+        """
+        assert run_minc(source) == 13
+
+
+class TestBuiltins:
+    def test_bug_traps(self):
+        from repro.cpu.traps import TripleFault
+        source = "int main() { BUG(); return 0; }"
+        unit = compile_single(source)
+        machine = FlatMachine(HARNESS % (unit.text, unit.data))
+        with pytest.raises(TripleFault):   # no IDT -> reset
+            machine.cpu.run(10_000)
+
+    def test_rep_movsd(self):
+        source = """
+        int src[4] = {1, 2, 3, 4};
+        int dst[4];
+        int main() {
+            rep_movsd(dst, src, 4);
+            return dst[0] + dst[3];
+        }
+        """
+        assert run_minc(source) == 5
+
+    def test_ret_addr_nonzero(self):
+        source = """
+        int probe() { return ret_addr(); }
+        int main() { return probe() != 0; }
+        """
+        assert run_minc(source) == 1
+
+
+class TestErrors:
+    def test_undefined_name(self):
+        with pytest.raises(CompileError):
+            compile_single("int main() { return missing; }")
+
+    def test_parse_error(self):
+        with pytest.raises((ParseError, CompileError)):
+            compile_single("int main() { if }")
+
+    def test_lex_error(self):
+        with pytest.raises(LexError):
+            tokenize("int main() { @ }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError):
+            compile_single("int main() { break; }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(CompileError):
+            compile_single("int f() { return 1; } int f() { return 2; }")
+
+    def test_nonconstant_global_init(self):
+        with pytest.raises(CompileError):
+            compile_single("int g() {return 1;} int x = g(); ")
+
+    def test_parse_smoke_ast(self):
+        program = parse("int f(a) { return a + 1; }")
+        assert len(program.decls) == 1

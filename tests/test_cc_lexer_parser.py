@@ -1,0 +1,132 @@
+"""Lexer and parser unit coverage for MinC."""
+
+import pytest
+
+from repro.cc import astnodes as ast
+from repro.cc.lexer import LexError, tokenize
+from repro.cc.parser import ParseError, parse
+
+
+class TestLexer:
+    def test_numbers(self):
+        tokens = tokenize("0 42 0x1F 0xff")
+        assert [t.value for t in tokens[:-1]] == [0, 42, 31, 255]
+
+    def test_char_literals(self):
+        tokens = tokenize(r"'a' '\n' '\0' '\\'")
+        assert [t.value for t in tokens[:-1]] == [97, 10, 0, 92]
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'"a\tb\n"')
+        assert tokens[0].value == "a\tb\n"
+
+    def test_keywords_vs_names(self):
+        tokens = tokenize("int intx if iffy")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == ["kw", "name", "kw", "name"]
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("a<<=b >>c <= >= == != && || ++ --")
+        ops = [t.value for t in tokens if t.kind == "op"]
+        assert ops[0] == "<<="
+        assert ">>" in ops and "<=" in ops and "++" in ops
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a // line comment\n b /* block\nmulti */ c")
+        names = [t.value for t in tokens if t.kind == "name"]
+        assert names == ["a", "b", "c"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        lines = [t.line for t in tokens if t.kind == "name"]
+        assert lines == [1, 2, 4]
+
+    def test_bad_char(self):
+        with pytest.raises(LexError):
+            tokenize("int x = `;")
+
+    def test_bad_char_literal(self):
+        with pytest.raises(LexError):
+            tokenize("'ab'")
+
+
+class TestParser:
+    def test_function_shape(self):
+        program = parse("int add(a, b) { return a + b; }")
+        func = program.decls[0]
+        assert isinstance(func, ast.FuncDef)
+        assert func.params == ["a", "b"]
+        assert isinstance(func.body.stmts[0], ast.Return)
+
+    def test_typed_params_accepted(self):
+        program = parse("int f(int a, int *p) { return a; }")
+        assert program.decls[0].params == ["a", "p"]
+
+    def test_precedence(self):
+        program = parse("int f() { return 1 + 2 * 3; }")
+        expr = program.decls[0].body.stmts[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_assignment_right_associative(self):
+        program = parse("int f(a, b) { a = b = 1; return a; }")
+        stmt = program.decls[0].body.stmts[0].expr
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.value, ast.Assign)
+
+    def test_ternary(self):
+        program = parse("int f(a) { return a ? 1 : 2; }")
+        expr = program.decls[0].body.stmts[0].expr
+        assert isinstance(expr, ast.Cond)
+
+    def test_dangling_else_binds_inner(self):
+        program = parse("""
+        int f(a, b) {
+            if (a)
+                if (b) return 1;
+                else return 2;
+            return 3;
+        }
+        """)
+        outer = program.decls[0].body.stmts[0]
+        assert outer.els is None
+        assert outer.then.els is not None
+
+    def test_for_with_empty_clauses(self):
+        program = parse("int f() { for (;;) break; return 0; }")
+        loop = program.decls[0].body.stmts[0]
+        assert loop.init is None and loop.cond is None and loop.post is None
+
+    def test_global_array_inferred_size(self):
+        program = parse("int a[] = {1, 2, 3};")
+        decl = program.decls[0]
+        assert decl.array_size == -1
+        assert len(decl.init) == 3
+
+    def test_asm_statement(self):
+        program = parse('int f() { asm("nop"); return 0; }')
+        stmt = program.decls[0].body.stmts[0]
+        assert isinstance(stmt, ast.AsmStmt)
+        assert stmt.text == "nop"
+
+    def test_postfix_chain(self):
+        program = parse("int f(p) { return p[1](2)[3]; }")
+        expr = program.decls[0].body.stmts[0].expr
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Call)
+
+    @pytest.mark.parametrize("source", [
+        "int f() { if }",
+        "int f() { return 1 }",
+        "int f( { }",
+        "int f() { while (1 }",
+        "int 3x;",
+        "int f() { x = ; }",
+    ])
+    def test_syntax_errors(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("int f() { int x;")

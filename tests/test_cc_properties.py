@@ -1,0 +1,135 @@
+"""Property-based compiler correctness: MinC arithmetic == Python."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cc import compile_single
+from tests.helpers import FlatMachine
+from tests.test_cc_compiler import HARNESS
+
+M32 = 0xFFFFFFFF
+
+
+def _sx(value):
+    value &= M32
+    return value - (1 << 32) if value >> 31 else value
+
+
+class Expr:
+    """A random expression with both MinC text and a Python evaluator."""
+
+    def __init__(self, text, value):
+        self.text = text
+        self.value = value & M32
+
+
+@st.composite
+def exprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(st.integers(0, M32))
+        return Expr(str(value), value)
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^", "<<", ">>",
+                               "<", "==", "&&", "||"]))
+    left = draw(exprs(depth=depth + 1))
+    right = draw(exprs(depth=depth + 1))
+    lv, rv = left.value, right.value
+    if op == "+":
+        value = lv + rv
+    elif op == "-":
+        value = lv - rv
+    elif op == "*":
+        value = lv * rv
+    elif op == "&":
+        value = lv & rv
+    elif op == "|":
+        value = lv | rv
+    elif op == "^":
+        value = lv ^ rv
+    elif op == "<<":
+        rv &= 31
+        value = lv << rv
+        right = Expr(str(rv), rv)
+    elif op == ">>":
+        rv &= 31
+        value = lv >> rv
+        right = Expr(str(rv), rv)
+    elif op == "<":
+        value = 1 if _sx(lv) < _sx(rv) else 0
+    elif op == "==":
+        value = 1 if lv == rv else 0
+    elif op == "&&":
+        value = 1 if lv and rv else 0
+    else:
+        value = 1 if lv or rv else 0
+    return Expr("(%s %s %s)" % (left.text, op, right.text), value)
+
+
+def run_expr_batch(cases):
+    """Evaluate many expressions in one compiled program (fast)."""
+    body = []
+    for i, case in enumerate(cases):
+        body.append("results[%d] = %s;" % (i, case.text))
+    source = """
+    int results[%d];
+    int main() {
+        %s
+        return 0;
+    }
+    """ % (len(cases), "\n        ".join(body))
+    unit = compile_single(source)
+    machine = FlatMachine(HARNESS % (unit.text, unit.data))
+    machine.run(max_cycles=5_000_000)
+    base = machine.symbol("results")
+    return [machine.bus.phys_read(base + 4 * i, 4)
+            for i in range(len(cases))]
+
+
+@given(cases=st.lists(exprs(), min_size=1, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_compiled_arithmetic_matches_python(cases):
+    got = run_expr_batch(cases)
+    assert got == [case.value for case in cases]
+
+
+@given(values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=12))
+@settings(max_examples=25, deadline=None)
+def test_compiled_sort_matches_python(values):
+    """A bubble sort in MinC sorts like Python (signed order)."""
+    n = len(values)
+    inits = ", ".join(str(v) for v in values)
+    source = """
+    int data[] = {%s};
+    int main() {
+        int i;
+        int j;
+        int tmp;
+        for (i = 0; i < %d; i++)
+            for (j = 0; j + 1 < %d - i; j++)
+                if (data[j] > data[j + 1]) {
+                    tmp = data[j];
+                    data[j] = data[j + 1];
+                    data[j + 1] = tmp;
+                }
+        return 0;
+    }
+    """ % (inits, n, n)
+    unit = compile_single(source)
+    machine = FlatMachine(HARNESS % (unit.text, unit.data))
+    machine.run(max_cycles=5_000_000)
+    base = machine.symbol("data")
+    got = [_sx(machine.bus.phys_read(base + 4 * i, 4)) for i in range(n)]
+    assert got == sorted(values)
+
+
+@given(dividend=st.integers(-(2**31), 2**31 - 1),
+       divisor=st.integers(-(2**31), 2**31 - 1).filter(lambda v: v != 0))
+@settings(max_examples=60, deadline=None)
+def test_signed_division_truncates(dividend, divisor):
+    if dividend == -(2**31) and divisor == -1:
+        return  # overflow traps, like real hardware
+    source = """
+    int main() { return (%d) / (%d); }
+    """ % (dividend, divisor)
+    unit = compile_single(source)
+    machine = FlatMachine(HARNESS % (unit.text, unit.data))
+    got = _sx(machine.run(max_cycles=100_000))
+    assert got == int(dividend / divisor)

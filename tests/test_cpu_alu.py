@@ -1,0 +1,222 @@
+"""CPU arithmetic/logic semantics, exercised through real machine code."""
+
+import pytest
+
+from tests.helpers import run_fragment
+
+
+def test_add_basic():
+    assert run_fragment("mov eax, 2\n add eax, 3") == 5
+
+
+def test_add_wraps_mod_32():
+    code = run_fragment("mov eax, 0xffffffff\n add eax, 2")
+    assert code == 1
+
+
+def test_sub_and_flags_via_setcc():
+    body = """
+    mov eax, 3
+    cmp eax, 5
+    setl al
+    movzx eax, al
+    """
+    assert run_fragment(body) == 1
+
+
+def test_unsigned_compare_setb():
+    body = """
+    mov eax, 0x80000000
+    cmp eax, 1
+    setb al
+    movzx eax, al
+    """
+    assert run_fragment(body) == 0  # 0x80000000 > 1 unsigned
+
+
+def test_signed_compare_setl():
+    body = """
+    mov eax, 0x80000000
+    cmp eax, 1
+    setl al
+    movzx eax, al
+    """
+    assert run_fragment(body) == 1  # negative < 1 signed
+
+
+def test_mul_edx_eax():
+    body = """
+    mov eax, 0x10000
+    mov ecx, 0x10000
+    mul ecx
+    mov eax, edx
+    """
+    assert run_fragment(body) == 1  # 2^32 -> edx = 1
+
+
+def test_imul_negative():
+    body = """
+    mov eax, -6
+    mov ecx, 7
+    imul eax, ecx
+    """
+    assert run_fragment(body) == (-42) & 0xFFFFFFFF
+
+
+def test_div_quotient_remainder():
+    body = """
+    mov eax, 100
+    xor edx, edx
+    mov ecx, 7
+    div ecx
+    shl edx, 8
+    or eax, edx
+    """
+    assert run_fragment(body) == (2 << 8) | 14
+
+
+def test_idiv_truncates_toward_zero():
+    body = """
+    mov eax, -7
+    cdq
+    mov ecx, 2
+    idiv ecx
+    """
+    assert run_fragment(body) == (-3) & 0xFFFFFFFF
+
+
+def test_inc_preserves_carry():
+    body = """
+    mov eax, 0xffffffff
+    add eax, 1          ; sets CF
+    mov eax, 0
+    inc eax             ; must not clear CF
+    setb al             ; CF still set
+    movzx eax, al
+    """
+    assert run_fragment(body) == 1
+
+
+def test_neg():
+    assert run_fragment("mov eax, 5\n neg eax") == (-5) & 0xFFFFFFFF
+
+
+def test_not():
+    assert run_fragment("mov eax, 0\n not eax") == 0xFFFFFFFF
+
+
+def test_shl_shr_sar():
+    assert run_fragment("mov eax, 1\n shl eax, 4") == 16
+    assert run_fragment("mov eax, 0x80000000\n shr eax, 31") == 1
+    assert run_fragment("mov eax, 0x80000000\n sar eax, 31") == 0xFFFFFFFF
+
+
+def test_shift_by_cl():
+    body = """
+    mov eax, 1
+    mov ecx, 5
+    shl eax, cl
+    """
+    assert run_fragment(body) == 32
+
+
+def test_shift_count_masked_to_5_bits():
+    body = """
+    mov eax, 1
+    mov ecx, 33
+    shl eax, cl
+    """
+    assert run_fragment(body) == 2
+
+
+def test_rol_ror():
+    assert run_fragment("mov eax, 0x80000001\n rol eax, 1") == 3
+    assert run_fragment("mov eax, 3\n ror eax, 1") == 0x80000001
+
+
+def test_shrd():
+    body = """
+    mov eax, 0x0000b728
+    mov edx, 0
+    shrd eax, edx, 12
+    """
+    # Figure 5: end_index = i_size >> 12
+    assert run_fragment(body) == 0xB728 >> 12
+
+
+def test_adc_sbb_chain():
+    body = """
+    mov eax, 0xffffffff
+    add eax, 1          ; CF=1
+    mov eax, 10
+    adc eax, 0          ; eax = 11
+    cmp eax, 11
+    sete al
+    movzx eax, al
+    """
+    assert run_fragment(body) == 1
+
+
+def test_xchg():
+    body = """
+    mov eax, 1
+    mov ecx, 2
+    xchg eax, ecx
+    shl eax, 8
+    or eax, ecx
+    """
+    assert run_fragment(body) == (2 << 8) | 1
+
+
+def test_bswap():
+    assert run_fragment("mov eax, 0x11223344\n bswap eax") == 0x44332211
+
+
+def test_bsf_bsr():
+    assert run_fragment("mov ecx, 0x00f0\n bsf eax, ecx") == 4
+    assert run_fragment("mov ecx, 0x00f0\n bsr eax, ecx") == 7
+
+
+def test_bt_sets_carry():
+    body = """
+    mov ecx, 8
+    bt ecx, 3
+    setb al
+    movzx eax, al
+    """
+    assert run_fragment(body) == 1
+
+
+def test_cmovcc():
+    body = """
+    mov eax, 1
+    mov ecx, 99
+    test eax, eax
+    cmovne eax, ecx
+    """
+    assert run_fragment(body) == 99
+
+
+def test_cwde():
+    assert run_fragment("mov eax, 0x0000ff80\n cwde") == 0xFFFFFF80
+
+
+def test_parity_flag():
+    body = """
+    mov eax, 3          ; two bits -> even parity
+    test eax, eax
+    setp al
+    movzx eax, al
+    """
+    assert run_fragment(body) == 1
+
+
+@pytest.mark.parametrize("value,expected", [(0, 1), (7, 0)])
+def test_zero_flag(value, expected):
+    body = """
+    mov eax, %d
+    test eax, eax
+    sete al
+    movzx eax, al
+    """ % value
+    assert run_fragment(body) == expected

@@ -1,0 +1,178 @@
+"""Exotic/legacy instructions that bit-flips can reach."""
+
+import pytest
+
+from tests.helpers import run_fragment
+
+
+class TestLegacyArith:
+    def test_aam_divides_al(self):
+        body = """
+    mov eax, 0x4B       ; 75
+    aam 10
+    ; ah = 7, al = 5
+        """
+        assert run_fragment(body) & 0xFFFF == 0x0705
+
+    def test_aad_recombines(self):
+        body = """
+    mov eax, 0x0705
+    aad 10
+        """
+        assert run_fragment(body) & 0xFF == 75
+
+    def test_daa_adjusts(self):
+        body = """
+    mov eax, 0x0F
+    daa
+    movzx eax, al
+        """
+        assert run_fragment(body) == 0x15
+
+    def test_cmpxchg_match(self):
+        body = """
+    mov eax, 5
+    mov ecx, 9
+    mov ebx, 5
+    cmpxchg ebx, ecx    ; eax==ebx -> ebx = ecx
+    mov eax, ebx
+        """
+        assert run_fragment(body) == 9
+
+    def test_cmpxchg_mismatch_loads_acc(self):
+        body = """
+    mov eax, 1
+    mov ecx, 9
+    mov ebx, 5
+    cmpxchg ebx, ecx    ; mismatch -> eax = ebx
+        """
+        assert run_fragment(body) == 5
+
+    def test_xadd(self):
+        body = """
+    mov eax, 0
+    mov ebx, 10
+    mov ecx, 3
+    xadd ebx, ecx       ; ebx=13, ecx=10
+    mov eax, ebx
+    shl eax, 8
+    or eax, ecx
+        """
+        assert run_fragment(body) == (13 << 8) | 10
+
+
+class TestRotateThroughCarry:
+    def test_rcl_pulls_carry_in(self):
+        body = """
+    stc
+    mov eax, 0
+    rcl eax, 1          ; eax = 1 (old CF)
+        """
+        assert run_fragment(body) == 1
+
+    def test_rcr_pushes_low_bit_to_carry(self):
+        body = """
+    clc
+    mov eax, 3
+    rcr eax, 1          ; eax = 1, CF = 1
+    setb al
+    movzx eax, al
+        """
+        assert run_fragment(body) == 1
+
+    def test_shld_merges(self):
+        body = """
+    mov eax, 0x0000FFFF
+    mov edx, 0xAAAA0000
+    shld eax, edx, 16
+        """
+        assert run_fragment(body) == 0xFFFFAAAA
+
+
+class TestControlFlowExotics:
+    def test_loop_decrements_ecx(self):
+        body = """
+    mov eax, 0
+    mov ecx, 5
+top:
+    inc eax
+    loop top
+        """
+        assert run_fragment(body) == 5
+
+    def test_jecxz_taken_when_zero(self):
+        body = """
+    xor ecx, ecx
+    mov eax, 1
+    jecxz skip
+    mov eax, 99
+skip:
+        """
+        assert run_fragment(body) == 1
+
+    def test_into_fires_on_overflow(self):
+        from repro.cpu.traps import TripleFault
+        from tests.helpers import FlatMachine
+        machine = FlatMachine("""
+_start:
+    mov eax, 0x7fffffff
+    add eax, 1          ; OF set
+    into                ; -> vector 4, no IDT -> reset
+""")
+        with pytest.raises(TripleFault):
+            machine.cpu.run(10_000)
+
+    def test_far_call_valid_selector_roundtrip(self):
+        body = """
+    push cs_restore     ; not needed; direct far call:
+    pop eax
+    mov eax, 0
+    lcall_here:
+    jmp after
+cs_restore:
+    .long 0
+after:
+    mov eax, 42
+        """
+        assert run_fragment(body) == 42
+
+    def test_enter_nested_zero(self):
+        body = """
+    enter 8, 0
+    mov eax, ebp
+    sub eax, esp        ; 8 allocated
+    leave
+        """
+        assert run_fragment(body) == 8
+
+
+class TestSegmentExotics:
+    def test_push_pop_segment_roundtrip(self):
+        body = """
+    mov eax, 0x2B
+    mov es, eax
+    push es
+    pop eax
+        """
+        assert run_fragment(body) == 0x2B
+
+    def test_lds_with_valid_selector(self):
+        body = """
+    mov dword [farptr], target_value
+    mov word [farptr+4], 0x2B
+    lds eax, [farptr]
+    jmp done
+.align 4
+.global farptr
+    .long 0, 0
+.global target_value
+done:
+        """
+        result = run_fragment(body)
+        assert result != 0  # loaded the offset word
+
+    def test_mov_from_sr(self):
+        body = """
+    mov eax, ds
+        """
+        assert run_fragment(body) in (0x18, 0x2B)

@@ -1,0 +1,123 @@
+"""Differential testing: ALU flags vs an independent reference model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.cpu import CPU
+from repro.cpu.memory import MemoryBus
+from repro.isa.assembler import assemble
+
+M32 = 0xFFFFFFFF
+
+values = st.integers(0, M32)
+
+
+def model_flags(op, a, b, carry_in=0):
+    """Reference CF/ZF/SF/OF computation, written independently."""
+    if op in ("add", "adc"):
+        carry = carry_in if op == "adc" else 0
+        full = a + b + carry
+        res = full & M32
+        cf = 1 if full > M32 else 0
+        of = 1 if (((a ^ res) & (b ^ res)) >> 31) & 1 else 0
+    elif op in ("sub", "sbb", "cmp"):
+        borrow = carry_in if op == "sbb" else 0
+        res = (a - b - borrow) & M32
+        cf = 1 if a < b + borrow else 0
+        of = 1 if (((a ^ b) & (a ^ res)) >> 31) & 1 else 0
+    elif op in ("and", "or", "xor", "test"):
+        if op in ("and", "test"):
+            res = a & b
+        elif op == "or":
+            res = a | b
+        else:
+            res = a ^ b
+        cf = of = 0
+    else:
+        raise AssertionError(op)
+    zf = 1 if res == 0 else 0
+    sf = (res >> 31) & 1
+    return res, cf, zf, sf, of
+
+
+def execute(op, a, b, carry_in=0):
+    """Run one ALU instruction on the CPU; return (result, flags)."""
+    prep = "stc" if carry_in else "clc"
+    store = "cmp" not in op and op != "test"
+    source = """
+_start:
+    mov eax, %d
+    mov ecx, %d
+    %s
+    %s eax, ecx
+    hlt
+""" % (a, b, prep, op)
+    program = assemble(source, base=0x1000)
+    bus = MemoryBus(0x10000)
+    bus.phys_write_bytes(0x1000, program.code)
+    cpu = CPU(bus)
+    cpu.eip = 0x1000
+    cpu.regs[4] = 0x8000
+    from repro.cpu.cpu import CpuHalted
+    try:
+        cpu.run(100)
+    except CpuHalted:
+        pass
+    result = cpu.regs[0]
+    return result, cpu.cf, cpu.zf, cpu.sf, cpu.of
+
+
+@given(a=values, b=values,
+       op=st.sampled_from(["add", "sub", "cmp", "and", "or", "xor",
+                           "test"]))
+@settings(max_examples=200, deadline=None)
+def test_alu_flags_match_model(a, b, op):
+    res, cf, zf, sf, of = model_flags(op, a, b)
+    got_res, got_cf, got_zf, got_sf, got_of = execute(op, a, b)
+    if op not in ("cmp", "test"):
+        assert got_res == res
+    assert (got_cf, got_zf, got_sf, got_of) == (cf, zf, sf, of), \
+        "%s %#x,%#x" % (op, a, b)
+
+
+@given(a=values, b=values, carry=st.booleans(),
+       op=st.sampled_from(["adc", "sbb"]))
+@settings(max_examples=120, deadline=None)
+def test_carry_chain_ops_match_model(a, b, carry, op):
+    res, cf, zf, sf, of = model_flags(op, a, b, carry_in=int(carry))
+    got_res, got_cf, got_zf, got_sf, got_of = execute(
+        op, a, b, carry_in=int(carry))
+    assert got_res == res
+    assert (got_cf, got_zf, got_sf, got_of) == (cf, zf, sf, of)
+
+
+@given(a=values, count=st.integers(1, 31),
+       op=st.sampled_from(["shl", "shr", "sar"]))
+@settings(max_examples=120, deadline=None)
+def test_shift_results_match_model(a, count, op):
+    if op == "shl":
+        expected = (a << count) & M32
+    elif op == "shr":
+        expected = a >> count
+    else:
+        signed = a - (1 << 32) if a >> 31 else a
+        expected = (signed >> count) & M32
+    source = """
+_start:
+    mov eax, %d
+    %s eax, %d
+    hlt
+""" % (a, op, count)
+    program = assemble(source, base=0x1000)
+    bus = MemoryBus(0x10000)
+    bus.phys_write_bytes(0x1000, program.code)
+    cpu = CPU(bus)
+    cpu.eip = 0x1000
+    cpu.regs[4] = 0x8000
+    from repro.cpu.cpu import CpuHalted
+    try:
+        cpu.run(100)
+    except CpuHalted:
+        pass
+    assert cpu.regs[0] == expected
+    assert cpu.zf == (1 if expected == 0 else 0)
+    assert cpu.sf == (expected >> 31) & 1

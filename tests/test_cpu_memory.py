@@ -1,0 +1,206 @@
+"""MMU, paging, TLB, and memory-bus behaviour."""
+
+import pytest
+
+from repro.cpu.memory import MemoryBus, PageTableBuilder, PTE_PRESENT, \
+    PTE_RW, PTE_USER
+from repro.cpu.traps import Trap, VEC_PAGE_FAULT
+
+
+def make_bus():
+    bus = MemoryBus(0x100000)
+    return bus
+
+
+class TestPhysical:
+    def test_read_write_roundtrip(self):
+        bus = make_bus()
+        bus.phys_write(0x100, 4, 0xDEADBEEF)
+        assert bus.phys_read(0x100, 4) == 0xDEADBEEF
+        assert bus.phys_read(0x100, 1) == 0xEF
+
+    def test_page_version_bumps_on_write(self):
+        bus = make_bus()
+        before = bus.page_versions[0]
+        bus.phys_write(0x10, 1, 1)
+        assert bus.page_versions[0] == before + 1
+
+    def test_reads_beyond_ram_float_high(self):
+        bus = make_bus()
+        assert bus.phys_read(0x900000, 4) == 0xFFFFFFFF
+
+    def test_writes_beyond_ram_ignored(self):
+        bus = make_bus()
+        bus.phys_write(0x900000, 4, 123)  # no exception
+
+
+class TestPaging:
+    def build(self, bus):
+        builder = PageTableBuilder(bus, 0x8000)
+        return builder
+
+    def test_linear_map_translates(self):
+        bus = make_bus()
+        builder = self.build(bus)
+        builder.map_range(0xC0000000, 0, 0x100000)
+        builder.activate()
+        bus.phys_write(0x2000, 4, 0x1234)
+        assert bus.read(0xC0002000, 4, False) == 0x1234
+
+    def test_unmapped_page_faults(self):
+        bus = make_bus()
+        builder = self.build(bus)
+        builder.map_range(0xC0000000, 0, 0x100000)
+        builder.activate()
+        with pytest.raises(Trap) as info:
+            bus.read(0x00001000, 4, False)
+        assert info.value.vector == VEC_PAGE_FAULT
+        assert info.value.cr2 == 0x1000
+        assert info.value.error_code == 0  # not-present, read, kernel
+
+    def test_user_cannot_touch_supervisor_page(self):
+        bus = make_bus()
+        builder = self.build(bus)
+        builder.map_page(0xC0000000, 0, user=False)
+        builder.activate()
+        with pytest.raises(Trap) as info:
+            bus.read(0xC0000000, 4, True)
+        assert info.value.error_code & 4  # user bit
+        assert info.value.error_code & 1  # protection, not missing
+
+    def test_write_protect_applies_to_supervisor(self):
+        # WP=1 semantics: kernel writes honour the R/W bit (COW path).
+        bus = make_bus()
+        builder = self.build(bus)
+        builder.map_page(0x1000, 0x5000, user=True, writable=False)
+        builder.activate()
+        assert bus.read(0x1000, 4, False) == 0
+        with pytest.raises(Trap) as info:
+            bus.write(0x1000, 4, 7, False)
+        assert info.value.error_code & 2  # write
+
+    def test_user_page_readable_by_user(self):
+        bus = make_bus()
+        builder = self.build(bus)
+        builder.map_page(0x1000, 0x5000, user=True, writable=True)
+        builder.activate()
+        bus.write(0x1000, 4, 99, True)
+        assert bus.read(0x1000, 4, True) == 99
+        # ... and the write landed at the mapped physical page
+        assert bus.phys_read(0x5000, 4) == 99
+
+    def test_tlb_caches_translation(self):
+        bus = make_bus()
+        builder = self.build(bus)
+        builder.map_page(0x1000, 0x5000, user=True)
+        builder.activate()
+        bus.read(0x1000, 4, False)
+        assert 1 in bus.tlb
+
+    def test_stale_tlb_until_invlpg(self):
+        """The MMU honours the TLB even after the PTE changed."""
+        bus = make_bus()
+        builder = self.build(bus)
+        builder.map_page(0x1000, 0x5000, user=True)
+        builder.map_range(0xC0000000, 0, 0x100000)
+        builder.activate()
+        bus.phys_write(0x5000, 4, 111)
+        bus.phys_write(0x6000, 4, 222)
+        assert bus.read(0x1000, 4, False) == 111
+        # Remap 0x1000 -> 0x6000 by editing the PTE in RAM.
+        pde = bus.phys_read(builder.pgdir + 0, 4)
+        table = pde & ~0xFFF
+        bus.phys_write(table + 4, 4, 0x6000 | PTE_PRESENT | PTE_RW
+                       | PTE_USER)
+        # TLB still holds the old mapping...
+        assert bus.read(0x1000, 4, False) == 111
+        bus.invlpg(0x1000)
+        assert bus.read(0x1000, 4, False) == 222
+
+    def test_cr3_load_flushes_tlb(self):
+        bus = make_bus()
+        builder = self.build(bus)
+        builder.map_page(0x1000, 0x5000)
+        pgdir = builder.activate()
+        bus.read(0x1000, 4, False)
+        assert bus.tlb
+        bus.set_cr3(pgdir)
+        assert not bus.tlb
+
+    def test_wild_cr3_page_faults(self):
+        bus = make_bus()
+        builder = self.build(bus)
+        builder.map_page(0x1000, 0x5000)
+        builder.activate()
+        bus.set_cr3(0xFFFFF000)  # points beyond RAM
+        with pytest.raises(Trap) as info:
+            bus.read(0x1000, 4, False)
+        assert info.value.vector == VEC_PAGE_FAULT
+
+    def test_cross_page_access(self):
+        bus = make_bus()
+        builder = self.build(bus)
+        builder.map_page(0x1000, 0x5000)
+        builder.map_page(0x2000, 0x7000)
+        builder.activate()
+        bus.write(0x1FFE, 4, 0xAABBCCDD, False)
+        assert bus.phys_read(0x5FFE, 2) == 0xCCDD
+        assert bus.phys_read(0x7000, 2) == 0xAABB
+        assert bus.read(0x1FFE, 4, False) == 0xAABBCCDD
+
+
+class TestDevices:
+    def test_mmio_routing(self):
+        from repro.cpu.devices import ConsoleDevice
+        bus = make_bus()
+        console = ConsoleDevice()
+        bus.attach_device(0x200000, 0x100, console)
+        bus.phys_write(0x200000, 1, ord("x"))
+        assert console.text == "x"
+
+    def test_disk_dma_roundtrip(self):
+        from repro.cpu.devices import DiskDevice
+        bus = make_bus()
+        disk = DiskDevice(bus, b"\xAB" * 4096)
+        bus.attach_device(0x210000, 0x100, disk)
+        # read sector 2 (512 bytes) into phys 0x3000
+        bus.phys_write(0x210000 + 0, 4, 2)
+        bus.phys_write(0x210000 + 4, 4, 1)
+        bus.phys_write(0x210000 + 8, 4, 0x3000)
+        bus.phys_write(0x210000 + 12, 4, 1)
+        assert bus.phys_read(0x210000 + 16, 4) == 0
+        assert bus.phys_read(0x3000, 1) == 0xAB
+        # write it back somewhere else
+        bus.phys_write(0x3000, 1, 0x5A)
+        bus.phys_write(0x210000 + 0, 4, 0)
+        bus.phys_write(0x210000 + 12, 4, 2)
+        assert disk.image[0] == 0x5A
+
+    def test_disk_range_check(self):
+        from repro.cpu.devices import DiskDevice
+        bus = make_bus()
+        disk = DiskDevice(bus, b"\x00" * 1024)
+        bus.attach_device(0x210000, 0x100, disk)
+        bus.phys_write(0x210000 + 0, 4, 99)   # beyond the image
+        bus.phys_write(0x210000 + 4, 4, 1)
+        bus.phys_write(0x210000 + 8, 4, 0)
+        bus.phys_write(0x210000 + 12, 4, 1)
+        assert bus.phys_read(0x210000 + 16, 4) == 1  # error status
+
+    def test_dump_device_records(self):
+        from repro.cpu.devices import DumpDevice
+        bus = make_bus()
+        dump = DumpDevice()
+        bus.attach_device(0x220000, 0x100, dump)
+        for value in (1, 2, 3):
+            bus.phys_write(0x220000, 4, value)
+        bus.phys_write(0x220004, 4, 1)
+        assert dump.records == [[1, 2, 3]]
+
+    def test_shutdown_device_raises(self):
+        from repro.cpu.devices import MachineShutdown, ShutdownDevice
+        bus = make_bus()
+        bus.attach_device(0x230000, 0x100, ShutdownDevice())
+        with pytest.raises(MachineShutdown) as info:
+            bus.phys_write(0x230000, 4, 42)
+        assert info.value.code == 42

@@ -1,0 +1,98 @@
+"""Robustness: the simulator must survive ARBITRARY machine code.
+
+Injection campaigns make the kernel execute corrupted byte streams; no
+matter what bytes the CPU meets, the host process must only ever see
+the simulator's own exception types.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.cpu import CPU, CpuHalted, WatchdogExpired
+from repro.cpu.devices import MachineShutdown
+from repro.cpu.memory import MemoryBus
+from repro.cpu.traps import TripleFault
+
+ALLOWED = (CpuHalted, WatchdogExpired, TripleFault, MachineShutdown)
+
+import functools
+
+
+@functools.lru_cache(maxsize=1)
+def _prologue():
+    from repro.isa.assembler import assemble
+    return assemble(
+        """
+_start:
+    mov esp, 0x8000
+    mov ecx, 0x176
+    mov eax, idt
+    wrmsr
+    jmp payload
+handler:
+    iret
+.align 4
+idt:
+    .space 2048
+payload:
+""", base=0x1000)
+
+
+def run_random(code, cycles=6_000):
+    prologue = _prologue()
+    bus = MemoryBus(0x40000)
+    bus.phys_write_bytes(0x1000, prologue.code)
+    # Point every IDT gate at the iret handler.
+    handler = prologue.symbols["handler"]
+    idt = prologue.symbols["idt"]
+    for vector in range(256):
+        bus.phys_write(idt + vector * 8, 4, handler)
+        bus.phys_write(idt + vector * 8 + 4, 4, 1)
+    payload = prologue.symbols["payload"]
+    bus.phys_write_bytes(payload, code)
+    cpu = CPU(bus)
+    cpu.eip = 0x1000
+    try:
+        cpu.run(cycles)
+    except ALLOWED:
+        pass
+    return cpu
+
+
+@given(code=st.binary(min_size=1, max_size=64))
+@settings(max_examples=120, deadline=None)
+def test_arbitrary_bytes_never_crash_host(code):
+    cpu = run_random(code)
+    assert cpu.cycles >= 0
+
+
+@given(code=st.binary(min_size=8, max_size=40),
+       flips=st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)),
+                      min_size=1, max_size=4))
+@settings(max_examples=80, deadline=None)
+def test_bit_flipped_streams_never_crash_host(code, flips):
+    corrupted = bytearray(code)
+    for offset, bit in flips:
+        corrupted[offset % len(corrupted)] ^= 1 << bit
+    run_random(bytes(corrupted))
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_random_jumping_code_bounded(seed):
+    import random
+    rng = random.Random(seed)
+    # Mix of branches and wild memory ops.
+    code = bytearray()
+    for _ in range(24):
+        choice = rng.randrange(4)
+        if choice == 0:
+            code += bytes([0x70 + rng.randrange(16), rng.randrange(256)])
+        elif choice == 1:
+            code += bytes([0x8B, rng.randrange(256)])
+        elif choice == 2:
+            code += bytes([rng.randrange(256)])
+        else:
+            code += bytes([0xE9]) + rng.randrange(2**32).to_bytes(
+                4, "little")
+    cpu = run_random(bytes(code), cycles=5_000)
+    assert cpu.cycles <= 5_100

@@ -1,0 +1,25 @@
+"""Examples and scripts must at least be valid, importable Python."""
+
+import ast
+import pathlib
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+FILES = sorted((ROOT / "examples").glob("*.py")) \
+    + sorted((ROOT / "scripts").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.name)
+def test_parses_and_compiles(path):
+    source = path.read_text()
+    tree = ast.parse(source)
+    compile(source, str(path), "exec")
+    # every example documents itself
+    assert ast.get_docstring(tree), "%s lacks a docstring" % path.name
+
+
+@pytest.mark.parametrize("path", FILES, ids=lambda p: p.name)
+def test_has_main_guard(path):
+    assert '__name__ == "__main__"' in path.read_text()

@@ -1,0 +1,73 @@
+"""Experiment-harness tests: static exhibits plus a micro campaign."""
+
+import pytest
+
+from repro.experiments import ExperimentContext, SCALES
+from repro.experiments import (
+    availability_model,
+    fig1_subsystem_sizes,
+    table2_setup,
+    table3_outcomes,
+    table4_campaigns,
+)
+
+
+class TestStaticExhibits:
+    def test_fig1_counts_every_subsystem(self):
+        text = fig1_subsystem_sizes.run()
+        for subsystem in ("arch", "fs", "kernel", "mm", "drivers", "ipc",
+                          "lib", "net"):
+            assert subsystem in text
+        assert "total" in text
+
+    def test_table2(self):
+        text = table2_setup.run()
+        assert "UnixBench" in text
+        assert "LKCD" in text
+
+    def test_table3_lists_all_outcomes(self):
+        text = table3_outcomes.run()
+        for outcome in ("not_activated", "not_manifested",
+                        "fail_silence_violation", "crash_dumped",
+                        "crash_unknown", "hang"):
+            assert outcome in text
+
+    def test_table4_lists_campaigns(self):
+        text = table4_campaigns.run()
+        assert "Any Random Error" in text
+        assert "Valid but Incorrect Branch" in text
+
+    def test_availability_model(self):
+        text = availability_model.run()
+        assert "most_severe" in text
+        assert "years" in text
+
+
+class TestContext:
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentContext(scale="galactic")
+
+    def test_scales_are_increasing(self):
+        tiny = SCALES["tiny"]["A"][0]
+        full = SCALES["full"]["A"][0]
+        assert tiny > full  # stride shrinks as scale grows
+
+    def test_campaign_caching_roundtrip(self, tmp_path, monkeypatch,
+                                        kernel, binaries, profile):
+        ctx = ExperimentContext(scale="tiny",
+                                results_dir=str(tmp_path))
+        # Reuse session-built artifacts instead of rebuilding.
+        ctx._kernel = kernel
+        ctx._binaries = binaries
+        ctx._profile = profile
+        monkeypatch.setitem(SCALES, "tiny",
+                            {"A": (400, 6), "B": (40, 6), "C": (30, 6)})
+        first = ctx.campaign("C")
+        assert len(first) <= 6
+        # A fresh context must load the cached JSON, not re-run.
+        ctx2 = ExperimentContext(scale="tiny",
+                                 results_dir=str(tmp_path))
+        loaded = ctx2.campaign("C")
+        assert [r.outcome for r in loaded] == \
+            [r.outcome for r in first]

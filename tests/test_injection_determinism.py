@@ -1,0 +1,20 @@
+"""Whole-pipeline determinism: same seed, same outcomes, bit for bit."""
+
+
+def test_campaign_slice_is_deterministic(harness):
+    from repro.injection.campaigns import plan_campaign, select_targets
+    functions = select_targets(harness.kernel, harness.profile, "C")
+    specs = plan_campaign(harness.kernel, "C", functions)[:25]
+
+    def run_once():
+        rows = []
+        for spec in specs:
+            result = harness.run_spec(spec, grade=False)
+            rows.append((result.outcome, result.crash_cause,
+                         result.latency, result.crash_eip,
+                         result.run_cycles))
+        return rows
+
+    first = run_once()
+    second = run_once()
+    assert first == second

@@ -1,0 +1,118 @@
+"""Campaign planning invariants (Table 4 semantics)."""
+
+import pytest
+
+from repro.injection.campaigns import (
+    CAMPAIGNS,
+    TARGET_SUBSYSTEMS,
+    plan_campaign,
+    select_targets,
+)
+from repro.isa.conditions import cc_invert
+from repro.isa.decoder import decode_all
+
+
+@pytest.fixture(scope="module")
+def targets(kernel, profile):
+    return {key: select_targets(kernel, profile, key)
+            for key in ("A", "B", "C")}
+
+
+class TestSelectTargets:
+    def test_only_paper_subsystems(self, targets):
+        for functions in targets.values():
+            assert all(f.subsystem in TARGET_SUBSYSTEMS
+                       for f in functions)
+
+    def test_campaign_function_counts_grow(self, targets):
+        # The paper injected 51 / 81 / 176 functions across A/B/C.
+        assert len(targets["A"]) < len(targets["B"]) <= len(targets["C"])
+
+    def test_core_functions_in_every_campaign(self, kernel, profile,
+                                              targets):
+        core = {f.name for f in profile.top_functions()
+                if (kernel.functions_in("arch")
+                    or True)}  # all core names
+        core = {f.name for f in profile.top_functions()}
+        for functions in targets.values():
+            names = {f.name for f in functions}
+            expected = {name for name in core
+                        if kernel.find_function(kernel.symbols[name])
+                        and kernel.find_function(
+                            kernel.symbols[name]).subsystem
+                        in TARGET_SUBSYSTEMS}
+            assert expected <= names
+
+
+class TestPlanCampaign:
+    def test_campaign_a_excludes_conditional_branches(self, kernel,
+                                                      targets):
+        specs = plan_campaign(kernel, "A", targets["A"])
+        assert specs
+        assert all(s.mnemonic not in ("jcc", "loop", "loope", "loopne",
+                                      "jcxz") for s in specs)
+
+    def test_campaign_b_targets_only_conditional_branches(self, kernel,
+                                                          targets):
+        specs = plan_campaign(kernel, "B", targets["B"])
+        assert specs
+        assert all(s.mnemonic in ("jcc", "loop", "loope", "loopne",
+                                  "jcxz") for s in specs)
+
+    def test_campaign_a_covers_every_instruction_byte(self, kernel,
+                                                      targets):
+        functions = targets["A"][:3]
+        specs = plan_campaign(kernel, "A", functions)
+        for info in functions:
+            code = kernel.code[info.start - kernel.base:
+                               info.end - kernel.base]
+            expected = sum(
+                i.length for i in decode_all(code, base=info.start)
+                if i.op != "(bad)" and i.op not in (
+                    "jcc", "loop", "loope", "loopne", "jcxz"))
+            got = sum(1 for s in specs if s.function == info.name)
+            assert got == expected
+
+    def test_campaign_c_flips_exactly_the_condition_bit(self, kernel,
+                                                        targets):
+        specs = plan_campaign(kernel, "C", targets["C"])
+        assert specs
+        for spec in specs:
+            assert spec.mnemonic == "jcc"
+            offset = spec.instr_addr - kernel.base
+            raw = kernel.code[offset:offset + spec.instr_len]
+            flipped = bytearray(raw)
+            flipped[spec.byte_offset] ^= 1 << spec.bit
+            before = decode_all(bytes(raw), base=spec.instr_addr)[0]
+            after = decode_all(bytes(flipped), base=spec.instr_addr)[0]
+            assert after.op == "jcc"
+            assert after.cc == cc_invert(before.cc)
+            assert after.rel == before.rel
+
+    def test_plan_is_deterministic(self, kernel, targets):
+        first = plan_campaign(kernel, "B", targets["B"], seed=7)
+        second = plan_campaign(kernel, "B", targets["B"], seed=7)
+        assert [(s.instr_addr, s.byte_offset, s.bit) for s in first] == \
+            [(s.instr_addr, s.byte_offset, s.bit) for s in second]
+
+    def test_different_seed_changes_bits(self, kernel, targets):
+        first = plan_campaign(kernel, "A", targets["A"][:4], seed=1)
+        second = plan_campaign(kernel, "A", targets["A"][:4], seed=2)
+        assert [s.bit for s in first] != [s.bit for s in second]
+
+    def test_byte_stride_thins_plan(self, kernel, targets):
+        full = plan_campaign(kernel, "A", targets["A"])
+        thin = plan_campaign(kernel, "A", targets["A"], byte_stride=4)
+        assert len(full) // 5 < len(thin) < len(full) // 3
+
+    def test_max_per_function(self, kernel, targets):
+        specs = plan_campaign(kernel, "A", targets["A"],
+                              max_per_function=5)
+        from collections import Counter
+        counts = Counter(s.function for s in specs)
+        assert max(counts.values()) <= 5
+
+    def test_campaign_defs_table(self):
+        assert CAMPAIGNS["A"].title == "Any Random Error"
+        assert CAMPAIGNS["B"].branch_targets is True
+        assert CAMPAIGNS["C"].condition_bit is True

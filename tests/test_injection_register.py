@@ -1,0 +1,59 @@
+"""Extension campaign R: register corruption at an instruction trigger."""
+
+from repro.injection.campaigns import select_targets
+from repro.injection.register_campaign import (
+    plan_register_campaign,
+    run_register_campaign,
+    run_register_spec,
+)
+
+
+class TestPlan:
+    def test_plan_is_deterministic_and_bounded(self, kernel, profile):
+        functions = select_targets(kernel, profile, "A")
+        first = plan_register_campaign(kernel, functions, seed=5)
+        second = plan_register_campaign(kernel, functions, seed=5)
+        assert [(s.instr_addr, s.reg, s.bit) for s in first] \
+            == [(s.instr_addr, s.reg, s.bit) for s in second]
+        from collections import Counter
+        per_function = Counter(s.function for s in first)
+        assert max(per_function.values()) <= 6
+
+    def test_esp_excluded_by_default(self, kernel, profile):
+        functions = select_targets(kernel, profile, "A")
+        specs = plan_register_campaign(kernel, functions)
+        assert all(s.reg != 4 for s in specs)
+
+    def test_reg_names(self, kernel, profile):
+        functions = select_targets(kernel, profile, "A")[:2]
+        specs = plan_register_campaign(kernel, functions)
+        assert all(s.reg_name in ("eax", "ecx", "edx", "ebx", "ebp",
+                                  "esi", "edi") for s in specs)
+
+
+class TestRun:
+    def test_small_run_classifies(self, harness):
+        results = run_register_campaign(harness, max_specs=12,
+                                        grade=False)
+        assert len(results) == 12
+        outcomes = {r.outcome for r in results}
+        assert outcomes <= {"not_activated", "not_manifested",
+                            "fail_silence_violation", "crash_dumped",
+                            "crash_unknown", "hang"}
+        for result in results:
+            assert result.campaign == "R"
+            assert result.mnemonic.startswith("reg:")
+
+    def test_high_bit_of_ebp_usually_fatal(self, kernel, harness,
+                                           profile):
+        """Flipping ebp's top bit mid-function dereferences wild memory."""
+        functions = select_targets(kernel, profile, "A")
+        specs = plan_register_campaign(kernel, functions,
+                                       per_function=30)
+        target = next(s for s in specs if s.reg == 5)
+        target.bit = 31
+        result = run_register_spec(harness, target, grade=False)
+        if result.activated:
+            assert result.outcome in ("crash_dumped", "crash_unknown",
+                                      "hang", "fail_silence_violation",
+                                      "not_manifested")

@@ -1,0 +1,170 @@
+"""Assembler unit tests: encodings, relaxation, directives, errors."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.decoder import decode_all
+
+
+def asm_bytes(line, base=0):
+    return assemble(line, base=base).code
+
+
+class TestEncodings:
+    @pytest.mark.parametrize("source,expected", [
+        ("nop", b"\x90"),
+        ("ret", b"\xc3"),
+        ("ret 8", b"\xc2\x08\x00"),
+        ("leave", b"\xc9"),
+        ("ud2", b"\x0f\x0b"),
+        ("int 0x80", b"\xcd\x80"),
+        ("int3", b"\xcc"),
+        ("iret", b"\xcf"),
+        ("hlt", b"\xf4"),
+        ("cli", b"\xfa"),
+        ("sti", b"\xfb"),
+        ("push eax", b"\x50"),
+        ("pop ebp", b"\x5d"),
+        ("push 5", b"\x6a\x05"),
+        ("push 0x12345678", b"\x68\x78\x56\x34\x12"),
+        ("inc eax", b"\x40"),
+        ("dec ecx", b"\x49"),
+        ("mov eax, 1", b"\xb8\x01\x00\x00\x00"),
+        ("mov eax, ecx", b"\x89\xc8"),
+        ("mov eax, [ebp+8]", b"\x8b\x45\x08"),
+        ("mov [ebp-4], eax", b"\x89\x45\xfc"),
+        ("mov eax, [edx+eax*4]", b"\x8b\x04\x82"),
+        ("lea eax, [edx+eax*4]", b"\x8d\x04\x82"),
+        ("test eax, eax", b"\x85\xc0"),
+        ("test edx, edx", b"\x85\xd2"),
+        ("cmp eax, 5", b"\x83\xf8\x05"),
+        ("cmp eax, 0x1234", b"\x3d\x34\x12\x00\x00"),
+        ("xor edx, edx", b"\x31\xd2"),
+        ("xor al, 0x56", b"\x34\x56"),
+        ("add esp, 4", b"\x83\xc4\x04"),
+        ("sub esp, 20", b"\x83\xec\x14"),
+        ("cdq", b"\x99"),
+        ("idiv ecx", b"\xf7\xf9"),
+        ("div ecx", b"\xf7\xf1"),
+        ("imul eax, ecx", b"\x0f\xaf\xc1"),
+        ("shl eax, 4", b"\xc1\xe0\x04"),
+        ("shl eax, 1", b"\xd1\xe0"),
+        ("sar eax, cl", b"\xd3\xf8"),
+        ("movzx eax, byte [eax]", b"\x0f\xb6\x00"),
+        ("movb [ecx], al", b"\x88\x01"),
+        ("sete al", b"\x0f\x94\xc0"),
+        ("rep movsd", b"\xf3\xa5"),
+        ("rep stosd", b"\xf3\xab"),
+        ("rdtsc", b"\x0f\x31"),
+        ("wrmsr", b"\x0f\x30"),
+        ("mov dr0, eax", b"\x0f\x23\xc0"),
+        ("mov eax, cr2", b"\x0f\x20\xd0"),
+        ("mov cr3, eax", b"\x0f\x22\xd8"),
+        ("pusha", b"\x60"),
+        ("popa", b"\x61"),
+        ("xchg eax, ecx", b"\x91"),
+        ("invlpg [eax]", b"\x0f\x01\x38"),
+        ("mov ds, edx", b"\x8e\xda"),
+        ("call eax", b"\xff\xd0"),
+        ("shrd eax, edx, 12", b"\x0f\xac\xd0\x0c"),
+    ])
+    def test_bytes(self, source, expected):
+        assert asm_bytes(source) == expected
+
+    def test_roundtrip_through_decoder(self):
+        source = """
+        push ebp
+        mov ebp, esp
+        mov eax, [ebp+8]
+        add eax, [ebp+12]
+        imul eax, eax, 3
+        leave
+        ret
+        """
+        instrs = decode_all(asm_bytes(source))
+        assert [i.op for i in instrs] == [
+            "push", "mov", "mov", "add", "imul3", "leave", "ret"]
+
+
+class TestBranchesAndLabels:
+    def test_short_branch_backward(self):
+        program = assemble("top:\n  dec ecx\n  jne top\n", base=0)
+        # dec(1) + jne rel8(2): rel = 0 - 3 = -3
+        assert program.code == b"\x49\x75\xfd"
+
+    def test_short_jmp_forward(self):
+        program = assemble("jmp skip\nnop\nskip:\nret")
+        assert program.code == b"\xeb\x01\x90\xc3"
+
+    def test_long_branch_promotion(self):
+        source = "je far\n" + "nop\n" * 200 + "far:\nret"
+        program = assemble(source)
+        # must use the 6-byte 0f 84 form
+        assert program.code[:2] == b"\x0f\x84"
+        instrs = decode_all(program.code)
+        target = instrs[0].rel + 6
+        assert program.code[target] == 0xC3
+
+    def test_call_rel32(self):
+        program = assemble("call f\nf:\nret")
+        assert program.code == b"\xe8\x00\x00\x00\x00\xc3"
+
+    def test_symbol_immediate(self):
+        program = assemble("mov eax, data\nret\n.global data\n.long 7",
+                           base=0x1000)
+        addr = program.symbols["data"]
+        assert program.code[1:5] == addr.to_bytes(4, "little")
+
+    def test_symbol_memory(self):
+        program = assemble("mov eax, [data]\nret\n.global data\n.long 7",
+                           base=0x1000)
+        assert program.code[0:2] == b"\x8b\x05"
+
+
+class TestDirectives:
+    def test_long_and_byte(self):
+        program = assemble(".long 1, 2\n.byte 3, 4")
+        assert program.code == (b"\x01\x00\x00\x00\x02\x00\x00\x00"
+                                b"\x03\x04")
+
+    def test_asciz(self):
+        program = assemble('.asciz "hi\\n"')
+        assert program.code == b"hi\n\x00"
+
+    def test_space(self):
+        assert assemble(".space 5").code == b"\x00" * 5
+        assert assemble(".space 3, 0xff").code == b"\xff" * 3
+
+    def test_align(self):
+        program = assemble("nop\n.align 8\nret", base=0)
+        assert len(program.code) == 9
+        assert program.code[8] == 0xC3
+
+    def test_func_metadata(self):
+        program = assemble(
+            ".func f kernel\nf:\nnop\nret\n.endfunc\n"
+            ".func g mm\ng:\nret\n.endfunc", base=0x100)
+        names = [(f.name, f.subsystem, f.size) for f in program.functions]
+        assert names == [("f", "kernel", 2), ("g", "mm", 1)]
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate eax")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblerError):
+            assemble("mov eax, nowhere")
+
+    def test_esp_index_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("mov eax, [eax+esp*2]")
+
+    def test_unclosed_func(self):
+        with pytest.raises(AssemblerError):
+            assemble(".func f kernel\nret")
+
+    def test_bad_shift_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("shl eax, dl")

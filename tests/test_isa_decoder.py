@@ -1,0 +1,213 @@
+"""Decoder unit tests, anchored on the paper's own listings."""
+
+import pytest
+
+from repro.isa.decoder import DecodeError, decode, decode_all
+from repro.isa.disasm import format_instr
+from repro.isa.instr import Mem
+
+
+def decode_bytes(data, addr=0):
+    data = bytes(data)
+
+    def read(a):
+        return data[a - addr]
+
+    return decode(read, addr)
+
+
+def disasm_one(data, addr=0):
+    return format_instr(decode_bytes(data, addr))
+
+
+class TestPaperListings:
+    """Byte sequences quoted in the paper decode identically here."""
+
+    def test_je_short(self):
+        # Table 6 #1: "74 56  je"
+        ins = decode_bytes(b"\x74\x56", addr=0xC011449C)
+        assert ins.op == "jcc"
+        assert ins.cc == 4  # e
+        assert ins.length == 2
+
+    def test_jl_short(self):
+        # Table 6 #1 after injection: "7c 56  jl"
+        ins = decode_bytes(b"\x7c\x56")
+        assert ins.op == "jcc"
+        assert ins.cc == 12  # l
+
+    def test_je_near(self):
+        # Table 6 #2: "0f 84 ed 00 00 00  je"
+        ins = decode_bytes(b"\x0f\x84\xed\x00\x00\x00")
+        assert ins.op == "jcc" and ins.cc == 4
+        assert ins.length == 6
+        assert ins.rel == 0xED
+
+    def test_je_to_xor(self):
+        # Table 6 #3: flipping 0x74 -> 0x34 gives "xor $0x56,%al"
+        ins = decode_bytes(b"\x34\x56")
+        assert ins.op == "xor"
+        assert ins.size == 1
+        assert ins.dst == ("r8", 0)
+        assert ins.src == ("i", 0x56)
+
+    def test_movzbl_null_path(self):
+        # Table 7 #1: "movzbl 0x1b(%edx),%eax"
+        ins = decode_bytes(b"\x0f\xb6\x42\x1b")
+        assert ins.op == "movzx"
+        assert ins.dst == ("r", 0)
+        kind, mem = ins.src
+        assert kind == "m" and mem.base == 2 and mem.disp == 0x1B
+
+    def test_test_jne_pair(self):
+        # Table 7 #1: "85 d2 test %edx,%edx ; 75 28 jne"
+        instrs = decode_all(b"\x85\xd2\x75\x28")
+        assert [i.op for i in instrs] == ["test", "jcc"]
+        assert instrs[1].cc == 5
+
+    def test_resequencing_after_length_change(self):
+        # Table 7 #2: "8b 51 0c / 39 5d 0c / 8d 04 82" corrupted to
+        # "8b 11" re-decodes the following bytes as new instructions.
+        original = decode_all(b"\x8b\x51\x0c\x39\x5d\x0c\x8d\x04\x82")
+        assert [i.op for i in original] == ["mov", "cmp", "lea"]
+        corrupted = decode_all(b"\x8b\x11\x0c\x39\x5d\x0c\x8d\x04\x82")
+        ops = [i.op for i in corrupted]
+        assert ops[0] == "mov"
+        assert ops[1] == "or"       # 0c 39 or $0x39,%al
+        assert ops[2] == "pop"      # 5d pop %ebp
+        assert ops[3] == "or"       # 0c 8d
+        assert ops[4] == "add"      # 04 82
+
+    def test_mov_to_lret(self):
+        # Table 7 #3: 8b ^ 0x40 = cb (mov -> lret, a GPF source)
+        assert 0x8B ^ 0x40 == 0xCB
+        ins = decode_bytes(b"\xcb")
+        assert ins.op == "lret"
+
+    def test_ud2a(self):
+        # Table 7 #4: the BUG() trap instruction.
+        ins = decode_bytes(b"\x0f\x0b")
+        assert ins.op == "ud2"
+        assert format_instr(ins) == "ud2a"
+
+    def test_shrd_from_figure5(self):
+        # Figure 5 uses shrd to build end_index.
+        ins = decode_bytes(b"\x0f\xac\xd0\x0c")  # shrd $12,%edx,%eax
+        assert ins.op == "shrd"
+        assert ins.imm2 == ("i", 12)
+
+
+class TestDecodeBasics:
+    @pytest.mark.parametrize("data,op,length", [
+        (b"\x90", "nop", 1),
+        (b"\xc3", "ret", 1),
+        (b"\xc9", "leave", 1),
+        (b"\xcc", "int3", 1),
+        (b"\xf4", "hlt", 1),
+        (b"\x50", "push", 1),
+        (b"\x58", "pop", 1),
+        (b"\x40", "inc", 1),
+        (b"\x99", "cdq", 1),
+        (b"\xcd\x80", "int", 2),
+        (b"\xe8\x00\x00\x00\x00", "call", 5),
+        (b"\xeb\xfe", "jmp", 2),
+        (b"\xb8\x01\x00\x00\x00", "mov", 5),
+        (b"\x0f\x31", "rdtsc", 2),
+        (b"\x0f\xa2", "cpuid", 2),
+    ])
+    def test_simple(self, data, op, length):
+        ins = decode_bytes(data)
+        assert ins.op == op
+        assert ins.length == length
+
+    def test_modrm_sib(self):
+        # lea (%edx,%eax,4),%eax -- from the paper's Figure 5 code
+        ins = decode_bytes(b"\x8d\x04\x82")
+        assert ins.op == "lea"
+        kind, mem = ins.src
+        assert (mem.base, mem.index, mem.scale) == (2, 0, 4)
+
+    def test_disp32_absolute(self):
+        ins = decode_bytes(b"\x8b\x05\x44\x33\x22\x11")
+        kind, mem = ins.src
+        assert mem.base is None and mem.disp == 0x11223344
+
+    def test_ebp_disp8(self):
+        ins = decode_bytes(b"\x8b\x45\x08")  # mov 0x8(%ebp),%eax
+        kind, mem = ins.src
+        assert mem.base == 5 and mem.disp == 8
+
+    def test_negative_disp(self):
+        ins = decode_bytes(b"\x89\x45\xfc")  # mov %eax,-0x4(%ebp)
+        kind, mem = ins.dst
+        assert mem.disp == -4
+
+    def test_rep_prefix(self):
+        ins = decode_bytes(b"\xf3\xa5")
+        assert ins.op == "movs" and ins.rep == "rep" and ins.size == 4
+
+    def test_segment_prefix_consumed(self):
+        ins = decode_bytes(b"\x3e\x8b\x45\x08")
+        assert ins.op == "mov" and ins.length == 4
+
+    def test_group3_div(self):
+        ins = decode_bytes(b"\xf7\xf1")  # div %ecx
+        assert ins.op == "div" and ins.dst == ("r", 1)
+
+    def test_group5_indirect_call(self):
+        ins = decode_bytes(b"\xff\xd0")  # call *%eax
+        assert ins.op == "call_ind" and ins.dst == ("r", 0)
+
+    def test_mov_dr(self):
+        ins = decode_bytes(b"\x0f\x23\xc0")  # mov %eax,%db0
+        assert ins.op == "mov_to_dr"
+
+
+class TestUndefinedEncodings:
+    @pytest.mark.parametrize("data", [
+        b"\x63\x00",            # arpl (not in subset)
+        b"\x66\x90",            # operand-size prefix (not in subset)
+        b"\xd6",                # salc
+        b"\xd8\x00",            # x87
+        b"\xf1",                # int1
+        b"\x0f\xff",            # undefined two-byte
+        b"\x0f\x0b",            # ud2 (defined, but traps) -- not an error
+    ])
+    def test_raise_or_trap(self, data):
+        if data == b"\x0f\x0b":
+            assert decode_bytes(data).op == "ud2"
+            return
+        with pytest.raises(DecodeError):
+            decode_bytes(data)
+
+    def test_bad_group_encoding(self):
+        with pytest.raises(DecodeError):
+            decode_bytes(b"\xff\xf8")  # group-5 /7 is undefined
+
+    def test_decode_all_marks_bad(self):
+        instrs = decode_all(b"\x90\xf1\x90")
+        assert [i.op for i in instrs] == ["nop", "(bad)", "nop"]
+
+    def test_length_limit(self):
+        with pytest.raises(DecodeError):
+            decode_bytes(b"\x3e" * 20 + b"\x90")
+
+
+class TestInstrPredicates:
+    def test_cond_branch_flag(self):
+        assert decode_bytes(b"\x74\x00").is_cond_branch
+        assert not decode_bytes(b"\xe9\x00\x00\x00\x00").is_cond_branch
+        assert decode_bytes(b"\xe2\x00").is_cond_branch  # loop
+
+    def test_branch_flag(self):
+        assert decode_bytes(b"\xc3").is_branch
+        assert decode_bytes(b"\xcd\x80").is_branch
+        assert not decode_bytes(b"\x90").is_branch
+
+    def test_raw_bytes_recorded(self):
+        ins = decode_bytes(b"\x8b\x45\x08")
+        assert ins.raw == b"\x8b\x45\x08"
+
+    def test_mem_equality(self):
+        assert Mem(base=1, disp=4) == Mem(base=1, disp=4)
+        assert Mem(base=1, disp=4) != Mem(base=2, disp=4)

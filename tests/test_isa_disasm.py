@@ -1,0 +1,78 @@
+"""AT&T disassembly formatting (the paper's listing style)."""
+
+import pytest
+
+from repro.isa.decoder import decode_all
+from repro.isa.disasm import disassemble, format_instr
+
+
+def fmt(data, addr=0):
+    return format_instr(decode_all(bytes(data), base=addr)[0])
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("data,expected", [
+        (b"\x85\xd2", "test %edx,%edx"),
+        (b"\x31\xd2", "xor %edx,%edx"),
+        (b"\x8b\x51\x0c", "mov 0xc(%ecx),%edx"),
+        (b"\x39\x5d\x0c", "cmp %ebx,0xc(%ebp)"),
+        (b"\x8d\x04\x82", "lea (%edx,%eax,4),%eax"),
+        (b"\x0f\xb6\x42\x1b", "movzbl 0x1b(%edx),%eax"),
+        (b"\xcb", "lret"),
+        (b"\x5d", "pop %ebp"),
+        (b"\x0f\x0b", "ud2a"),
+        (b"\x34\x56", "xor $0x56,%al"),
+        (b"\x0c\x39", "or $0x39,%al"),
+        (b"\x04\x82", "add $0x82,%al"),
+        (b"\x90", "nop"),
+        (b"\xc3", "ret"),
+        (b"\xf3\xa5", "rep movsl"),
+        (b"\xcd\x80", "int $0x80"),
+        (b"\x99", "cltd"),
+    ])
+    def test_att_spellings(self, data, expected):
+        assert fmt(data) == expected
+
+    def test_branch_targets_resolved(self):
+        # 74 56 at 0xc011449c -> je 0xc01144f4 (paper Table 6 row 1)
+        assert fmt(b"\x74\x56", addr=0xC011449C) == "je 0xc01144f4"
+        assert fmt(b"\x7c\x56", addr=0xC011449C) == "jl 0xc01144f4"
+
+    def test_near_branch_target(self):
+        # 0f 84 ed 00 00 00 at c013a9ca -> je c013a9bd + 0xed ... compute
+        text = fmt(b"\x0f\x84\xed\x00\x00\x00", addr=0xC013A8D0)
+        assert text == "je 0x%x" % (0xC013A8D0 + 6 + 0xED)
+
+    def test_call_target(self):
+        text = fmt(b"\xe8\x10\x00\x00\x00", addr=0x1000)
+        assert text == "call 0x1015"
+
+    def test_negative_displacement_prints_unsigned(self):
+        # AT&T convention in the paper: 0xfffffc0(%ebp)
+        text = fmt(b"\x89\x45\xc0")
+        assert text == "mov %eax,0xffffffc0(%ebp)"
+
+    def test_mov_dr(self):
+        assert fmt(b"\x0f\x23\xc0") == "mov %eax,%db0"
+        assert fmt(b"\x0f\x21\xc0") == "mov %db0,%eax"
+
+    def test_setcc_and_cmovcc(self):
+        assert fmt(b"\x0f\x94\xc0") == "sete %al"
+        assert fmt(b"\x0f\x45\xc1") == "cmovne %ecx,%eax"
+
+    def test_bad_bytes(self):
+        assert fmt(b"\xf1") == "(bad)"
+
+
+class TestDisassembleListing:
+    def test_lines_have_addr_bytes_text(self):
+        lines = disassemble(b"\x55\x89\xe5\xc3", base=0xC0100000)
+        assert lines[0] == (0xC0100000, "55", "push %ebp")
+        assert lines[1] == (0xC0100001, "89 e5", "mov %esp,%ebp")
+        assert lines[2][2] == "ret"
+
+    def test_every_byte_accounted(self):
+        data = bytes(range(0x50, 0x62))
+        lines = disassemble(data)
+        consumed = sum(len(h.split()) for _, h, _ in lines)
+        assert consumed == len(data)

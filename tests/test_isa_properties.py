@@ -1,0 +1,123 @@
+"""Property-based tests for the ISA layer (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.conditions import CC_NAMES, cc_holds, cc_invert
+from repro.isa.decoder import DecodeError, decode, decode_all
+from repro.isa.disasm import format_instr
+
+REG_NAMES = ("eax", "ecx", "edx", "ebx", "esi", "edi")  # not esp/ebp
+
+regs = st.sampled_from(REG_NAMES)
+imm32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+imm8 = st.integers(min_value=0, max_value=0xFF)
+disp = st.integers(min_value=-128, max_value=127)
+
+
+def _decode_one(data):
+    data = bytes(data)
+
+    def read(a):
+        if a >= len(data):
+            raise IndexError(a)
+        return data[a]
+
+    return decode(read, 0)
+
+
+@st.composite
+def simple_lines(draw):
+    """Generate an assemblable instruction line."""
+    choice = draw(st.integers(0, 7))
+    r1 = draw(regs)
+    r2 = draw(regs)
+    if choice == 0:
+        return "mov %s, %d" % (r1, draw(imm32))
+    if choice == 1:
+        return "mov %s, [%s%+d]" % (r1, r2, draw(disp))
+    if choice == 2:
+        op = draw(st.sampled_from(["add", "sub", "and", "or", "xor",
+                                   "cmp", "adc", "sbb"]))
+        return "%s %s, %s" % (op, r1, r2)
+    if choice == 3:
+        op = draw(st.sampled_from(["shl", "shr", "sar", "rol", "ror"]))
+        return "%s %s, %d" % (op, r1, draw(st.integers(1, 31)))
+    if choice == 4:
+        return "push %s" % r1
+    if choice == 5:
+        return "test %s, %s" % (r1, r2)
+    if choice == 6:
+        return "lea %s, [%s+%s*%d%+d]" % (
+            r1, r2, draw(regs), draw(st.sampled_from([1, 2, 4, 8])),
+            draw(disp))
+    return "movzx %s, byte [%s]" % (r1, r2)
+
+
+class TestAssembleDecodeRoundTrip:
+    @given(line=simple_lines())
+    @settings(max_examples=300, deadline=None)
+    def test_decodes_to_single_instruction(self, line):
+        code = assemble(line).code
+        instrs = decode_all(code)
+        assert len(instrs) == 1
+        assert instrs[0].length == len(code)
+        assert instrs[0].op != "(bad)"
+
+    @given(line=simple_lines())
+    @settings(max_examples=150, deadline=None)
+    def test_reassembly_is_stable(self, line):
+        """assemble(x) decoded and re-printed assembles to same length."""
+        code = assemble(line).code
+        ins = decode_all(code)[0]
+        assert format_instr(ins)  # printable
+
+
+class TestDecoderTotality:
+    @given(data=st.binary(min_size=1, max_size=15))
+    @settings(max_examples=800, deadline=None)
+    def test_never_crashes_and_consumes_bounded_bytes(self, data):
+        try:
+            ins = _decode_one(data + b"\x00" * 16)
+        except DecodeError as exc:
+            assert 1 <= exc.length <= 15
+            return
+        assert 1 <= ins.length <= 15
+        assert ins.run is None
+        assert isinstance(ins.op, str)
+
+    @given(data=st.binary(min_size=4, max_size=64))
+    @settings(max_examples=300, deadline=None)
+    def test_decode_all_covers_every_byte(self, data):
+        instrs = decode_all(data)
+        consumed = sum(i.length for i in instrs)
+        assert consumed <= len(data)
+        # decode_all stops only when it runs out of bytes
+        assert len(data) - consumed <= 15
+
+    @given(data=st.binary(min_size=1, max_size=15))
+    @settings(max_examples=300, deadline=None)
+    def test_single_bit_flip_still_decodes_or_faults(self, data):
+        """The injection operation can never wedge the decoder."""
+        for bit in range(8):
+            flipped = bytes([data[0] ^ (1 << bit)]) + data[1:]
+            try:
+                _decode_one(flipped + b"\x00" * 16)
+            except DecodeError:
+                pass
+
+
+class TestConditionCodes:
+    @given(cc=st.integers(0, 15), cf=st.booleans(), zf=st.booleans(),
+           sf=st.booleans(), of=st.booleans(), pf=st.booleans())
+    @settings(max_examples=300, deadline=None)
+    def test_invert_negates(self, cc, cf, zf, sf, of, pf):
+        normal = cc_holds(cc, cf, zf, sf, of, pf)
+        flipped = cc_holds(cc_invert(cc), cf, zf, sf, of, pf)
+        assert normal != flipped
+
+    def test_names_align_with_encoding(self):
+        assert CC_NAMES[4] == "e"
+        assert CC_NAMES[5] == "ne"
+        assert CC_NAMES[12] == "l"
+        assert cc_invert(4) == 5

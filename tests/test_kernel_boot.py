@@ -1,0 +1,91 @@
+"""Kernel integration: boot, workloads, oops behaviour, determinism."""
+
+import pytest
+
+from repro.machine.machine import Machine, build_standard_disk
+from repro.userland.programs import WORKLOADS
+
+EXPECTED_OUTPUT = {
+    "context1": "context1: token=20 child=0",
+    "dhry": "dhry: sum=",
+    "fstime": "fstime: sum=",
+    "hanoi": "hanoi: moves=1533",
+    "looper": "looper: 2 ok",
+    "pipe": "pipe: sum=161280",
+    "spawn": "spawn: 4 ok",
+    "syscall": "syscall: 45 ok",
+}
+
+
+class TestBoot:
+    def test_boot_banner_and_clean_shutdown(self, kernel, binaries):
+        machine = Machine(kernel, build_standard_disk(binaries, None))
+        result = machine.run(max_cycles=10_000_000)
+        assert result.status == "shutdown"
+        assert result.exit_code == 0
+        assert "Linux version 2.4.19-repro" in result.console
+        assert "INIT: version 2.84-sim booting" in result.console
+        assert "INIT: no workload configured" in result.console
+
+    def test_boot_is_deterministic(self, kernel, binaries):
+        disk = build_standard_disk(binaries, "syscall")
+        first = Machine(kernel, disk).run(max_cycles=60_000_000)
+        second = Machine(kernel, disk).run(max_cycles=60_000_000)
+        assert first.console == second.console
+        assert first.cycles == second.cycles
+        assert first.disk_image == second.disk_image
+
+    def test_corrupt_libc_blocks_boot(self, kernel, binaries):
+        # The paper's Table 5 case 1 signature.
+        disk = build_standard_disk(
+            binaries, None, extra_files={"/lib/libc.txt": b"short"})
+        result = Machine(kernel, disk).run(max_cycles=10_000_000)
+        assert result.status == "shutdown"
+        assert result.exit_code == 86
+        assert "file too short" in result.console
+
+    def test_missing_init_panics(self, kernel, binaries):
+        trimmed = {k: v for k, v in binaries.items() if k != "init"}
+        disk = build_standard_disk(trimmed, None)
+        machine = Machine(kernel, disk)
+        result = machine.run(max_cycles=10_000_000)
+        assert result.status in ("halted", "triple_fault")
+        assert "No init found" in result.console
+        assert result.crash is not None
+        assert result.crash.vector == 254
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_workload_completes(kernel, binaries, workload):
+    disk = build_standard_disk(binaries, workload)
+    result = Machine(kernel, disk).run(max_cycles=120_000_000)
+    assert result.status == "shutdown", result.console
+    assert result.exit_code == 0
+    assert EXPECTED_OUTPUT[workload] in result.console
+    assert "INIT: workload exited status=0" in result.console
+
+
+class TestMarkers:
+    def test_run_until_console(self, kernel, binaries):
+        disk = build_standard_disk(binaries, "syscall")
+        machine = Machine(kernel, disk)
+        machine.run_until_console("INIT: starting workload",
+                                  max_cycles=10_000_000)
+        boot_cycles = machine.cpu.cycles
+        assert 0 < boot_cycles < 2_000_000
+        result = machine.run(max_cycles=60_000_000)
+        assert result.status == "shutdown"
+
+    def test_filesystem_marked_clean_after_shutdown(self, kernel,
+                                                    binaries):
+        from repro.machine.disk import fsck
+        disk = build_standard_disk(binaries, "fstime")
+        result = Machine(kernel, disk).run(max_cycles=120_000_000)
+        report = fsck(result.disk_image)
+        assert report.status == "clean", report.issues
+
+    def test_bootlog_written(self, kernel, binaries):
+        from repro.machine.disk import read_file
+        disk = build_standard_disk(binaries, "syscall")
+        result = Machine(kernel, disk).run(max_cycles=60_000_000)
+        assert read_file(result.disk_image, "/var/bootlog") == b"boot\n"

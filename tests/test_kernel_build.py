@@ -1,0 +1,68 @@
+"""Kernel build artifacts: symbol table, attribution, inventory."""
+
+from repro.kernel.build import kernel_source_inventory
+from repro.kernel.layout import KernelLayout
+
+
+class TestKernelImage:
+    def test_find_function_boundaries(self, kernel):
+        info = kernel.functions[10]
+        assert kernel.find_function(info.start) is info
+        assert kernel.find_function(info.end - 1) is info
+        next_info = kernel.find_function(info.end)
+        assert next_info is not info
+
+    def test_find_function_outside_text(self, kernel):
+        assert kernel.find_function(0x1000) is None
+        assert kernel.find_function(kernel.base - 1) is None
+        assert kernel.find_function(
+            kernel.base + len(kernel.code) + 100) is None
+
+    def test_every_paper_function_exists(self, kernel):
+        names = {f.name for f in kernel.functions}
+        # Functions the paper names explicitly.
+        for expected in ("do_page_fault", "schedule", "zap_page_range",
+                         "do_generic_file_read", "do_wp_page",
+                         "link_path_walk", "open_namei",
+                         "get_hash_table", "generic_commit_write",
+                         "pipe_read", "reschedule_idle", "can_schedule",
+                         "sys_read"):
+            assert expected in names, expected
+
+    def test_subsystem_attribution(self, kernel):
+        by_name = {f.name: f.subsystem for f in kernel.functions}
+        assert by_name["do_page_fault"] == "arch"
+        assert by_name["schedule"] == "kernel"
+        assert by_name["zap_page_range"] == "mm"
+        assert by_name["link_path_walk"] == "fs"
+        assert by_name["strlen"] == "lib"
+        assert by_name["con_putc"] == "drivers"
+        assert by_name["sys_ipc"] == "ipc"
+        assert by_name["ip_compute_csum"] == "net"
+
+    def test_functions_cover_text_contiguously(self, kernel):
+        ordered = sorted(kernel.functions, key=lambda f: f.start)
+        for first, second in zip(ordered, ordered[1:]):
+            assert first.end <= second.start
+
+    def test_kernel_loads_below_free_memory(self, kernel):
+        layout = KernelLayout()
+        end_phys = (kernel.base - layout.KERNEL_BASE) + len(kernel.code)
+        assert end_phys < layout.FREE_PHYS_START
+
+
+class TestInventory:
+    def test_all_eight_subsystems_counted(self):
+        counts = kernel_source_inventory()
+        assert set(counts) == {"arch", "fs", "kernel", "mm", "drivers",
+                               "ipc", "lib", "net"}
+
+    def test_fs_is_largest_like_the_paper(self):
+        counts = kernel_source_inventory()
+        assert counts["fs"] == max(counts.values())
+
+    def test_net_small_and_excluded_from_injection(self, kernel,
+                                                   profile):
+        from repro.injection.campaigns import select_targets
+        functions = select_targets(kernel, profile, "C")
+        assert all(f.subsystem != "net" for f in functions)

@@ -1,0 +1,222 @@
+"""Kernel resource-limit behaviour: fd table, task table, pipes, disk."""
+
+from repro.machine.disk import read_file
+from tests.helpers import USER_PRELUDE, run_user_program
+
+
+def run_prog(kernel, binaries, body, **kw):
+    result = run_user_program(kernel, binaries, USER_PRELUDE + body, **kw)
+    assert result.status == "shutdown", result.console
+    return result
+
+
+class TestFdLimits:
+    def test_fd_table_exhaustion_is_emfile(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int main() {
+            int i;
+            int fd = 0;
+            begin();                /* consumes fds 0,1,2 */
+            for (i = 0; i < 10 && fd >= 0; i++)
+                fd = dup(0);
+            printn(fd);
+            reboot(0);
+        }
+        """)
+        assert "-24" in result.console  # -EMFILE
+
+    def test_close_releases_slots(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int main() {
+            int i;
+            int fd;
+            begin();
+            for (i = 0; i < 40; i++) {
+                fd = dup(0);
+                if (fd < 0) {
+                    print("LEAK\n");
+                    reboot(1);
+                }
+                close(fd);
+            }
+            print("NO LEAK\n");
+            reboot(0);
+        }
+        """)
+        assert "NO LEAK" in result.console
+
+
+class TestTaskLimits:
+    def test_fork_bomb_hits_eagain_then_recovers(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int main() {
+            int pids[8];
+            int n = 0;
+            int status;
+            int pid;
+            begin();
+            for (;;) {
+                pid = fork();
+                if (pid == 0) {
+                    /* children block forever on an empty pipe-less
+                       read; simpler: spin on yield until killed */
+                    for (;;)
+                        sched_yield();
+                }
+                if (pid < 0)
+                    break;
+                pids[n] = pid;
+                n++;
+                if (n >= 8)
+                    break;
+            }
+            printn(pid);            /* last fork result: -EAGAIN */
+            print(" after ");
+            printn(n);
+            print(" forks\n");
+            while (n > 0) {
+                n--;
+                kill(pids[n], 9);
+            }
+            status = 0;
+            while (wait(&status) > 0)
+                ;
+            pid = fork();           /* slots recycled */
+            if (pid == 0)
+                exit(0);
+            wait(&status);
+            print("recovered\n");
+            reboot(0);
+        }
+        """, max_cycles=200_000_000)
+        assert "-11 after" in result.console  # -EAGAIN
+        assert "recovered" in result.console
+
+
+class TestDiskLimits:
+    def test_indirect_blocks_extend_files_past_11(self, kernel,
+                                                  binaries):
+        result = run_prog(kernel, binaries, r"""
+        int buf[256];
+        int main() {
+            int fd;
+            int i;
+            int got;
+            int sum = 0;
+            begin();
+            fd = creat("/var/big.dat");
+            for (i = 0; i < 20; i++) {
+                buf[0] = i * 7;
+                if (write(fd, buf, 1024) != 1024) {
+                    print("WRITE FAIL\n");
+                    reboot(1);
+                }
+            }
+            close(fd);
+            fd = open("/var/big.dat");
+            lseek(fd, 15 * 1024, 0);    /* inside the indirect region */
+            got = read(fd, buf, 1024);
+            if (got == 1024)
+                sum = buf[0];
+            printn(sum);
+            print("\n");
+            close(fd);
+            unlink("/var/big.dat");
+            sync();
+            reboot(0);
+        }
+        """, max_cycles=200_000_000)
+        assert str(15 * 7) in result.console
+        from repro.machine.disk import fsck
+        assert fsck(result.disk_image).status == "clean"
+
+    def test_file_growth_beyond_indirect_limit_is_efbig(self, kernel,
+                                                        binaries):
+        result = run_prog(kernel, binaries, r"""
+        int buf[256];
+        int main() {
+            int fd;
+            int i;
+            int got = 0;
+            begin();
+            fd = creat("/var/big.dat");
+            for (i = 0; i < 70 && got >= 0; i++)
+                got = write(fd, buf, 4096);   /* 4 blocks per call */
+            printn(got);
+            print("\n");
+            close(fd);
+            unlink("/var/big.dat");
+            reboot(0);
+        }
+        """, max_cycles=400_000_000)
+        assert "-27" in result.console  # -EFBIG past 267 blocks
+
+    def test_unlink_frees_blocks_for_reuse(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int buf[256];
+        int main() {
+            int round;
+            int fd;
+            int j;
+            begin();
+            for (round = 0; round < 8; round++) {
+                fd = creat("/var/cycle.dat");
+                for (j = 0; j < 10; j++)
+                    if (write(fd, buf, 1024) != 1024) {
+                        print("ENOSPC-EARLY\n");
+                        reboot(1);
+                    }
+                close(fd);
+                unlink("/var/cycle.dat");
+            }
+            print("CYCLED OK\n");
+            sync();
+            reboot(0);
+        }
+        """, max_cycles=200_000_000)
+        assert "CYCLED OK" in result.console
+
+    def test_written_data_survives_via_host_fsck(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int main() {
+            int fd;
+            begin();
+            fd = creat("/var/keep.txt");
+            write(fd, "0123456789abcdef", 16);
+            close(fd);
+            sync();
+            reboot(0);
+        }
+        """)
+        from repro.machine.disk import fsck
+        assert read_file(result.disk_image, "/var/keep.txt") \
+            == b"0123456789abcdef"
+        assert fsck(result.disk_image).status == "clean"
+
+
+class TestPipeEdges:
+    def test_write_to_pipe_without_reader_epipe(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int fds[2];
+        int buf[2];
+        int main() {
+            begin();
+            pipe(fds);
+            close(fds[0]);
+            printn(write(fds[1], buf, 4));
+            reboot(0);
+        }
+        """)
+        assert "-32" in result.console  # -EPIPE
+
+    def test_lseek_on_pipe_espipe(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int fds[2];
+        int main() {
+            begin();
+            pipe(fds);
+            printn(lseek(fds[0], 0, 0));
+            reboot(0);
+        }
+        """)
+        assert "-29" in result.console  # -ESPIPE

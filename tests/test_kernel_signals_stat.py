@@ -1,0 +1,164 @@
+"""Signals-lite delivery, stat() and sysinfo()."""
+
+from tests.helpers import USER_PRELUDE, run_user_program
+
+
+def run_prog(kernel, binaries, body, **kw):
+    result = run_user_program(kernel, binaries, USER_PRELUDE + body, **kw)
+    assert result.status == "shutdown", result.console
+    return result
+
+
+class TestSignals:
+    def test_kill_terminates_spinning_child(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int main() {
+            int pid;
+            int status;
+            begin();
+            pid = fork();
+            if (pid == 0) {
+                for (;;)
+                    sched_yield();      /* CPU-bound victim */
+            }
+            kill(pid, 9);
+            status = -1;
+            wait(&status);
+            printn(status);             /* 128 + SIGKILL */
+            reboot(0);
+        }
+        """, max_cycles=200_000_000)
+        assert str(128 + 9) in result.console
+
+    def test_kill_wakes_blocked_child(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int fds[2];
+        int main() {
+            int pid;
+            int status;
+            int buf[2];
+            begin();
+            pipe(fds);
+            pid = fork();
+            if (pid == 0) {
+                read(fds[0], buf, 4);   /* blocks forever */
+                exit(0);
+            }
+            sched_yield();              /* let the child block */
+            kill(pid, 15);
+            status = -1;
+            wait(&status);
+            printn(status);
+            reboot(0);
+        }
+        """, max_cycles=200_000_000)
+        assert str(128 + 15) in result.console
+
+    def test_self_kill(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int main() {
+            int pid;
+            int status;
+            begin();
+            pid = fork();
+            if (pid == 0) {
+                kill(getpid(), 6);      /* abort() */
+                print("UNREACHABLE\n");
+                exit(0);
+            }
+            status = -1;
+            wait(&status);
+            printn(status);
+            reboot(0);
+        }
+        """)
+        assert str(128 + 6) in result.console
+        assert "UNREACHABLE" not in result.console
+
+    def test_kill_missing_pid_esrch(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int main() {
+            begin();
+            printn(kill(77, 9));
+            reboot(0);
+        }
+        """)
+        assert "-3" in result.console
+
+    def test_bad_signal_einval(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int main() {
+            int pid;
+            int status;
+            begin();
+            pid = fork();
+            if (pid == 0)
+                for (;;) sched_yield();
+            printn(kill(pid, 0));
+            kill(pid, 9);
+            wait(&status);
+            reboot(0);
+        }
+        """, max_cycles=200_000_000)
+        assert "-22" in result.console
+
+
+class TestStatSysinfo:
+    def test_stat_regular_file(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int st[4];
+        int main() {
+            begin();
+            if (stat("/etc/motd", st) < 0) {
+                print("STAT FAIL\n");
+                reboot(1);
+            }
+            printn(st[0]);      /* type: 1 = file */
+            print(" ");
+            printn(st[1]);      /* size */
+            print(" ");
+            printn(st[2]);      /* blocks */
+            print("\n");
+            reboot(0);
+        }
+        """)
+        from repro.machine.disk import LIBC_CONTENT  # noqa: F401
+        assert "1 34 1" in result.console  # motd is 34 bytes, 1 block
+
+    def test_stat_directory(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int st[4];
+        int main() {
+            begin();
+            stat("/bin", st);
+            printn(st[0]);      /* 2 = directory */
+            reboot(0);
+        }
+        """)
+        assert "2" in result.console
+
+    def test_stat_missing_enoent(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int st[4];
+        int main() {
+            begin();
+            printn(stat("/nope", st));
+            reboot(0);
+        }
+        """)
+        assert "-2" in result.console
+
+    def test_sysinfo_counters_sane(self, kernel, binaries):
+        result = run_prog(kernel, binaries, r"""
+        int info[4];
+        int main() {
+            begin();
+            sysinfo(info);
+            /* free pages positive and below the total */
+            printn(info[0] > 0 && info[0] <= info[1]);
+            print(" ");
+            printn(info[3] >= 1);   /* at least this task running */
+            reboot(0);
+        }
+        """)
+        assert "1 1" in result.console

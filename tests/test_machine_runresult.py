@@ -1,0 +1,76 @@
+"""RunResult/CrashRecord parsing and machine lifecycle edge cases."""
+
+import pytest
+
+from repro.machine.machine import CrashRecord, Machine, RunResult, \
+    build_standard_disk, parse_bx_header
+
+
+class TestCrashRecord:
+    def test_field_mapping(self):
+        words = [14, 2, 0x1B, 0xC0101234, 0x10, 0x202,
+                 1, 2, 3, 4, 5, 6, 7, 8, 999, 3]
+        record = CrashRecord(words)
+        assert record.vector == 14
+        assert record.error_code == 2
+        assert record.cr2 == 0x1B
+        assert record.eip == 0xC0101234
+        assert record.regs["edi"] == 1
+        assert record.regs["eax"] == 8
+        assert record.tsc == 999
+        assert record.pid == 3
+
+    def test_short_record_tolerated(self):
+        record = CrashRecord([6, 0, 0, 0xC0100000, 0x10, 0,
+                              0, 0, 0, 0, 0, 0, 0, 0])
+        assert record.tsc == 0
+        assert record.pid == -1
+
+
+class TestRunResult:
+    def test_crashed_predicate(self):
+        crash = CrashRecord([6] + [0] * 15)
+        assert RunResult("halted", None, "", crash, 1, 1, b"").crashed
+        assert RunResult("triple_fault", None, "", None, 1, 1,
+                         b"").crashed
+        assert not RunResult("shutdown", 0, "", None, 1, 1, b"").crashed
+
+
+class TestMachineLifecycle:
+    def test_watchdog_budget_enforced(self, kernel, binaries):
+        machine = Machine(kernel, build_standard_disk(binaries, "dhry"))
+        result = machine.run(max_cycles=50_000)  # way too small
+        assert result.status == "watchdog"
+        assert result.cycles >= 50_000
+
+    def test_run_until_console_raises_on_missing_marker(self, kernel,
+                                                        binaries):
+        from repro.cpu.cpu import WatchdogExpired
+        from repro.cpu.devices import MachineShutdown
+        machine = Machine(kernel, build_standard_disk(binaries, None))
+        # Either the budget expires or the machine powers off without
+        # ever printing the marker; both surface, never a silent hang.
+        with pytest.raises((WatchdogExpired, MachineShutdown)):
+            machine.run_until_console("NEVER PRINTED",
+                                      max_cycles=300_000)
+
+    def test_timerless_machine_wedges_in_idle(self, kernel, binaries):
+        machine = Machine(kernel, build_standard_disk(binaries, None),
+                          timer=False)
+        result = machine.run(max_cycles=60_000_000)
+        # without a timer the idle hlt cannot resume: recorded as a
+        # halted (wedged) machine, never a host error
+        assert result.status in ("halted", "shutdown")
+
+    def test_parse_bx_header(self, binaries):
+        magic, entry, filesz, bss = parse_bx_header(
+            binaries["hanoi"].image)
+        assert magic == 0x0B17C0DE
+        assert filesz == len(binaries["hanoi"].image)
+
+    def test_console_capture_is_cumulative(self, kernel, binaries):
+        machine = Machine(kernel, build_standard_disk(binaries, None))
+        machine.run_until_console("Linux version")
+        partial = machine.console.text
+        machine.run(max_cycles=10_000_000)
+        assert machine.console.text.startswith(partial)

@@ -1,0 +1,47 @@
+"""Profiler behaviour (Table 1 machinery)."""
+
+from repro.profiling.report import format_table1, format_top_functions
+
+
+class TestProfile:
+    def test_samples_attributed_to_kernel_functions(self, profile):
+        assert profile.kernel_samples > 1000
+        assert profile.kernel_samples + profile.user_samples \
+            == profile.total_samples
+
+    def test_hot_kernel_paths_present(self, profile):
+        ranked = {f.name for f in profile.ranked()}
+        for expected in ("schedule", "do_system_call", "getblk", "iget",
+                         "copy_page_range", "do_fork", "wake_up"):
+            assert expected in ranked, expected
+
+    def test_top_functions_cover_requested_fraction(self, profile):
+        core = profile.top_functions(coverage=0.95)
+        covered = sum(f.samples for f in core)
+        assert covered >= 0.95 * profile.kernel_samples
+        # ... and dropping the last one dips below the threshold
+        without_last = covered - core[-1].samples
+        assert without_last < 0.95 * profile.kernel_samples
+
+    def test_more_coverage_means_more_functions(self, profile):
+        assert len(profile.top_functions(0.5)) \
+            < len(profile.top_functions(0.99))
+
+    def test_subsystem_table_orders_paper_rows_first(self, profile):
+        rows = profile.subsystem_table()
+        names = [row[0] for row in rows]
+        assert names[:8] == ["arch", "fs", "kernel", "mm", "drivers",
+                             "ipc", "lib", "net"]
+
+    def test_workload_attribution(self, profile):
+        # the page-cache read path is driven by file workloads
+        workload = profile.workload_for("do_generic_file_read")
+        assert workload in ("fstime", "looper", "syscall", "pipe",
+                            "context1", "spawn", "dhry", "hanoi")
+
+    def test_reports_render(self, profile):
+        table = format_table1(profile)
+        assert "Table 1" in table
+        assert "arch" in table and "Total" in table
+        top = format_top_functions(profile)
+        assert "Top" in top and "%" in top

@@ -1,0 +1,122 @@
+"""Property-based tests on core substrates (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.memory import MemoryBus, PageTableBuilder
+from repro.isa.assembler import assemble
+from repro.isa.decoder import decode_all
+from repro.machine.disk import fsck, list_dir, mkfs, read_file
+
+# -- ext2lite ------------------------------------------------------------
+
+names = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789_",
+                min_size=1, max_size=12)
+contents = st.binary(min_size=0, max_size=3000)
+
+
+@given(files=st.dictionaries(names, contents, min_size=0, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_mkfs_read_file_roundtrip(files):
+    paths = {"/data/" + name: data for name, data in files.items()}
+    image = mkfs(paths, dirs=("/data",))
+    for path, data in paths.items():
+        assert read_file(image, path) == data
+    report = fsck(image)
+    assert report.status == "clean", report.issues
+    listed = {name for name, _ in list_dir(image)}
+    assert "data" in listed
+
+
+@given(files=st.dictionaries(names, contents, min_size=1, max_size=6),
+       flip=st.tuples(st.integers(0, 1023 * 1024 - 1), st.integers(0, 7)))
+@settings(max_examples=40, deadline=None)
+def test_fsck_never_crashes_on_corruption(files, flip):
+    paths = {"/d/" + name: data for name, data in files.items()}
+    image = bytearray(mkfs(paths, dirs=("/d",)))
+    offset, bit = flip
+    image[offset % len(image)] ^= 1 << bit
+    report = fsck(bytes(image), repair=True)
+    assert report.status in ("clean", "dirty", "inconsistent",
+                             "unrecoverable")
+    if report.repaired is not None:
+        # repair output must itself be at worst inconsistent-free
+        assert fsck(report.repaired).status in ("clean", "dirty",
+                                                "inconsistent",
+                                                "unrecoverable")
+
+
+@given(size=st.integers(11 * 1024 + 1, 40 * 1024))
+@settings(max_examples=10, deadline=None)
+def test_indirect_files_roundtrip(size):
+    payload = (b"0123456789abcdef" * ((size // 16) + 1))[:size]
+    image = mkfs({"/d/fat": payload}, dirs=("/d",))
+    assert read_file(image, "/d/fat") == payload
+    assert fsck(image).status == "clean"
+
+
+# -- MMU vs model -----------------------------------------------------------
+
+
+@given(ops=st.lists(
+    st.tuples(st.integers(0, 15),           # virtual page selector
+              st.integers(0, 4095),         # offset
+              st.integers(0, 0xFFFFFFFF),   # value
+              st.booleans()),               # write?
+    min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_paged_memory_matches_model(ops):
+    bus = MemoryBus(0x100000)
+    builder = PageTableBuilder(bus, 0x8000)
+    # 16 user pages at 0x10000.., physically scattered
+    phys_base = 0x40000
+    for i in range(16):
+        builder.map_page(0x10000 + i * 0x1000, phys_base + i * 0x1000,
+                         user=True, writable=True)
+    builder.activate()
+    model = {}
+    for page, offset, value, write in ops:
+        vaddr = 0x10000 + page * 0x1000 + (offset & ~3)
+        if write:
+            bus.write(vaddr, 4, value, True)
+            model[vaddr] = value
+        else:
+            got = bus.read(vaddr, 4, True)
+            assert got == model.get(vaddr, 0)
+
+
+# -- assembler relaxation ------------------------------------------------------
+
+
+@given(gap=st.integers(0, 300), backward=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_branch_relaxation_targets_exact(gap, backward):
+    if backward:
+        source = "target:\n" + "nop\n" * gap + "je target\nret\n"
+    else:
+        source = "je target\n" + "nop\n" * gap + "target:\nret\n"
+    program = assemble(source, base=0x4000)
+    instrs = decode_all(program.code, base=0x4000)
+    branch = next(i for i in instrs if i.op == "jcc")
+    resolved = branch.addr + branch.length + branch.rel
+    assert resolved == program.symbols["target"]
+    # short form used whenever the displacement allows it
+    if gap <= 100:
+        assert branch.length == 2
+
+
+@given(n_branches=st.integers(1, 12), spacing=st.integers(0, 40))
+@settings(max_examples=30, deadline=None)
+def test_many_branches_all_resolve(n_branches, spacing):
+    lines = []
+    for i in range(n_branches):
+        lines.append("l%d:" % i)
+        lines.append("jne l%d" % ((i + 1) % n_branches))
+        lines.extend(["nop"] * spacing)
+    lines.append("ret")
+    program = assemble("\n".join(lines), base=0)
+    instrs = decode_all(program.code, base=0)
+    branches = [i for i in instrs if i.op == "jcc"]
+    assert len(branches) == n_branches
+    for i, branch in enumerate(branches):
+        target = program.symbols["l%d" % ((i + 1) % n_branches)]
+        assert branch.addr + branch.length + branch.rel == target

@@ -1,0 +1,78 @@
+"""CLI tools: objdump and ksymoops equivalents."""
+
+import io
+
+from repro.tools.objdump import disassemble_function
+
+
+class TestObjdump:
+    def test_disassembles_named_function(self, kernel):
+        info = next(f for f in kernel.functions if f.name == "schedule")
+        out = io.StringIO()
+        disassemble_function(kernel, info, out=out)
+        text = out.getvalue()
+        assert "<schedule>:" in text
+        assert "push %ebp" in text
+        assert "ret" in text
+
+    def test_main_list(self, capsys, monkeypatch):
+        import repro.tools.objdump as objdump
+        import repro.kernel.build as kbuild
+        # reuse the session kernel instead of rebuilding
+        monkeypatch.setattr(objdump, "build_kernel", kbuild.build_kernel)
+        assert objdump.main(["--list", "--subsystem", "ipc"]) == 0
+        out = capsys.readouterr().out
+        assert "sys_ipc" in out
+
+    def test_main_unknown_function_errors(self, capsys):
+        import pytest
+        import repro.tools.objdump as objdump
+        with pytest.raises(SystemExit):
+            objdump.main(["not_a_function"])
+
+
+class TestKsymoopsFlow:
+    def test_annotated_injection_produces_report(self, kernel, binaries,
+                                                 capsys):
+        """Drive the same flow the CLI wraps, against session fixtures."""
+        from repro.analysis.oops import annotate_crash
+        from repro.injection.runner import BOOT_MARKER
+        from repro.machine.machine import Machine, build_standard_disk
+
+        machine = Machine(kernel,
+                          build_standard_disk(binaries, "syscall"))
+        machine.run_until_console(BOOT_MARKER)
+        info = next(f for f in kernel.functions
+                    if f.name == "do_system_call")
+        # push ebp -> 0x15 two-byte adc: derails the dispatcher
+        machine.arm_breakpoint(info.start,
+                               lambda m: m.flip_bit(info.start, 6))
+        result = machine.run(max_cycles=60_000_000)
+        if result.crash is not None:
+            report = annotate_crash(kernel, result.crash,
+                                    machine=machine)
+            assert "EIP:" in report
+            assert "Code:" in report
+
+
+class TestFsckCli:
+    def test_clean_image(self, tmp_path, binaries, capsys):
+        from repro.machine.machine import build_standard_disk
+        from repro.tools.fsck import main
+        path = tmp_path / "disk.img"
+        path.write_bytes(build_standard_disk(binaries, None))
+        assert main([str(path)]) == 0
+        assert "status: clean" in capsys.readouterr().out
+
+    def test_damaged_image_with_repair(self, tmp_path, binaries, capsys):
+        import struct
+        from repro.machine.machine import build_standard_disk
+        from repro.tools.fsck import main
+        disk = bytearray(build_standard_disk(binaries, None))
+        struct.pack_into("<I", disk, 8 * 4, 0)     # dirty
+        path = tmp_path / "disk.img"
+        path.write_bytes(bytes(disk))
+        out_path = tmp_path / "fixed.img"
+        code = main([str(path), "--repair", str(out_path)])
+        assert code == 1
+        assert main([str(out_path)]) == 0
