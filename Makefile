@@ -2,13 +2,22 @@
 
 PY ?= python3
 
-.PHONY: install test bench experiments experiments-full clean
+.PHONY: install test bench ci experiments experiments-full clean
 
 install:
 	pip install -e .
 
 test:
 	$(PY) -m pytest tests/
+
+# What .github/workflows/ci.yml runs: lint (when available) + tier-1.
+ci:
+	@if $(PY) -m flake8 --version >/dev/null 2>&1; then \
+		$(PY) -m flake8 src tests; \
+	else \
+		echo "flake8 not installed; skipping lint"; \
+	fi
+	PYTHONPATH=src $(PY) -m pytest -x -q
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

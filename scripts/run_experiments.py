@@ -2,13 +2,17 @@
 """Regenerate EXPERIMENTS.md: run every exhibit and record the results.
 
     python3 scripts/run_experiments.py [scale] [output]
+                                       [--jobs N] [--resume]
 
 Scale is one of tiny/quick/standard/full (see repro.experiments.SCALES).
 The standard scale runs a few thousand injections and takes tens of
 minutes on one core; results are cached under results/ so re-rendering
-is cheap.
+is cheap.  ``--jobs N`` spreads each campaign over N process-isolated
+workers; ``--resume`` restarts interrupted campaigns from their
+journals instead of from scratch.
 """
 
+import argparse
 import os
 import sys
 
@@ -17,21 +21,38 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
 
 from repro.experiments import ExperimentContext, build_report  # noqa: E402
 from repro.experiments.comparison import build_comparison  # noqa: E402
+from repro.experiments.context import SCALES  # noqa: E402
+from repro.injection.engine import JournalMismatch  # noqa: E402
 
 
 def main():
-    scale = sys.argv[1] if len(sys.argv) > 1 else "quick"
-    output = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scale", nargs="?", default="quick",
+                        choices=sorted(SCALES))
+    parser.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel injection workers (default 1)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume interrupted campaigns from their "
+                             "journals")
+    args = parser.parse_args()
     root = os.path.join(os.path.dirname(__file__), os.pardir)
-    ctx = ExperimentContext(scale=scale, verbose=True,
-                            results_dir=os.path.join(root, "results"))
-    report = build_report(ctx)
-    comparison = build_comparison(ctx)
-    with open(os.path.join(root, output), "w") as fh:
+    ctx = ExperimentContext(scale=args.scale, verbose=True,
+                            results_dir=os.path.join(root, "results"),
+                            jobs=args.jobs, resume=args.resume)
+    try:
+        report = build_report(ctx)
+        comparison = build_comparison(ctx)
+    except JournalMismatch as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        print("(the journal belongs to a different plan: delete it or "
+              "rerun without --resume)", file=sys.stderr)
+        raise SystemExit(2)
+    with open(os.path.join(root, args.output), "w") as fh:
         fh.write(comparison)
         fh.write("\n\n---\n\n")
         fh.write(report)
-    print("wrote %s" % output)
+    print("wrote %s" % args.output)
 
 
 if __name__ == "__main__":

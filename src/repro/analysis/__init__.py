@@ -9,8 +9,12 @@ from repro.analysis.stats import (
     per_function_crash_shares,
     subsystem_outcome_table,
 )
-from repro.analysis.propagation import propagation_graph, \
-    propagation_matrix
+from repro.analysis.propagation import (
+    nested_fault_counts,
+    nested_fault_rate,
+    propagation_graph,
+    propagation_matrix,
+)
 from repro.analysis.availability import allowed_failures_per_year, \
     availability_given_rates
 from repro.analysis.tables import (
@@ -39,6 +43,8 @@ __all__ = [
     "outcome_pie",
     "per_function_crash_shares",
     "subsystem_outcome_table",
+    "nested_fault_counts",
+    "nested_fault_rate",
     "propagation_graph",
     "propagation_matrix",
     "allowed_failures_per_year",

@@ -64,6 +64,40 @@ def propagation_rate(results, include_wild=False):
     return (escaped / total) if total else 0.0
 
 
+def nested_fault_counts(results):
+    """Per-subsystem count of crashes that re-faulted while dumping.
+
+    A fault taken *inside* the crash handler writes an extra dump
+    record before the final one (the paper's LKCD rig kept only the
+    last dump; the harness now records the whole chain on
+    ``InjectionResult.nested_crashes``).  Returns dict
+    ``src_subsystem -> Counter(nested_subsystem -> count)`` — a second
+    propagation signal: where the kernel was when crash handling
+    itself went wrong.
+    """
+    matrix = defaultdict(Counter)
+    for result in results:
+        if result.outcome != CRASH_DUMPED or not result.nested_crashes:
+            continue
+        for record in result.nested_crashes:
+            destination = record.get("subsystem") or "(wild)"
+            matrix[result.subsystem][destination] += 1
+    return dict(matrix)
+
+
+def nested_fault_rate(results):
+    """Fraction of dumped crashes whose crash handling re-faulted."""
+    total = 0
+    nested = 0
+    for result in results:
+        if result.outcome != CRASH_DUMPED:
+            continue
+        total += 1
+        if result.nested_crashes:
+            nested += 1
+    return (nested / total) if total else 0.0
+
+
 def wild_crash_fraction(results):
     """Share of dumped crashes whose EIP left the kernel text entirely."""
     total = 0

@@ -28,7 +28,7 @@ class ExperimentContext:
     """Builds and caches everything the experiments share."""
 
     def __init__(self, scale="quick", seed=2003, results_dir=None,
-                 verbose=False):
+                 verbose=False, jobs=1, resume=False):
         if scale not in SCALES:
             raise ValueError("unknown scale %r (have %s)"
                              % (scale, sorted(SCALES)))
@@ -36,6 +36,8 @@ class ExperimentContext:
         self.seed = seed
         self.results_dir = results_dir
         self.verbose = verbose
+        self.jobs = jobs
+        self.resume = resume
         self._kernel = None
         self._binaries = None
         self._profile = None
@@ -80,12 +82,15 @@ class ExperimentContext:
                 self._campaigns[key] = cached
                 return cached
             stride, max_specs = SCALES[self.scale][key]
-            self._log("running campaign %s (stride %d)..." % (key, stride))
+            self._log("running campaign %s (stride %d, jobs %d)..."
+                      % (key, stride, self.jobs))
             start = time.time()
             progress = self._progress if self.verbose else None
             results = self.harness.run_campaign(
                 key, seed=self.seed, byte_stride=stride,
-                max_specs=max_specs, progress=progress)
+                max_specs=max_specs, progress=progress,
+                jobs=self.jobs, journal_path=self._journal_path(key),
+                resume=self.resume)
             self._log("campaign %s: %d injections in %.1fs"
                       % (key, len(results), time.time() - start))
             self._campaigns[key] = results
@@ -109,6 +114,13 @@ class ExperimentContext:
         return os.path.join(self.results_dir,
                             "campaign_%s_%s_seed%d.json"
                             % (key, self.scale, self.seed))
+
+    def _journal_path(self, key):
+        """JSONL journal next to the cache (enables crash-safe resume)."""
+        path = self._cache_path(key)
+        if path is None:
+            return None
+        return path[:-len(".json")] + ".journal.jsonl"
 
     def _load_cached(self, key):
         path = self._cache_path(key)

@@ -13,6 +13,9 @@ _DESCRIPTIONS = {
     "crash_unknown": "kernel died without managing a dump "
                      "(triple fault / wedged with interrupts off)",
     "hang": "watchdog expired: the system stopped making progress",
+    "harness_error": "the harness itself failed (injector exception or "
+                     "worker death); reported separately with a repro "
+                     "bundle, excluded from kernel statistics",
 }
 
 

@@ -9,11 +9,18 @@ propagation (§7).
 
 from repro.injection.outcomes import (
     CAUSE_ORDER,
+    HARNESS_ERROR,
     LATENCY_BUCKETS,
     OUTCOME_ORDER,
     InjectionResult,
     crash_cause_name,
     latency_bucket,
+)
+from repro.injection.engine import (
+    CampaignEngine,
+    CampaignJournal,
+    EngineConfig,
+    JournalMismatch,
 )
 from repro.injection.campaigns import (
     CAMPAIGNS,
@@ -33,8 +40,13 @@ from repro.injection.severity import SEVERITY_DOWNTIME, grade_severity
 
 __all__ = [
     "CAUSE_ORDER",
+    "HARNESS_ERROR",
     "LATENCY_BUCKETS",
     "OUTCOME_ORDER",
+    "CampaignEngine",
+    "CampaignJournal",
+    "EngineConfig",
+    "JournalMismatch",
     "InjectionResult",
     "crash_cause_name",
     "latency_bucket",

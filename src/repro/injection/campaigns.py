@@ -60,6 +60,14 @@ class InjectionSpec:
     def target_byte_addr(self):
         return self.instr_addr + self.byte_offset
 
+    def to_dict(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**{k: v for k, v in data.items()
+                      if k in cls.__slots__})
+
     def __repr__(self):
         return ("InjectionSpec(%s %s@%#x+%d bit %d [%s])"
                 % (self.campaign, self.function, self.instr_addr,

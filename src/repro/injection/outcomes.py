@@ -7,6 +7,13 @@ FAIL_SILENCE_VIOLATION = "fail_silence_violation"
 CRASH_DUMPED = "crash_dumped"
 CRASH_UNKNOWN = "crash_unknown"     # triple fault / undumped wedge
 HANG = "hang"                        # watchdog fired
+#: The *harness* (not the simulated kernel) failed while running the
+#: experiment: an exception escaped the injector, or a worker process
+#: wedged/died past its retry budget.  The paper's rig has the same
+#: category implicitly — runs its watchdog/reboot ladder could not
+#: complete — and, like the paper, we report these separately instead
+#: of mixing them into the kernel-behaviour statistics.
+HARNESS_ERROR = "harness_error"
 
 OUTCOME_ORDER = (
     NOT_ACTIVATED,
@@ -15,6 +22,7 @@ OUTCOME_ORDER = (
     CRASH_DUMPED,
     CRASH_UNKNOWN,
     HANG,
+    HARNESS_ERROR,
 )
 
 #: Outcomes the paper groups as "Crash/Hang" in Figure 4.
@@ -79,7 +87,13 @@ def latency_bucket(latency):
 
 
 class InjectionResult:
-    """Everything recorded about one injection experiment."""
+    """Everything recorded about one injection experiment.
+
+    ``nested_crashes`` lists dump records written *before* the final one
+    (faults taken inside the crash handler itself); ``repro`` is only
+    set on :data:`HARNESS_ERROR` outcomes and bundles the spec,
+    traceback and seed needed to replay the harness failure.
+    """
 
     __slots__ = (
         "campaign", "function", "subsystem", "addr", "byte_offset", "bit",
@@ -87,7 +101,7 @@ class InjectionResult:
         "crash_vector", "crash_cause", "crash_cr2", "crash_eip",
         "crash_function", "crash_subsystem", "latency", "severity",
         "run_status", "run_cycles", "exit_code", "console_tail",
-        "fs_status", "detail",
+        "fs_status", "detail", "nested_crashes", "repro",
     )
 
     def __init__(self, **kwargs):

@@ -12,6 +12,11 @@ executes).
 import json
 
 from repro.injection.campaigns import plan_campaign, select_targets
+from repro.injection.engine import (
+    CampaignEngine,
+    EngineConfig,
+    atomic_write_json,
+)
 from repro.injection.outcomes import (
     CRASH_DUMPED,
     CRASH_UNKNOWN,
@@ -73,8 +78,9 @@ class CampaignResults:
             "meta": self.meta,
             "results": [r.to_dict() for r in self.results],
         }
-        with open(path, "w") as fh:
-            json.dump(payload, fh)
+        # Atomic: a campaign interrupted mid-save can never leave a
+        # truncated JSON behind to poison later cached re-renders.
+        atomic_write_json(path, payload)
 
     @classmethod
     def load(cls, path):
@@ -252,6 +258,19 @@ class InjectionHarness:
             info = self.kernel.find_function(crash.eip)
             latency = max(0, crash.tsc - activation_tsc
                           - self.crash_overhead())
+            # Faults taken *inside* the crash handler write extra dump
+            # records before the final one; record them instead of
+            # silently dropping them (propagation analysis wants them).
+            nested = []
+            for record in result.crashes[:-1]:
+                nested_info = self.kernel.find_function(record.eip)
+                nested.append({
+                    "vector": record.vector,
+                    "eip": record.eip,
+                    "cr2": record.cr2,
+                    "subsystem": (nested_info.subsystem
+                                  if nested_info else None),
+                })
             fields.update(
                 outcome=CRASH_DUMPED,
                 crash_vector=crash.vector,
@@ -261,6 +280,7 @@ class InjectionHarness:
                 crash_function=info.name if info else None,
                 crash_subsystem=info.subsystem if info else None,
                 latency=latency,
+                nested_crashes=nested or None,
             )
             if grade:
                 severity, fs_status = grade_severity(
@@ -300,8 +320,21 @@ class InjectionHarness:
 
     def run_campaign(self, campaign_key, functions=None, seed=2003,
                      byte_stride=1, max_per_function=None, grade=True,
-                     progress=None, max_specs=None):
-        """Plan and execute a whole campaign; returns CampaignResults."""
+                     progress=None, max_specs=None, jobs=1,
+                     timeout=None, retries=2, max_worker_failures=3,
+                     journal_path=None, resume=False):
+        """Plan and execute a whole campaign; returns CampaignResults.
+
+        Execution goes through the fault-tolerant engine
+        (:mod:`repro.injection.engine`): *jobs* > 1 runs experiments in
+        process-isolated workers with per-experiment watchdogs and
+        retry; *journal_path* appends every completed experiment to a
+        JSONL journal and *resume* restarts an interrupted campaign
+        from it.  Specs are planned deterministically up front, so
+        serial and parallel runs of the same seed yield identical
+        results; only ``meta["engine"]`` (execution telemetry) may
+        differ between modes.
+        """
         if functions is None:
             functions = select_targets(self.kernel, self.profile,
                                        campaign_key)
@@ -310,11 +343,14 @@ class InjectionHarness:
                               max_per_function=max_per_function)
         if max_specs is not None:
             specs = specs[:max_specs]
-        results = []
-        for index, spec in enumerate(specs):
-            results.append(self.run_spec(spec, grade=grade))
-            if progress is not None:
-                progress(index + 1, len(specs), results[-1])
+        config = EngineConfig(jobs=jobs, timeout=timeout,
+                              retries=retries,
+                              max_worker_failures=max_worker_failures,
+                              journal_path=journal_path, resume=resume)
+        engine = CampaignEngine(self, config)
+        results, engine_meta = engine.execute(
+            campaign_key, specs, seed=seed, byte_stride=byte_stride,
+            grade=grade, progress=progress)
         meta = {
             "campaign": campaign_key,
             "functions": sorted({f.name for f in functions}),
@@ -322,5 +358,6 @@ class InjectionHarness:
             "seed": seed,
             "byte_stride": byte_stride,
             "injected": len(specs),
+            "engine": engine_meta,
         }
         return CampaignResults(campaign_key, results, meta)

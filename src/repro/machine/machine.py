@@ -50,14 +50,22 @@ class RunResult:
     """Outcome of one machine run."""
 
     def __init__(self, status, exit_code, console, crash, cycles, instret,
-                 disk_image, detail=""):
+                 disk_image, detail="", crashes=None):
         #: "shutdown" (clean power-off), "halted" (CPU wedged — a dumped
         #: crash if ``crash`` is set, otherwise a hang), "watchdog"
         #: (hang), or "triple_fault" (unknown crash, no dump possible).
         self.status = status
         self.exit_code = exit_code
         self.console = console
-        self.crash = crash          # CrashRecord or None
+        self.crash = crash          # CrashRecord or None (the last dump)
+        #: Every dump record written during the run, in order.  A fault
+        #: taken inside the crash handler writes a second record; the
+        #: full list makes such nested faults visible to propagation
+        #: analysis instead of silently keeping only the last.
+        if crashes is not None:
+            self.crashes = list(crashes)
+        else:
+            self.crashes = [crash] if crash is not None else []
         self.cycles = cycles
         self.instret = instret
         self.disk_image = disk_image
@@ -191,18 +199,17 @@ class Machine:
         except TripleFault as stop:
             status = "triple_fault"
             detail = str(stop)
-        crash = None
-        if self.dump.records:
-            crash = CrashRecord(self.dump.records[-1])
+        crashes = [CrashRecord(words) for words in self.dump.records]
         return RunResult(
             status=status,
             exit_code=exit_code,
             console=self.console.text,
-            crash=crash,
+            crash=crashes[-1] if crashes else None,
             cycles=cpu.cycles,
             instret=cpu.instret,
             disk_image=bytes(self.disk.image),
             detail=detail,
+            crashes=crashes,
         )
 
     def run_until_console(self, marker, max_cycles=DEFAULT_WATCHDOG,
@@ -256,12 +263,12 @@ class Machine:
             status, detail = "watchdog", str(stop)
         except TripleFault as stop:
             status, detail = "triple_fault", str(stop)
-        crash = None
-        if self.dump.records:
-            crash = CrashRecord(self.dump.records[-1])
-        result = RunResult(status, exit_code, self.console.text, crash,
+        crashes = [CrashRecord(words) for words in self.dump.records]
+        result = RunResult(status, exit_code, self.console.text,
+                           crashes[-1] if crashes else None,
                            cpu.cycles, cpu.instret,
-                           bytes(self.disk.image), detail)
+                           bytes(self.disk.image), detail,
+                           crashes=crashes)
         return result, samples
 
 

@@ -1,0 +1,82 @@
+"""Snapshot-clone isolation under injection.
+
+The campaign engine's workers each clone the golden snapshot per
+experiment; campaign correctness rests on clones being perfectly
+independent — no shared RAM, disk or console state — and on a clone
+run *after* a crashed clone behaving exactly like a fresh boot.
+"""
+
+from repro.injection.runner import BOOT_MARKER
+from repro.machine.machine import Machine, build_standard_disk
+
+WORKLOAD = "syscall"
+
+
+def fresh_booted_machine(kernel, binaries):
+    disk = build_standard_disk(binaries, WORKLOAD)
+    machine = Machine(kernel, disk)
+    machine.run_until_console(BOOT_MARKER, max_cycles=10_000_000)
+    return machine
+
+
+class TestCloneIsolationUnderInjection:
+    def test_different_flips_do_not_cross_talk(self, kernel, harness):
+        golden = harness.golden(WORKLOAD)
+        snapshot = golden.snapshot
+        addr = kernel.symbols["do_system_call"]
+        phys = addr - snapshot.layout.KERNEL_BASE
+        original = snapshot.ram[phys]
+        first = snapshot.clone()
+        second = snapshot.clone()
+        first.flip_bit(addr, 0)
+        second.flip_bit(addr, 3)
+        # each clone sees only its own corruption...
+        assert first.read_byte(addr) == original ^ 0x01
+        assert second.read_byte(addr) == original ^ 0x08
+        # ...and the snapshot master stays pristine.
+        assert snapshot.ram[phys] == original
+        budget = golden.cycles * 2
+        result_first = first.run(max_cycles=budget)
+        result_second = second.run(max_cycles=budget)
+        # Each corrupted clone behaves exactly like a freshly booted
+        # machine carrying the same flip: nothing leaked between them.
+        for bit, observed in ((0, result_first), (3, result_second)):
+            machine = fresh_booted_machine(kernel, harness.binaries)
+            machine.flip_bit(addr, bit)
+            fresh = machine.run(max_cycles=budget)
+            assert fresh.status == observed.status
+            assert fresh.console == observed.console
+            assert fresh.cycles == observed.cycles
+            assert fresh.disk_image == observed.disk_image
+
+    def test_clone_after_crashed_clone_matches_fresh_boot(self, kernel,
+                                                          harness):
+        golden = harness.golden(WORKLOAD)
+        snapshot = golden.snapshot
+        addr = kernel.symbols["do_system_call"]
+        crasher = snapshot.clone()
+        crasher.write_byte(addr, 0x0F)       # ud2: guaranteed crash
+        crasher.write_byte(addr + 1, 0x0B)
+        crashed = crasher.run(max_cycles=golden.cycles * 2)
+        assert crashed.status != "shutdown"
+        # A clone taken after the crash must be as pristine as a boot.
+        clean = snapshot.clone().run(max_cycles=golden.cycles * 2)
+        assert clean.status == "shutdown"
+        assert clean.exit_code == golden.exit_code
+        assert clean.console == golden.console
+        assert clean.cycles == golden.cycles
+        assert clean.disk_image == golden.final_disk
+
+    def test_run_spec_results_are_order_independent(self, harness):
+        """Two injections through the harness can run in any order."""
+        from repro.injection.campaigns import plan_campaign, \
+            select_targets
+        functions = select_targets(harness.kernel, harness.profile, "C")
+        specs = plan_campaign(harness.kernel, "C", functions,
+                              seed=11, byte_stride=5)[:2]
+        assert len(specs) == 2
+        forward = [harness.run_spec(s, grade=False).to_dict()
+                   for s in specs]
+        backward = [harness.run_spec(s, grade=False).to_dict()
+                    for s in reversed(specs)]
+        assert forward == list(reversed(backward))

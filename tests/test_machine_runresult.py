@@ -35,6 +35,20 @@ class TestRunResult:
                          b"").crashed
         assert not RunResult("shutdown", 0, "", None, 1, 1, b"").crashed
 
+    def test_crashes_defaults_from_crash(self):
+        crash = CrashRecord([6] + [0] * 15)
+        result = RunResult("halted", None, "", crash, 1, 1, b"")
+        assert result.crashes == [crash]
+        assert RunResult("shutdown", 0, "", None, 1, 1, b"").crashes == []
+
+    def test_crashes_keeps_every_record_and_crash_is_last(self):
+        first = CrashRecord([14] + [0] * 15)
+        second = CrashRecord([6] + [0] * 15)
+        result = RunResult("halted", None, "", second, 1, 1, b"",
+                           crashes=[first, second])
+        assert result.crashes == [first, second]
+        assert result.crash is second
+
 
 class TestMachineLifecycle:
     def test_watchdog_budget_enforced(self, kernel, binaries):
