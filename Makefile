@@ -10,7 +10,8 @@ install:
 test:
 	$(PY) -m pytest tests/
 
-# What .github/workflows/ci.yml runs: lint (when available) + tier-1.
+# What .github/workflows/ci.yml runs: lint (when available) + tier-1
+# + the recovery-kernel smoke study.
 ci:
 	@if $(PY) -m flake8 --version >/dev/null 2>&1; then \
 		$(PY) -m flake8 src tests; \
@@ -18,6 +19,7 @@ ci:
 		echo "flake8 not installed; skipping lint"; \
 	fi
 	PYTHONPATH=src $(PY) -m pytest -x -q
+	PYTHONPATH=src $(PY) -m repro.experiments.recovery_study --smoke
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

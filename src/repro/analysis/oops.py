@@ -108,10 +108,14 @@ def annotate_crash(kernel, crash, machine=None):
             trace; the registers alone come from the dump record).
     """
     lines = []
+    if crash.vector == 253:
+        kind = "soft lockup"
+    elif crash.vector < 32:
+        kind = trap_name(crash.vector)
+    else:
+        kind = "code %d" % crash.vector
     lines.append("Oops: %s (vector %d, error code %#x)"
-                 % (trap_name(crash.vector) if crash.vector < 32
-                    else "code %d" % crash.vector,
-                    crash.vector, crash.error_code))
+                 % (kind, crash.vector, crash.error_code))
     lines.append("CPU:    0")
     lines.append("EIP:    0010:[<%08x>]   %s"
                  % (crash.eip, symbolize(kernel, crash.eip)))
@@ -127,6 +131,9 @@ def annotate_crash(kernel, crash, machine=None):
                  % (crash.regs["esi"], crash.regs["edi"],
                     crash.regs["ebp"], crash.regs["esp"]))
     lines.append("Process pid: %d   tsc: %d" % (crash.pid, crash.tsc))
+    if getattr(crash, "recovered", 0):
+        lines.append("RECOVERED (task killed: %d) at %s"
+                     % (crash.pid, symbolize(kernel, crash.eip)))
     listing = disassemble_around(kernel, crash.eip, machine=machine)
     if listing:
         lines.append("Code:")

@@ -5,10 +5,12 @@ from collections import Counter, defaultdict
 from repro.injection.outcomes import (
     CRASH_DUMPED,
     CRASH_HANG_OUTCOMES,
+    CRASH_RECOVERED,
     CRASH_UNKNOWN,
     FAIL_SILENCE_VIOLATION,
     HANG,
     NOT_MANIFESTED,
+    RECOVERED_CLASSES,
     latency_bucket,
     LATENCY_BUCKETS,
 )
@@ -85,10 +87,15 @@ def crash_hang_count(results):
 
 
 def crash_cause_distribution(results, dumped_only=True):
-    """Counter of crash causes (Figure 6)."""
+    """Counter of crash causes (Figure 6).
+
+    Recovered crashes carry a dump too, so they contribute their cause
+    exactly like fatal dumped crashes.
+    """
     causes = Counter()
     for result in results:
-        if result.outcome == CRASH_DUMPED and result.crash_cause:
+        if result.outcome in (CRASH_DUMPED, CRASH_RECOVERED) \
+                and result.crash_cause:
             causes[result.crash_cause] += 1
         elif not dumped_only and result.outcome in (CRASH_UNKNOWN, HANG):
             causes["unknown"] += 1
@@ -183,6 +190,36 @@ def severity_counts(results):
 def most_severe_cases(results):
     """The paper's Table 5: every most-severe (reformat) case."""
     return [r for r in results if r.severity == "most_severe"]
+
+
+def recovered_counts(results):
+    """Counter over recovered sub-classes of CRASH_RECOVERED runs.
+
+    Keys are the :data:`RECOVERED_CLASSES` labels; every recovered run
+    has exactly one (the classifier always sets ``recovered_class``).
+    """
+    counter = Counter()
+    for result in results:
+        if result.outcome == CRASH_RECOVERED:
+            counter[result.recovered_class] += 1
+    return counter
+
+
+def recovery_rate(results):
+    """(activated, recovered, share): how many activated errors the
+    recovery kernel contained by killing the task instead of halting.
+
+    Share is recovered / activated (0.0 when nothing activated).
+    """
+    activated = sum(1 for r in results if r.activated)
+    recovered = sum(1 for r in results if r.outcome == CRASH_RECOVERED)
+    share = recovered / activated if activated else 0.0
+    return activated, recovered, share
+
+
+def recovered_class_order():
+    """The recovered sub-class labels, in reporting order."""
+    return list(RECOVERED_CLASSES)
 
 
 def bucket_labels():

@@ -42,7 +42,9 @@ class ExperimentContext:
         self._binaries = None
         self._profile = None
         self._harness = None
+        self._recovery_harness = None
         self._campaigns = {}
+        self._recovery_campaigns = {}
 
     # -- lazily built shared state ------------------------------------------
 
@@ -74,28 +76,52 @@ class ExperimentContext:
                                              self.profile)
         return self._harness
 
+    @property
+    def recovery_harness(self):
+        """Harness whose runs boot the recovery-enabled kernel."""
+        if self._recovery_harness is None:
+            self._recovery_harness = InjectionHarness(
+                self.kernel, self.binaries, self.profile, recovery=True)
+        return self._recovery_harness
+
     def campaign(self, key):
         """Results for campaign *key* at this context's scale (cached)."""
-        if key not in self._campaigns:
-            cached = self._load_cached(key)
+        return self._campaign(key, recovery=False)
+
+    def recovery_campaign(self, key):
+        """Campaign *key* re-run under the recovery kernel (cached).
+
+        Identical injection plan to :meth:`campaign` (same seed, stride
+        and spec cap) so the two distributions are directly comparable;
+        only the kernel's oops handling differs.
+        """
+        return self._campaign(key, recovery=True)
+
+    def _campaign(self, key, recovery):
+        cache = self._recovery_campaigns if recovery else self._campaigns
+        if key not in cache:
+            cached = self._load_cached(key, recovery)
             if cached is not None:
-                self._campaigns[key] = cached
+                cache[key] = cached
                 return cached
             stride, max_specs = SCALES[self.scale][key]
-            self._log("running campaign %s (stride %d, jobs %d)..."
-                      % (key, stride, self.jobs))
+            mode = " [recovery]" if recovery else ""
+            self._log("running campaign %s%s (stride %d, jobs %d)..."
+                      % (key, mode, stride, self.jobs))
             start = time.time()
             progress = self._progress if self.verbose else None
-            results = self.harness.run_campaign(
+            harness = self.recovery_harness if recovery else self.harness
+            results = harness.run_campaign(
                 key, seed=self.seed, byte_stride=stride,
                 max_specs=max_specs, progress=progress,
-                jobs=self.jobs, journal_path=self._journal_path(key),
+                jobs=self.jobs,
+                journal_path=self._journal_path(key, recovery),
                 resume=self.resume)
-            self._log("campaign %s: %d injections in %.1fs"
-                      % (key, len(results), time.time() - start))
-            self._campaigns[key] = results
-            self._store_cached(key, results)
-        return self._campaigns[key]
+            self._log("campaign %s%s: %d injections in %.1fs"
+                      % (key, mode, len(results), time.time() - start))
+            cache[key] = results
+            self._store_cached(key, results, recovery)
+        return cache[key]
 
     def all_campaigns(self):
         return {key: self.campaign(key) for key in ("A", "B", "C")}
@@ -108,22 +134,23 @@ class ExperimentContext:
 
     # -- persistence -----------------------------------------------------------
 
-    def _cache_path(self, key):
+    def _cache_path(self, key, recovery=False):
         if self.results_dir is None:
             return None
+        suffix = "_recovery" if recovery else ""
         return os.path.join(self.results_dir,
-                            "campaign_%s_%s_seed%d.json"
-                            % (key, self.scale, self.seed))
+                            "campaign_%s_%s_seed%d%s.json"
+                            % (key, self.scale, self.seed, suffix))
 
-    def _journal_path(self, key):
+    def _journal_path(self, key, recovery=False):
         """JSONL journal next to the cache (enables crash-safe resume)."""
-        path = self._cache_path(key)
+        path = self._cache_path(key, recovery)
         if path is None:
             return None
         return path[:-len(".json")] + ".journal.jsonl"
 
-    def _load_cached(self, key):
-        path = self._cache_path(key)
+    def _load_cached(self, key, recovery=False):
+        path = self._cache_path(key, recovery)
         if path is None or not os.path.exists(path):
             return None
         try:
@@ -131,8 +158,8 @@ class ExperimentContext:
         except (OSError, ValueError, KeyError):
             return None
 
-    def _store_cached(self, key, results):
-        path = self._cache_path(key)
+    def _store_cached(self, key, results, recovery=False):
+        path = self._cache_path(key, recovery)
         if path is None:
             return
         os.makedirs(os.path.dirname(path), exist_ok=True)

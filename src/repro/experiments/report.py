@@ -12,6 +12,7 @@ from repro.experiments import (
     fig6_crash_causes,
     fig7_latency,
     fig8_propagation,
+    recovery_study,
     sensitivity,
     table1_profile,
     table2_setup,
@@ -37,6 +38,7 @@ _EXHIBITS = (
     ("Table 6 — not-manifested branch cases", table6_cases),
     ("Table 7 — crash-cause case studies", table7_cases),
     ("§7.1 — availability model", availability_model),
+    ("§7.1 ext. — recovery-kernel study", recovery_study),
     ("§6.1 — per-function sensitivity", sensitivity),
     ("§7.4 — strategic assertion placement", assertions_study),
     ("Extension — register-corruption campaign R", register_extension),

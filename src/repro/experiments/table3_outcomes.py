@@ -10,6 +10,9 @@ _DESCRIPTIONS = {
                               "on-disk data differ from the golden run",
     "crash_dumped": "kernel oops with a successful crash dump "
                     "(LKCD-equivalent record captured)",
+    "crash_recovered": "kernel dumped, killed the offending task and "
+                       "kept running (recovery kernels only; "
+                       "sub-classified by post-recovery behaviour)",
     "crash_unknown": "kernel died without managing a dump "
                      "(triple fault / wedged with interrupts off)",
     "hang": "watchdog expired: the system stopped making progress",

@@ -5,6 +5,13 @@ NOT_ACTIVATED = "not_activated"
 NOT_MANIFESTED = "not_manifested"
 FAIL_SILENCE_VIOLATION = "fail_silence_violation"
 CRASH_DUMPED = "crash_dumped"
+#: The kernel dumped, killed the offending task, and kept running
+#: (recovery kernels only).  Sub-classified by ``recovered_class``:
+#: :data:`RECOVERED_WORKLOAD_CORRECT` when the surviving system still
+#: produced the golden workload behaviour, :data:`RECOVERED_FSV` when
+#: it ran on but visibly diverged, :data:`RECOVERED_LATER_CRASH` when
+#: the machine recovered once and then crashed or hung anyway.
+CRASH_RECOVERED = "crash_recovered"
 CRASH_UNKNOWN = "crash_unknown"     # triple fault / undumped wedge
 HANG = "hang"                        # watchdog fired
 #: The *harness* (not the simulated kernel) failed while running the
@@ -20,13 +27,28 @@ OUTCOME_ORDER = (
     NOT_MANIFESTED,
     FAIL_SILENCE_VIOLATION,
     CRASH_DUMPED,
+    CRASH_RECOVERED,
     CRASH_UNKNOWN,
     HANG,
     HARNESS_ERROR,
 )
 
-#: Outcomes the paper groups as "Crash/Hang" in Figure 4.
-CRASH_HANG_OUTCOMES = (CRASH_DUMPED, CRASH_UNKNOWN, HANG)
+#: Outcomes the paper groups as "Crash/Hang" in Figure 4.  A recovered
+#: crash is still a crash event (the kernel faulted and dumped); what
+#: recovery changes is the downtime, accounted separately.
+CRASH_HANG_OUTCOMES = (CRASH_DUMPED, CRASH_RECOVERED, CRASH_UNKNOWN,
+                       HANG)
+
+# Post-recovery sub-classification of CRASH_RECOVERED runs.
+RECOVERED_WORKLOAD_CORRECT = "workload_correct"
+RECOVERED_FSV = "fail_silence_after_recovery"
+RECOVERED_LATER_CRASH = "later_crash"
+
+RECOVERED_CLASSES = (
+    RECOVERED_WORKLOAD_CORRECT,
+    RECOVERED_FSV,
+    RECOVERED_LATER_CRASH,
+)
 
 # Crash causes, ordered as in Figure 6 (dominant four first).
 CAUSE_NULL_POINTER = "null_pointer"
@@ -35,6 +57,7 @@ CAUSE_INVALID_OPCODE = "invalid_opcode"
 CAUSE_GPF = "gpf"
 CAUSE_DIVIDE = "divide_error"
 CAUSE_PANIC = "kernel_panic"
+CAUSE_SOFT_LOCKUP = "soft_lockup"
 CAUSE_OTHER = "other"
 
 CAUSE_ORDER = (
@@ -44,6 +67,7 @@ CAUSE_ORDER = (
     CAUSE_GPF,
     CAUSE_DIVIDE,
     CAUSE_PANIC,
+    CAUSE_SOFT_LOCKUP,
     CAUSE_OTHER,
 )
 
@@ -51,6 +75,7 @@ _VECTOR_CAUSES = {
     0: CAUSE_DIVIDE,
     6: CAUSE_INVALID_OPCODE,
     13: CAUSE_GPF,
+    253: CAUSE_SOFT_LOCKUP,     # in-kernel watchdog pseudo-vector
     254: CAUSE_PANIC,   # "No init found"
     255: CAUSE_PANIC,
 }
@@ -102,6 +127,7 @@ class InjectionResult:
         "crash_function", "crash_subsystem", "latency", "severity",
         "run_status", "run_cycles", "exit_code", "console_tail",
         "fs_status", "detail", "nested_crashes", "repro",
+        "recovered_class",
     )
 
     def __init__(self, **kwargs):

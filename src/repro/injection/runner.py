@@ -19,11 +19,15 @@ from repro.injection.engine import (
 )
 from repro.injection.outcomes import (
     CRASH_DUMPED,
+    CRASH_RECOVERED,
     CRASH_UNKNOWN,
     FAIL_SILENCE_VIOLATION,
     HANG,
     NOT_ACTIVATED,
     NOT_MANIFESTED,
+    RECOVERED_FSV,
+    RECOVERED_LATER_CRASH,
+    RECOVERED_WORKLOAD_CORRECT,
     InjectionResult,
     crash_cause_name,
 )
@@ -35,6 +39,19 @@ from repro.machine.machine import Machine, build_standard_disk
 #: injector is armed only once the marker has appeared (the paper
 #: injects into a running system).
 BOOT_MARKER = "INIT: starting workload"
+
+
+def _console_subsumes(golden_text, observed_text):
+    """True when every golden console line appears, in order, in the
+    observed console (recovered-oops text is interleaved insertions)."""
+    observed = iter(observed_text.splitlines())
+    for line in golden_text.splitlines():
+        for candidate in observed:
+            if candidate == line:
+                break
+        else:
+            return False
+    return True
 
 
 class GoldenRun:
@@ -92,15 +109,25 @@ class CampaignResults:
 
 
 class InjectionHarness:
-    """Shared state for a set of campaigns: kernel, golden runs, grading."""
+    """Shared state for a set of campaigns: kernel, golden runs, grading.
+
+    With ``recovery=True`` every machine (golden and injected) boots
+    with the kernel's recovery ladder armed: exception fixups contain
+    bad uaccesses, oopses kill the offending task and reschedule, and
+    the in-kernel soft-lockup watchdog converts wedges into dumped,
+    recovered crashes.  Runs that dump and keep going are classified
+    :data:`CRASH_RECOVERED` with a post-recovery sub-classification.
+    The default ``recovery=False`` reproduces the fail-stop kernel.
+    """
 
     def __init__(self, kernel, binaries, profile, watchdog_factor=3,
-                 watchdog_slack=250_000):
+                 watchdog_slack=250_000, recovery=False):
         self.kernel = kernel
         self.binaries = binaries
         self.profile = profile
         self.watchdog_factor = watchdog_factor
         self.watchdog_slack = watchdog_slack
+        self.recovery = recovery
         self._golden = {}
         self._workload_rank = {}
         self._golden_critical = None
@@ -113,6 +140,10 @@ class InjectionHarness:
         if run is None:
             disk = build_standard_disk(self.binaries, workload)
             machine = Machine(self.kernel, disk)
+            if self.recovery:
+                # Arm the ladder pre-boot so the post-boot snapshot
+                # (and every per-experiment clone) inherits it.
+                machine.enable_recovery()
             machine.run_until_console(BOOT_MARKER,
                                       max_cycles=10_000_000)
             boot_cycles = machine.cpu.cycles
@@ -252,6 +283,8 @@ class InjectionHarness:
             console_tail=result.console[-160:],
         )
         crash = result.crash
+        if self.recovery and result.continued_after_dump:
+            return self._classify_recovered(fields, golden, result, grade)
         if result.status in ("halted", "watchdog", "triple_fault") \
                 and crash is not None:
             cause = crash_cause_name(crash.vector, crash.cr2)
@@ -314,6 +347,66 @@ class InjectionHarness:
             # paper's case 1: no crash, yet reformat required.
             if severity != "normal":
                 fields.update(severity=severity)
+        return InjectionResult(**fields)
+
+    def _classify_recovered(self, fields, golden, result, grade):
+        """Classify a run whose kernel dumped and kept running.
+
+        The primary crash fields come from the first recovered dump;
+        the post-recovery behaviour decides the sub-class: a clean
+        shutdown whose console still contains the golden run's output
+        (in order; oops text is interleaved) with matching exit code
+        and disk is *workload-correct*; a clean shutdown that diverged
+        is a *fail-silence violation after recovery*; a run that
+        recovered once and then halted/hung/triple-faulted anyway is a
+        *later crash*.  Every recovered run gets an fsck severity
+        grade: a recovered oops can still corrupt the filesystem.
+        """
+        primary = result.recovered_dumps[0]
+        info = self.kernel.find_function(primary.eip)
+        latency = max(0, primary.tsc - fields["activation_tsc"]
+                      - self.crash_overhead())
+        nested = []
+        for record in result.crashes:
+            if record is primary:
+                continue
+            nested_info = self.kernel.find_function(record.eip)
+            nested.append({
+                "vector": record.vector,
+                "eip": record.eip,
+                "cr2": record.cr2,
+                "recovered": record.recovered,
+                "subsystem": (nested_info.subsystem
+                              if nested_info else None),
+            })
+        if result.status == "shutdown":
+            same_exit = result.exit_code == golden.exit_code
+            same_disk = result.disk_image == golden.final_disk
+            if same_exit and same_disk and _console_subsumes(
+                    golden.console, result.console):
+                sub = RECOVERED_WORKLOAD_CORRECT
+            else:
+                sub = RECOVERED_FSV
+        else:
+            sub = RECOVERED_LATER_CRASH
+        fields.update(
+            outcome=CRASH_RECOVERED,
+            recovered_class=sub,
+            crash_vector=primary.vector,
+            crash_cause=crash_cause_name(primary.vector, primary.cr2),
+            crash_cr2=primary.cr2,
+            crash_eip=primary.eip,
+            crash_function=info.name if info else None,
+            crash_subsystem=info.subsystem if info else None,
+            latency=latency,
+            nested_crashes=nested or None,
+            detail=result.detail,
+        )
+        if grade:
+            severity, fs_status = grade_severity(
+                self.kernel, result.disk_image,
+                golden_files=self.golden_critical_files())
+            fields.update(severity=severity, fs_status=fs_status)
         return InjectionResult(**fields)
 
     # -- campaign loop ------------------------------------------------------------------

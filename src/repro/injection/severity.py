@@ -6,6 +6,13 @@ boot — is "most severe" (reformat + reinstall, ~1 h in the paper); a
 crash needing a real interactive fsck repair is "severe" (>5 min); a
 crash that merely left the mounted-dirty flag reboots automatically
 ("normal", <4 min).
+
+Recovered crashes (recovery kernels killing the offending task and
+running on) are graded on the same ladder: a recovered oops can still
+have corrupted the filesystem before it was contained, so the harness
+fscks their final disk image too.  What recovery changes is the
+*downtime attached to a normal-severity event* — no reboot, just a
+killed task (:data:`RECOVERED_DOWNTIME`) — not the damage ladder.
 """
 
 from repro.machine.disk import fsck
@@ -21,6 +28,13 @@ SEVERITY_DOWNTIME = {
     SEVERITY_SEVERE: 8 * 60,
     SEVERITY_MOST_SEVERE: 55 * 60,
 }
+
+#: Downtime of a *recovered* normal-severity crash: the machine never
+#: reboots — the kernel kills the offending task and the service is
+#: restarted (supervisor respawn), a few seconds instead of minutes.
+#: Severe/most-severe damage still pays the full ladder price even
+#: when the kernel survived the oops itself.
+RECOVERED_DOWNTIME = 10
 
 
 def _reboots_cleanly(kernel, disk_image, budget=4_000_000):

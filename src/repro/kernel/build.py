@@ -14,7 +14,16 @@ ASM_SYMBOLS = (
     "double_fault_trap", "coproc_trap", "invalid_tss_trap",
     "segment_np_trap", "stack_fault_trap", "gpf_trap", "page_fault_trap",
     "common_trap", "timer_interrupt", "system_call", "__switch_to",
-    "ret_from_fork", "enter_user_mode",
+    "ret_from_fork", "enter_user_mode", "__copy_user",
+    "__ex_table", "__ex_table_end",
+)
+
+#: Exception-table ranges: (covered start, covered end, landing pad).
+#: Each names labels defined by the arch assembly stubs; the builder
+#: emits the table into the data section so search_exception_table()
+#: can walk it at fault time.
+EX_TABLE_ENTRIES = (
+    ("__copy_user", "__copy_user_end", "__copy_user_fault"),
 )
 
 # (unit name, subsystem, module) in link order.
@@ -101,6 +110,10 @@ def build_kernel(layout=None):
         "user_cs": layout.USER_CS,
         "user_ds": layout.USER_DS,
     }
+    ex_table = "\n.align 4\n.global __ex_table\n"
+    for start, end, landing in EX_TABLE_ENTRIES:
+        ex_table += ".long %s, %s, %s\n" % (start, end, landing)
+    ex_table += ".global __ex_table_end\n.long 0\n"
     full_asm = (
         stubs
         + "\n"
@@ -108,6 +121,7 @@ def build_kernel(layout=None):
         + "\n.align %d\n" % PAGE_SIZE   # keep data off the text pages
         + ".global __data_start\n"
         + unit.data
+        + ex_table
         + "\n.align 4\n.global __kernel_end\n.long 0\n"
     )
     program = assemble(full_asm, base=layout.KERNEL_TEXT)

@@ -199,6 +199,40 @@ enter_user_mode:
     push eax
     iret
 .endfunc
+
+; __copy_user(dst, src, len): the guarded user-copy primitive.  Every
+; instruction between __copy_user and __copy_user_end is covered by an
+; exception-table entry (emitted by the kernel builder) whose landing
+; pad is __copy_user_fault: a kernel-mode fault that cannot be resolved
+; by handle_mm_fault() resumes there and the caller sees -EFAULT
+; instead of an oops -- Linux's uaccess fixup mechanism.  The stack
+; depth is constant (one saved register) so the landing pad can unwind
+; it unconditionally.
+.func __copy_user arch
+__copy_user:
+    push ebx
+    mov eax, [esp+8]       ; dst
+    mov edx, [esp+12]      ; src
+    mov ecx, [esp+16]      ; len
+__copy_user_loop:
+    cmp ecx, 0
+    je __copy_user_done
+    movzx ebx, byte [edx]  ; may fault: copy_from_user
+    movb [eax], bl         ; may fault: copy_to_user
+    add eax, 1
+    add edx, 1
+    sub ecx, 1
+    jmp __copy_user_loop
+__copy_user_done:
+    pop ebx
+    mov eax, 0
+    ret
+__copy_user_end:
+__copy_user_fault:
+    pop ebx
+    mov eax, -14           ; -EFAULT
+    ret
+.endfunc
 """
 
 SOURCE = r"""
@@ -209,6 +243,37 @@ int die_in_progress = 0;
 int last_fault_addr = 0;
 int trap_entry_tsc = 0;     /* cycle counter at exception entry */
 int panic_eip = 0;          /* caller of panic(), for the crash dump */
+
+/* ---- recovery configuration ----------------------------------------- */
+
+/*
+ * The recovery ladder (fixup -> oops-kill-continue -> soft-lockup
+ * recovery -> panic/halt) is armed by the host patching
+ * recovery_enabled to 1 before boot.  The default 0 preserves the
+ * fail-stop kernel exactly: every new code path below is gated on it.
+ */
+int recovery_enabled = 0;
+int panic_on_oops = 0;      /* consulted only when recovery is enabled */
+int in_interrupt = 0;       /* hardware-IRQ nesting depth */
+int softlockup_last = 0;    /* jiffies at the last sign of progress */
+
+/* ---- exception fixup table ------------------------------------------ */
+
+/*
+ * __ex_table holds (start, end, landing) triples emitted by the kernel
+ * builder for the guarded uaccess primitives.  A kernel-mode fault
+ * whose EIP falls in [start, end) resumes at *landing* instead of
+ * oopsing.
+ */
+int search_exception_table(eip) {
+    int p = __ex_table;
+    while (ult(p, __ex_table_end)) {
+        if (uge(eip, ld(p)) && ult(eip, ld(p + 4)))
+            return ld(p + 8);
+        p = p + 12;
+    }
+    return 0;
+}
 
 int set_gate(vector, handler, user_ok) {
     idt_table[vector * 2] = handler;
@@ -252,8 +317,9 @@ int setup_arch() {
  * Dump record layout (words), parsed by the host harness:
  *   [0] vector  [1] error code  [2] cr2  [3] eip  [4] cs  [5] eflags
  *   [6..13] edi esi ebp esp ebx edx ecx eax  [14] tsc  [15] pid
+ *   [16] recovered (0 fatal, 1 oops-kill-continue, 2 soft lockup)
  */
-int crash_dump(frame) {
+int crash_dump(frame, recovered) {
     int i;
     int task = current;
     dump_word(frame[8]);
@@ -269,6 +335,7 @@ int crash_dump(frame) {
      * subtracted the equivalent switching overhead). */
     dump_word(trap_entry_tsc);
     dump_word(task ? task[T_PID] : -1);
+    dump_word(recovered);
     dump_commit();
     return 0;
 }
@@ -287,20 +354,89 @@ int crash_dump_simple(code) {
         dump_word(0);
     dump_word(rdtsc_lo());
     dump_word(-1);
+    dump_word(0);
+    dump_commit();
+    return 0;
+}
+
+/* Dump from a do_IRQ frame ([0..7] pusha, [8] eip, [9] cs,
+ * [10] eflags): the soft-lockup watchdog's view of the wedged task. */
+int softlockup_dump(frame) {
+    int i;
+    int task = current;
+    dump_word(253);             /* pseudo-vector: soft lockup */
+    dump_word(0);
+    dump_word(read_cr2());
+    dump_word(frame[8]);
+    dump_word(frame[9]);
+    dump_word(frame[10]);
+    for (i = 0; i < 8; i++)
+        dump_word(frame[i]);
+    dump_word(rdtsc_lo());
+    dump_word(task ? task[T_PID] : -1);
+    dump_word(2);
     dump_commit();
     return 0;
 }
 
 /* ---- oops ------------------------------------------------------------------ */
 
+/*
+ * Can this oops be survived by killing the offending task?  Mirrors
+ * Linux's die(): no recovery from interrupt context, during a panic,
+ * with panic_on_oops set, for the idle task, for init (killing init is
+ * fail-stop, as in the real kernel), or when a previous recovery of
+ * the same task already failed (T_OOPS guard breaks do_exit loops).
+ */
+int oops_recoverable(frame) {
+    int task = current;
+    if (!recovery_enabled)
+        return 0;
+    if (panic_on_oops)
+        return 0;
+    if (panic_in_progress)
+        return 0;
+    if (in_interrupt)
+        return 0;
+    if (frame[11] != KERNEL_CS_SEL)
+        return 0;
+    if (!task)
+        return 0;
+    if (task == task_ptr(0))
+        return 0;
+    if (task[T_PID] < 2)
+        return 0;
+    if (task[T_OOPS])
+        return 0;
+    if (task[T_STATE] != TASK_RUNNING)
+        return 0;
+    return 1;
+}
+
+/* Kill-and-continue tail of a recovered oops: never returns. */
+int oops_exit() {
+    int task = current;
+    printk("Oops: recovered, killing pid ");
+    printk_dec(task[T_PID]);
+    printk("\n");
+    task[T_OOPS] = 1;
+    die_in_progress = 0;
+    softlockup_last = jiffies;
+    do_exit(128 + SIGKILL);
+    return 0;
+}
+
 int die(frame, msg) {
+    int recover;
     cli();
     if (die_in_progress) {
         for (;;)
             halt();
     }
     die_in_progress = 1;
-    crash_dump(frame);      /* dump first: printk itself might fault */
+    /* Decide recoverability before dumping so the record carries it. */
+    recover = oops_recoverable(frame);
+    crash_dump(frame, recover);  /* dump first: printk itself might fault */
     printk(msg);
     printk("\n printing eip:\n");
     printk_hex(frame[10]);
@@ -318,6 +454,8 @@ int die(frame, msg) {
     printk("   edx: ");
     printk_hex(frame[5]);
     printk("\n");
+    if (recover)
+        oops_exit();        /* kills the task and reschedules */
     for (;;)
         halt();
     return 0;
@@ -337,6 +475,7 @@ int do_page_fault(frame) {
     int task = current;
     int from_user = errcode & 4;
     int write = (errcode & 2) ? 1 : 0;
+    int fixup;
     last_fault_addr = addr;
     if (debug_level)
         klog("page_fault\n");
@@ -361,6 +500,15 @@ int do_page_fault(frame) {
             && task[T_PID] > 0) {
         if (handle_mm_fault(task, addr, write) == 0)
             return 0;
+        /* Unresolvable user address under a guarded copy: land on the
+         * fixup and the caller sees -EFAULT (no kill, no oops). */
+        if (recovery_enabled) {
+            fixup = search_exception_table(frame[10]);
+            if (fixup) {
+                frame[10] = fixup;
+                return 0;
+            }
+        }
         printk("bad uaccess at ");
         printk_hex(addr);
         printk(" pid ");
@@ -368,6 +516,15 @@ int do_page_fault(frame) {
         printk("\n");
         do_exit(139);
         return 0;
+    }
+    /* A fault on a *kernel* address inside a guarded copy is still
+     * contained: corrupt length/pointer arguments must not oops. */
+    if (recovery_enabled) {
+        fixup = search_exception_table(frame[10]);
+        if (fixup) {
+            frame[10] = fixup;
+            return 0;
+        }
     }
     /* Kernel-mode fault: an oops, categorized exactly as the paper does. */
     if (ult(addr, PAGE_SIZE))
@@ -480,20 +637,21 @@ int user_prefault(addr, len, write) {
     return 0;
 }
 
+/* Both user copies go through the fixup-covered __copy_user leaf: a
+ * fault that handle_mm_fault() cannot resolve returns -EFAULT here
+ * instead of killing the task (recovery kernels) or oopsing. */
 int copy_to_user(dst, src, len) {
     if (!access_ok(dst, len))
         return -EFAULT;
     if (debug_level)
         klog("copy_to_user\n");
-    memcpy(dst, src, len);
-    return 0;
+    return __copy_user(dst, src, len);
 }
 
 int copy_from_user(dst, src, len) {
     if (!access_ok(src, len))
         return -EFAULT;
-    memcpy(dst, src, len);
-    return 0;
+    return __copy_user(dst, src, len);
 }
 
 int put_user(addr, value) {

@@ -25,6 +25,7 @@ const T_HEAP_START = 11;
 const T_FILES = 12;     /* NR_OFILE fd slots follow */
 const NR_OFILE = 8;
 const T_SIGPENDING = 21;    /* bitmask of pending fatal signals */
+const T_OOPS = 22;      /* set once a recovery kill was attempted */
 
 const TASK_FREE = 0;
 const TASK_RUNNING = 1;
@@ -162,4 +163,9 @@ const SIGTRAP = 5;
 const PTE_P = 1;
 const PTE_W = 2;
 const PTE_U = 4;
+
+/* ---- recovery ---------------------------------------------------------------- */
+/* Kernel-mode ticks without a scheduling/syscall/idle touch before the
+ * soft-lockup watchdog kills the wedged task (recovery kernels only). */
+const SOFTLOCKUP_TICKS = 60;
 """

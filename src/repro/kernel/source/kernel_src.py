@@ -170,6 +170,7 @@ int schedule() {
         BUG();
     if (debug_level)
         klog("schedule()\n");
+    softlockup_last = jiffies;  /* scheduling is progress */
     need_resched = 0;
     for (i = 1; i < NR_TASKS; i++) {
         t = task_ptr(i);
@@ -258,9 +259,44 @@ int do_timer() {
     return 0;
 }
 
+/*
+ * Soft-lockup watchdog: called from the timer tick with the do_IRQ
+ * frame ([8] eip, [9] cs).  The touch counter softlockup_last is
+ * advanced at every scheduling decision, syscall entry and idle
+ * iteration; a task that stays wedged in kernel mode past
+ * SOFTLOCKUP_TICKS ticks without any of those is dumped (pseudo-vector
+ * 253) and killed from inside -- converting an undumpable hang into a
+ * classifiable, recovered crash.
+ */
+int softlockup_check(frame) {
+    int task = current;
+    if (!recovery_enabled)
+        return 0;
+    if (die_in_progress || panic_in_progress)
+        return 0;
+    if (frame[9] == USER_CS_SEL)
+        return 0;           /* user-mode progress is not a lockup */
+    if (task == task_ptr(0) || task[T_PID] < 2)
+        return 0;           /* idle and init stay fail-stop */
+    if (jiffies - softlockup_last < SOFTLOCKUP_TICKS)
+        return 0;
+    softlockup_dump(frame);
+    printk("BUG: soft lockup detected, killing pid ");
+    printk_dec(task[T_PID]);
+    printk("\n");
+    softlockup_last = jiffies;
+    task[T_OOPS] = 1;       /* a later fault of this task is fatal */
+    in_interrupt = 0;       /* the interrupted context is abandoned */
+    do_exit(128 + SIGKILL);
+    return 1;
+}
+
 /* Interrupt dispatch (only IRQ0 exists on this platform). */
 int do_IRQ(frame) {
+    in_interrupt++;
     do_timer();
+    softlockup_check(frame);
+    in_interrupt--;
     /* Kernel is non-preemptive (2.4): only resched on return to user. */
     if (frame[9] == USER_CS_SEL) {
         if (need_resched)
@@ -323,6 +359,7 @@ int do_fork(frame) {
     child[T_BRK] = parent[T_BRK];
     child[T_HEAP_START] = parent[T_HEAP_START];
     child[T_SIGPENDING] = 0;
+    child[T_OOPS] = 0;      /* reused slots must not inherit the guard */
     for (i = 0; i < NR_OFILE; i++) {
         f = parent[T_FILES + i];
         child[T_FILES + i] = f;
@@ -550,6 +587,14 @@ int do_system_call(frame) {
     int ret;
     if (!current)
         BUG();
+    /* Recovery kernels run syscalls with interrupts enabled (a trap
+     * gate, like real Linux), so the timer-driven soft-lockup watchdog
+     * can observe a wedged syscall.  Fail-stop kernels keep the
+     * interrupt-gate behaviour unchanged. */
+    if (recovery_enabled) {
+        softlockup_last = jiffies;
+        sti();
+    }
     if (debug_level)
         klog("syscall\n");
     if (!ult(nr, NR_SYSCALLS))
@@ -645,6 +690,7 @@ int start_kernel() {
  * syscall-gate context). */
 int cpu_idle() {
     for (;;) {
+        softlockup_last = jiffies;  /* an idle CPU is not locked up */
         if (need_resched)
             schedule();
         sti();

@@ -24,7 +24,8 @@ class CrashRecord:
     """Parsed kernel crash dump (written by the kernel's crash handler).
 
     Word layout (see arch crash_dump): vector, error code, cr2, eip, cs,
-    eflags, 8 pusha registers, tsc, pid.
+    eflags, 8 pusha registers, tsc, pid, recovered flag (0 = the dump
+    preceded a halt; 1 = oops-kill-continue; 2 = soft-lockup kill).
     """
 
     REG_NAMES = ("edi", "esi", "ebp", "esp", "ebx", "edx", "ecx", "eax")
@@ -40,10 +41,14 @@ class CrashRecord:
         self.regs = dict(zip(self.REG_NAMES, words[6:14]))
         self.tsc = words[14] if len(words) > 14 else 0
         self.pid = words[15] if len(words) > 15 else -1
+        #: Nonzero when the kernel attempted kill-and-continue recovery
+        #: after writing this dump (old dumps lack the word: fatal).
+        self.recovered = words[16] if len(words) > 16 else 0
 
     def __repr__(self):
-        return ("CrashRecord(vector=%d, cr2=%#x, eip=%#x, tsc=%d)"
-                % (self.vector, self.cr2, self.eip, self.tsc))
+        return ("CrashRecord(vector=%d, cr2=%#x, eip=%#x, tsc=%d%s)"
+                % (self.vector, self.cr2, self.eip, self.tsc,
+                   ", recovered" if self.recovered else ""))
 
 
 class RunResult:
@@ -74,6 +79,22 @@ class RunResult:
     @property
     def crashed(self):
         return self.crash is not None or self.status == "triple_fault"
+
+    @property
+    def recovered_dumps(self):
+        """Dump records after which the kernel kept running."""
+        return [c for c in self.crashes if getattr(c, "recovered", 0)]
+
+    @property
+    def continued_after_dump(self):
+        """The kernel wrote a crash dump yet the machine ran on.
+
+        Distinct from "halted": a fail-stop kernel always halts at its
+        dump, so this is only true for recovery kernels that killed the
+        offending task and rescheduled (whatever the eventual status —
+        a recovered run may still shut down, hang, or crash later).
+        """
+        return bool(self.recovered_dumps)
 
     def __repr__(self):
         return "RunResult(%s, exit=%r, cycles=%d)" % (
@@ -166,6 +187,21 @@ class Machine:
     def write_byte(self, vaddr, value):
         phys = vaddr - self.layout.KERNEL_BASE
         self.bus.phys_write(phys, 1, value & 0xFF)
+
+    def write_word(self, vaddr, value):
+        phys = vaddr - self.layout.KERNEL_BASE
+        self.bus.phys_write(phys, 4, value & 0xFFFFFFFF)
+
+    def enable_recovery(self, panic_on_oops=False):
+        """Arm the kernel's recovery ladder (patch before booting).
+
+        Sets the ``recovery_enabled`` kernel global (and optionally
+        ``panic_on_oops``) in the pristine image, the host-side
+        equivalent of a boot parameter.
+        """
+        self.write_word(self.kernel.symbols["recovery_enabled"], 1)
+        if panic_on_oops:
+            self.write_word(self.kernel.symbols["panic_on_oops"], 1)
 
     def read_byte(self, vaddr):
         return self.bus.phys_read(vaddr - self.layout.KERNEL_BASE, 1)

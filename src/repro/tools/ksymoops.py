@@ -29,6 +29,10 @@ def main(argv=None):
     parser.add_argument("--addr-offset", type=int, default=0,
                         help="offset from the function start")
     parser.add_argument("--workload", default=None)
+    parser.add_argument("--recovery", action="store_true",
+                        help="boot a recovery kernel (oops kills the "
+                             "task and the machine runs on; every dump "
+                             "is annotated, recovered ones marked)")
     args = parser.parse_args(argv)
 
     kernel = build_kernel()
@@ -46,6 +50,8 @@ def main(argv=None):
     print("driving workload: %s" % workload, file=sys.stderr)
 
     machine = Machine(kernel, build_standard_disk(binaries, workload))
+    if args.recovery:
+        machine.enable_recovery()
     machine.run_until_console(BOOT_MARKER)
     target = info.start + args.addr_offset
 
@@ -55,11 +61,14 @@ def main(argv=None):
     machine.arm_breakpoint(target, flip)
     result = machine.run(max_cycles=60_000_000)
     print("run status: %s (exit %r)" % (result.status, result.exit_code))
-    if result.crash is None:
+    if not result.crashes:
         print("no crash dump recorded; console tail:")
         print(result.console[-400:])
         return 1
-    print(annotate_crash(kernel, result.crash, machine=machine))
+    for index, crash in enumerate(result.crashes):
+        if index:
+            print()
+        print(annotate_crash(kernel, crash, machine=machine))
     return 0
 
 

@@ -25,6 +25,11 @@ class StubCtx:
     def campaign(self, key):
         return self._campaigns[key]
 
+    def recovery_campaign(self, key):
+        # the stub reuses the fail-stop sample results; a recovery
+        # campaign with zero recovered runs is a valid digest.
+        return self._campaigns[key]
+
     def all_results(self):
         out = []
         for key in "ABC":
@@ -42,8 +47,9 @@ def test_full_report_contains_every_exhibit(kernel, binaries, profile,
     for heading in ("Figure 1", "Table 1", "Table 2", "Table 3",
                     "Table 4", "Figure 4", "Table 5", "Figure 5",
                     "Figure 6", "Figure 7", "Figure 8", "Table 6",
-                    "Table 7", "availability", "sensitivity",
-                    "assertion placement", "register-corruption"):
+                    "Table 7", "availability", "recovery-kernel study",
+                    "sensitivity", "assertion placement",
+                    "register-corruption"):
         assert heading in text, heading
     assert "Generated in" in text
 

@@ -1,0 +1,231 @@
+"""In-kernel error recovery: fixup, oops-kill-continue, soft lockup.
+
+The recovery ladder (docs/kernel.md) must (a) stay completely inert
+when disabled — the fail-stop baseline is the paper's kernel — and
+(b) when enabled, contain kernel faults by -EFAULT fixup, by killing
+the oopsing task, or by the soft-lockup watchdog, with every recovered
+run measured as CRASH_RECOVERED and sub-classified.
+"""
+
+import pytest
+
+from repro.injection.campaigns import select_targets
+from repro.injection.outcomes import CRASH_RECOVERED, RECOVERED_CLASSES
+from repro.injection.runner import BOOT_MARKER, InjectionHarness
+from repro.machine.machine import Machine, build_standard_disk
+from repro.userland.build import build_program
+from repro.userland.programs import PROGRAMS
+
+UD2_NOP_NOP = 0x90900B0F      # ud2; nop; nop
+JMP_SELF = 0x9090FEEB         # jmp $; nop; nop (wedges in-kernel)
+
+SOFTLOCKUP_VECTOR = 253
+
+
+@pytest.fixture(scope="module")
+def recovery_harness(kernel, binaries, profile):
+    return InjectionHarness(kernel, binaries, profile, recovery=True)
+
+
+def run_init_program(kernel, binaries, source, recovery,
+                     max_cycles=60_000_000):
+    """Run MinC *source* as init, optionally under the recovery kernel."""
+    PROGRAMS["_rectest"] = (source, 0)
+    try:
+        test_binaries = dict(binaries)
+        test_binaries["init"] = build_program("_rectest", iters=0)
+    finally:
+        del PROGRAMS["_rectest"]
+    machine = Machine(kernel, build_standard_disk(test_binaries, None))
+    if recovery:
+        machine.enable_recovery()
+    return machine.run(max_cycles=max_cycles)
+
+
+def patched_workload_run(kernel, binaries, patch_word,
+                         workload="syscall"):
+    """Boot a recovery machine, corrupt sys_getpid post-boot, run on."""
+    machine = Machine(kernel, build_standard_disk(binaries, workload))
+    machine.enable_recovery()
+    machine.run_until_console(BOOT_MARKER)
+    machine.write_word(kernel.symbols["sys_getpid"], patch_word)
+    return machine.run(max_cycles=60_000_000)
+
+
+class TestRecoveryPlumbing:
+    def test_recovery_defaults_off(self, kernel, binaries):
+        for name in ("recovery_enabled", "panic_on_oops",
+                     "__copy_user", "__ex_table", "__ex_table_end"):
+            assert name in kernel.symbols, name
+        machine = Machine(kernel, build_standard_disk(binaries, None))
+        assert machine.read_word(kernel.symbols["recovery_enabled"]) == 0
+        assert machine.read_word(kernel.symbols["panic_on_oops"]) == 0
+        machine.enable_recovery()
+        assert machine.read_word(kernel.symbols["recovery_enabled"]) == 1
+
+    def test_ex_table_brackets_copy_user(self, kernel, binaries):
+        machine = Machine(kernel, build_standard_disk(binaries, None))
+        table = kernel.symbols["__ex_table"]
+        end = kernel.symbols["__ex_table_end"]
+        assert end > table and (end - table) % 12 == 0
+        start = machine.read_word(table)
+        stop = machine.read_word(table + 4)
+        landing = machine.read_word(table + 8)
+        # the landing pad starts exactly where the covered range ends
+        assert start < stop <= landing
+        owner = kernel.find_function(start)
+        assert owner is not None and owner.name == "__copy_user"
+        assert kernel.find_function(landing).name == "__copy_user"
+
+
+#: read() into an unmapped user pointer; -EFAULT -> reboot(42).
+FIXUP_PROBE = r"""
+int main() {
+    int fd;
+    int r;
+    open("/dev/console");
+    dup(0);
+    dup(0);
+    fd = open("/etc/motd");
+    r = read(fd, 0x40000000, 8);
+    if (r + 14 == 0)
+        reboot(42);
+    reboot(7);
+    return 0;
+}
+"""
+
+
+class TestExceptionFixup:
+    def test_bad_user_pointer_returns_efault(self, kernel, binaries):
+        result = run_init_program(kernel, binaries, FIXUP_PROBE,
+                                  recovery=True)
+        assert result.status == "shutdown"
+        assert result.exit_code == 42
+        assert not result.crashes  # fixup means no oops at all
+
+    def test_disabled_kernel_keeps_failstop_behaviour(self, kernel,
+                                                      binaries):
+        result = run_init_program(kernel, binaries, FIXUP_PROBE,
+                                  recovery=False)
+        # the fail-stop kernel kills the faulting task instead; init
+        # never reaches reboot(42).
+        assert result.exit_code != 42
+
+
+class TestOopsKillContinue:
+    def test_ud2_in_syscall_kills_task_and_continues(self, kernel,
+                                                     binaries):
+        result = patched_workload_run(kernel, binaries, UD2_NOP_NOP)
+        assert result.status == "shutdown"
+        assert result.continued_after_dump
+        dump = result.recovered_dumps[0]
+        assert dump.vector == 6
+        assert dump.recovered == 1
+        assert dump.pid >= 2
+        assert "Oops: recovered, killing pid" in result.console
+        assert "INIT: workload exited status=137" in result.console
+
+    def test_soft_lockup_watchdog_kills_wedged_task(self, kernel,
+                                                    binaries):
+        result = patched_workload_run(kernel, binaries, JMP_SELF)
+        assert result.status == "shutdown"
+        dump = result.recovered_dumps[0]
+        assert dump.vector == SOFTLOCKUP_VECTOR
+        assert dump.recovered == 2
+        assert "BUG: soft lockup detected" in result.console
+        assert "INIT: workload exited status=137" in result.console
+
+
+class TestRecoveredClassification:
+    def _bug_guard_spec(self, kernel):
+        """The free_page BUG-guard reversal from test_injection_run."""
+        from repro.isa.decoder import decode_all
+        from tests.test_injection_run import make_spec
+        info = next(f for f in kernel.functions
+                    if f.name == "free_page")
+        code = kernel.code[info.start - kernel.base:
+                           info.end - kernel.base]
+        instrs = decode_all(code, base=info.start)
+        target = next(ins for i, ins in enumerate(instrs)
+                      if ins.op == "jcc" and i + 1 < len(instrs)
+                      and instrs[i + 1].op == "ud2")
+        byte_offset = 1 if target.raw[0] == 0x0F else 0
+        return make_spec(kernel, "free_page", byte_offset, 0,
+                         campaign="C", mnemonic="jcc",
+                         instr_addr=target.addr)
+
+    def test_free_page_flip_is_crash_recovered(self, kernel,
+                                               recovery_harness):
+        result = recovery_harness.run_spec(self._bug_guard_spec(kernel))
+        assert result.activated
+        assert result.outcome == CRASH_RECOVERED
+        # the persistent flip re-faults the dying task in its own
+        # exit_mmap -> free_page cleanup; the T_OOPS guard makes that
+        # second oops fatal, so this case recovers once then goes down.
+        assert result.recovered_class == "later_crash"
+        assert result.crash_cause == "invalid_opcode"
+        assert result.crash_function == "free_page"
+        assert result.latency is not None and result.latency >= 0
+        # every recovered run gets an fsck severity grade
+        assert result.severity in ("normal", "severe", "most_severe")
+        assert result.fs_status is not None
+
+    def test_baseline_harness_unchanged_by_recovery_code(self, kernel,
+                                                         harness):
+        result = harness.run_spec(self._bug_guard_spec(kernel))
+        assert result.outcome == "crash_dumped"
+        assert result.crash_cause == "invalid_opcode"
+
+
+class TestRecoveryCampaign:
+    """Acceptance: campaign A over fs has a nonzero recovered share,
+    and the recovery path journals/parallelizes/resumes bit-identically
+    (same engine guarantees as the fail-stop path)."""
+
+    CAMPAIGN = dict(seed=7, byte_stride=60, max_specs=12, grade=False)
+
+    @pytest.fixture(scope="class")
+    def fs_functions(self, kernel, profile):
+        functions = select_targets(kernel, profile, "A")
+        return [f for f in functions if f.subsystem == "fs"]
+
+    @pytest.fixture(scope="class")
+    def expected(self, recovery_harness, fs_functions):
+        return recovery_harness.run_campaign(
+            "A", functions=fs_functions, **self.CAMPAIGN)
+
+    def test_fs_campaign_has_recovered_share(self, expected):
+        recovered = [r for r in expected.results
+                     if r.outcome == CRASH_RECOVERED]
+        assert recovered, "no CRASH_RECOVERED outcome in the fs slice"
+        for result in recovered:
+            assert result.recovered_class in RECOVERED_CLASSES
+            assert result.crash_vector is not None
+
+    def test_parallel_matches_serial(self, recovery_harness,
+                                     fs_functions, expected):
+        parallel = recovery_harness.run_campaign(
+            "A", functions=fs_functions, jobs=2, **self.CAMPAIGN)
+        assert [r.to_dict() for r in parallel.results] \
+            == [r.to_dict() for r in expected.results]
+
+    def test_resume_matches_uninterrupted(self, recovery_harness,
+                                          fs_functions, expected,
+                                          tmp_path):
+        journal_path = str(tmp_path / "recovery.jsonl")
+
+        def interrupt(done, total, result):
+            if done == 4:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            recovery_harness.run_campaign(
+                "A", functions=fs_functions, journal_path=journal_path,
+                progress=interrupt, **self.CAMPAIGN)
+        resumed = recovery_harness.run_campaign(
+            "A", functions=fs_functions, journal_path=journal_path,
+            resume=True, **self.CAMPAIGN)
+        assert [r.to_dict() for r in resumed.results] \
+            == [r.to_dict() for r in expected.results]
+        assert resumed.meta["engine"]["resumed_results"] == 4
