@@ -2,7 +2,8 @@
 
 PY ?= python3
 
-.PHONY: install test bench ci experiments experiments-full clean
+.PHONY: install test bench ci lint-kernel experiments \
+	experiments-full clean
 
 install:
 	pip install -e .
@@ -10,16 +11,23 @@ install:
 test:
 	$(PY) -m pytest tests/
 
-# What .github/workflows/ci.yml runs: lint (when available) + tier-1
-# + the recovery-kernel smoke study.
+# Static lint of the built kernel image (docs/static-analysis.md);
+# exit status is the number of findings.
+lint-kernel:
+	PYTHONPATH=src $(PY) -m repro.tools.kerncheck
+
+# What .github/workflows/ci.yml runs: lint (when available) + the
+# kernel-image linter + tier-1 + the smoke studies.
 ci:
 	@if $(PY) -m flake8 --version >/dev/null 2>&1; then \
 		$(PY) -m flake8 src tests; \
 	else \
 		echo "flake8 not installed; skipping lint"; \
 	fi
+	$(MAKE) lint-kernel
 	PYTHONPATH=src $(PY) -m pytest -x -q
 	PYTHONPATH=src $(PY) -m repro.experiments.recovery_study --smoke
+	PYTHONPATH=src $(PY) -m repro.experiments.static_validation --smoke
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

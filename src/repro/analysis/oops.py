@@ -98,7 +98,27 @@ def call_trace(kernel, machine_or_ram, esp, layout=None, max_frames=16,
     return frames
 
 
-def annotate_crash(kernel, crash, machine=None):
+def cfg_location(kernel, address):
+    """Basic-block context for a kernel-text address, or ``None``.
+
+    Builds the owning function's CFG (from the *pristine* image — the
+    corrupted stream is what crashed, the static CFG is what should
+    have run) and names the faulting block plus its predecessors.
+    """
+    from repro.staticanalysis.cfg import build_cfg, describe_block
+
+    info = kernel.find_function(address)
+    if info is None:
+        return None
+    cfg = build_cfg(kernel, info)
+
+    def sym(a):
+        return "%s <%s>" % ("%#010x" % a, symbolize(kernel, a))
+
+    return describe_block(cfg, address, symbolize=sym)
+
+
+def annotate_crash(kernel, crash, machine=None, cfg_context=False):
     """Render a full ksymoops-style report for a crash record.
 
     Args:
@@ -106,6 +126,9 @@ def annotate_crash(kernel, crash, machine=None):
         crash: a :class:`~repro.machine.machine.CrashRecord`.
         machine: optionally the crashed Machine (enables the stack
             trace; the registers alone come from the dump record).
+        cfg_context: also name the faulting basic block and its CFG
+            predecessors (static-analysis layer; opt-in because it
+            builds the function's CFG).
     """
     lines = []
     if crash.vector == 253:
@@ -138,6 +161,11 @@ def annotate_crash(kernel, crash, machine=None):
     if listing:
         lines.append("Code:")
         lines.extend("  " + line for line in listing)
+    if cfg_context:
+        located = cfg_location(kernel, crash.eip)
+        if located:
+            lines.append("CFG:")
+            lines.extend("  " + line for line in located.split("\n"))
     if machine is not None:
         frames = call_trace(kernel, machine, crash.regs["esp"])
         if frames:

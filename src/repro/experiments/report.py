@@ -14,6 +14,7 @@ from repro.experiments import (
     fig8_propagation,
     recovery_study,
     sensitivity,
+    static_validation,
     table1_profile,
     table2_setup,
     table3_outcomes,
@@ -40,6 +41,8 @@ _EXHIBITS = (
     ("§7.1 — availability model", availability_model),
     ("§7.1 ext. — recovery-kernel study", recovery_study),
     ("§6.1 — per-function sensitivity", sensitivity),
+    ("Extension — static pre-classifier validation",
+     static_validation),
     ("§7.4 — strategic assertion placement", assertions_study),
     ("Extension — register-corruption campaign R", register_extension),
 )

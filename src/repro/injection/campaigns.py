@@ -38,14 +38,70 @@ CAMPAIGNS = {
 }
 
 
+#: Coarse instruction classes carried on every spec (computed once at
+#: plan time from the decoded instruction, so the runner and the
+#: analysis layer never re-decode to answer "what kind of site is
+#: this?").
+INSTR_CLASS_BRANCH = "branch"
+INSTR_CLASS_CALL = "call"
+INSTR_CLASS_ALU = "alu"
+INSTR_CLASS_MOVE = "move"
+INSTR_CLASS_STACK = "stack"
+INSTR_CLASS_STRING = "string"
+INSTR_CLASS_SYSTEM = "system"
+INSTR_CLASS_OTHER = "other"
+
+_CLASS_BY_OP = {}
+for _op in ("jcc", "jmp", "jmp_ind", "jmpf", "jmpf_ind", "loop",
+            "loope", "loopne", "jcxz", "ret", "lret", "iret"):
+    _CLASS_BY_OP[_op] = INSTR_CLASS_BRANCH
+for _op in ("call", "call_ind", "callf", "callf_ind"):
+    _CLASS_BY_OP[_op] = INSTR_CLASS_CALL
+for _op in ("add", "sub", "adc", "sbb", "and", "or", "xor", "cmp",
+            "test", "inc", "dec", "neg", "not", "shl", "shr", "sar",
+            "rol", "ror", "rcl", "rcr", "shld", "shrd", "mul",
+            "imul1", "imul2", "imul3", "div", "idiv", "cwde", "cdq",
+            "bt", "bts", "btr", "btc", "bsf", "bsr", "setcc"):
+    _CLASS_BY_OP[_op] = INSTR_CLASS_ALU
+for _op in ("mov", "movzx", "movsx", "lea", "xchg", "bswap", "cmovcc",
+            "xadd", "cmpxchg", "xlat"):
+    _CLASS_BY_OP[_op] = INSTR_CLASS_MOVE
+for _op in ("push", "pop", "pusha", "popa", "pushf", "popf",
+            "push_sr", "pop_sr", "enter", "leave"):
+    _CLASS_BY_OP[_op] = INSTR_CLASS_STACK
+for _op in ("movs", "cmps", "stos", "lods", "scas", "ins", "outs"):
+    _CLASS_BY_OP[_op] = INSTR_CLASS_STRING
+for _op in ("cli", "sti", "hlt", "int", "int3", "into",
+            "sysgrp", "mov_from_cr", "mov_to_cr", "mov_from_dr",
+            "mov_to_dr", "mov_from_sr", "mov_to_sr", "wrmsr", "rdmsr",
+            "rdtsc", "rdpmc", "cpuid", "invd", "clts", "ud2", "in",
+            "out", "bound"):
+    _CLASS_BY_OP[_op] = INSTR_CLASS_SYSTEM
+del _op
+
+
+def instruction_class(ins):
+    """Coarse class of a decoded instruction (see INSTR_CLASS_*)."""
+    return _CLASS_BY_OP.get(ins.op, INSTR_CLASS_OTHER)
+
+
 class InjectionSpec:
-    """One planned injection."""
+    """One planned injection.
+
+    ``instr_class``/``is_branch`` are decoded-once instruction
+    metadata; ``pred_class`` is the static pre-classifier's verdict
+    when planning ran with ``preclassify``/``prune_dead``/
+    ``prioritize`` (``None`` otherwise).  All three default to ``None``
+    so specs serialized by older journals still load.
+    """
 
     __slots__ = ("campaign", "function", "subsystem", "instr_addr",
-                 "instr_len", "byte_offset", "bit", "mnemonic", "workload")
+                 "instr_len", "byte_offset", "bit", "mnemonic",
+                 "workload", "instr_class", "is_branch", "pred_class")
 
     def __init__(self, campaign, function, subsystem, instr_addr,
-                 instr_len, byte_offset, bit, mnemonic, workload=None):
+                 instr_len, byte_offset, bit, mnemonic, workload=None,
+                 instr_class=None, is_branch=None, pred_class=None):
         self.campaign = campaign
         self.function = function
         self.subsystem = subsystem
@@ -55,6 +111,9 @@ class InjectionSpec:
         self.bit = bit
         self.mnemonic = mnemonic
         self.workload = workload
+        self.instr_class = instr_class
+        self.is_branch = is_branch
+        self.pred_class = pred_class
 
     @property
     def target_byte_addr(self):
@@ -121,7 +180,9 @@ def select_targets(kernel, profile, campaign_key, coverage=0.95):
 
 
 def plan_campaign(kernel, campaign_key, functions, seed=2003,
-                  byte_stride=1, max_per_function=None):
+                  byte_stride=1, max_per_function=None,
+                  preclassify=False, prune_dead=False,
+                  prioritize=False):
     """Expand a campaign over *functions* into concrete injections.
 
     Args:
@@ -132,6 +193,19 @@ def plan_campaign(kernel, campaign_key, functions, seed=2003,
         byte_stride: inject every n-th eligible byte (scales campaign
             size down without biasing instruction selection).
         max_per_function: optional cap per function.
+        preclassify: annotate each spec's ``pred_class`` with the
+            static pre-classifier's verdict (implied by *prune_dead*
+            and *prioritize*).
+        prune_dead: drop sites the pre-classifier proves dead
+            (``PRED_DEAD``): the flip cannot change architectural
+            state, so its dynamic outcome is knowable without a run.
+            The surviving plan is a strict subset of the full one —
+            see docs/static-analysis.md for why this preserves the
+            paper's outcome distributions over *manifested* errors.
+        prioritize: stable-sort the plan so predicted-interesting
+            classes (invalid opcode, length change, branch reversal)
+            run first and predicted-dead sites last; with a fixed run
+            budget the front of the list now carries the information.
 
     Returns:
         list of :class:`InjectionSpec` (workload not yet assigned).
@@ -175,6 +249,102 @@ def plan_campaign(kernel, campaign_key, functions, seed=2003,
                     byte_offset=byte_offset,
                     bit=bit,
                     mnemonic=ins.op,
+                    instr_class=instruction_class(ins),
+                    is_branch=ins.is_branch,
                 ))
                 per_function += 1
+    if preclassify or prune_dead or prioritize:
+        specs = apply_predictions(kernel, specs,
+                                  prune_dead=prune_dead,
+                                  prioritize=prioritize)
     return specs
+
+
+#: Plan order under ``prioritize``: likely-crash and
+#: control-flow-changing predictions first, provably-dead sites last.
+_PRIORITY_ORDER = {
+    "PRED_INVALID_OPCODE": 0,
+    "PRED_LENGTH_CHANGE": 1,
+    "PRED_BRANCH_REVERSAL": 2,
+    "PRED_UNKNOWN": 3,
+    "PRED_DEAD": 4,
+}
+
+
+def apply_predictions(kernel, specs, prune_dead=False,
+                      prioritize=False):
+    """Annotate specs with ``pred_class``; optionally prune/reorder.
+
+    Imported lazily so planning without predictions never pays for the
+    static-analysis layer.
+    """
+    from repro.staticanalysis.predict import PRED_DEAD, PreClassifier
+
+    pre = PreClassifier(kernel)
+    for spec in specs:
+        spec.pred_class = pre.classify_spec(spec)
+    if prune_dead:
+        specs = [s for s in specs if s.pred_class != PRED_DEAD]
+    if prioritize:
+        specs = sorted(specs,
+                       key=lambda s: _PRIORITY_ORDER.get(s.pred_class,
+                                                         3))
+    return specs
+
+
+def main(argv=None):
+    """CLI: plan a campaign and report/emit it.
+
+    ``--prune-dead`` / ``--prioritize`` expose the static-analysis
+    integration::
+
+        python -m repro.injection.campaigns --campaign A --prune-dead
+    """
+    import argparse
+    import json
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="Plan an injection campaign (optionally pruned or "
+                    "prioritized by the static pre-classifier).")
+    parser.add_argument("--campaign", default="A",
+                        choices=sorted(CAMPAIGNS))
+    parser.add_argument("--scale", default="tiny")
+    parser.add_argument("--seed", type=int, default=2003)
+    parser.add_argument("--prune-dead", action="store_true",
+                        help="drop sites statically proven dead")
+    parser.add_argument("--prioritize", action="store_true",
+                        help="run predicted-interesting sites first")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the plan as JSON on stdout")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.context import SCALES, ExperimentContext
+    ctx = ExperimentContext(scale=args.scale, seed=args.seed)
+    stride, max_specs = SCALES[args.scale][args.campaign]
+    functions = select_targets(ctx.kernel, ctx.profile, args.campaign)
+    specs = plan_campaign(
+        ctx.kernel, args.campaign, functions, seed=args.seed,
+        byte_stride=stride, preclassify=True,
+        prune_dead=args.prune_dead, prioritize=args.prioritize)
+    if max_specs is not None:
+        specs = specs[:max_specs]
+
+    if args.json:
+        json.dump([s.to_dict() for s in specs], sys.stdout, indent=1)
+        sys.stdout.write("\n")
+        return 0
+    from collections import Counter
+    counts = Counter(s.pred_class for s in specs)
+    print("campaign %s: %d planned injections over %d functions"
+          % (args.campaign, len(specs), len(functions)))
+    for pred, count in sorted(counts.items()):
+        print("  %-22s %5d" % (pred, count))
+    if args.prune_dead:
+        print("(PRED_DEAD sites pruned from the plan)")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

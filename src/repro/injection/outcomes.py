@@ -122,7 +122,8 @@ class InjectionResult:
 
     __slots__ = (
         "campaign", "function", "subsystem", "addr", "byte_offset", "bit",
-        "mnemonic", "workload", "outcome", "activated", "activation_tsc",
+        "mnemonic", "instr_class", "is_branch", "pred_class",
+        "workload", "outcome", "activated", "activation_tsc",
         "crash_vector", "crash_cause", "crash_cr2", "crash_eip",
         "crash_function", "crash_subsystem", "latency", "severity",
         "run_status", "run_cycles", "exit_code", "console_tail",

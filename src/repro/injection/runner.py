@@ -242,6 +242,9 @@ class InjectionHarness:
             byte_offset=spec.byte_offset,
             bit=spec.bit,
             mnemonic=spec.mnemonic,
+            instr_class=getattr(spec, "instr_class", None),
+            is_branch=getattr(spec, "is_branch", None),
+            pred_class=getattr(spec, "pred_class", None),
             workload=spec.workload,
         )
         if not covered:

@@ -911,14 +911,21 @@ class Assembler:
         return self._shift("rcr", ops, symtab)
 
     def _op_shld(self, ops, symtab):
-        dst, src, imm = ops
-        return (b"\x0f\xa4" + _encode_modrm(src.idx, dst, symtab)
-                + bytes([imm.value(symtab) & 0xFF]))
+        return self._shift_double(0xA4, ops, symtab)
 
     def _op_shrd(self, ops, symtab):
-        dst, src, imm = ops
-        return (b"\x0f\xac" + _encode_modrm(src.idx, dst, symtab)
-                + bytes([imm.value(symtab) & 0xFF]))
+        return self._shift_double(0xAC, ops, symtab)
+
+    def _shift_double(self, opcode, ops, symtab):
+        dst, src, count = ops
+        if isinstance(count, _Reg):  # by %cl (0F A5 / 0F AD)
+            if count.kind != "r8" or count.idx != 1:
+                raise AssemblerError("shift count register must be cl")
+            return (bytes([0x0F, opcode + 1])
+                    + _encode_modrm(src.idx, dst, symtab))
+        return (bytes([0x0F, opcode])
+                + _encode_modrm(src.idx, dst, symtab)
+                + bytes([count.value(symtab) & 0xFF]))
 
     def _op_movzx(self, ops, symtab):
         dst, src = ops
@@ -1024,10 +1031,16 @@ class Assembler:
         (operand,) = ops
         return bytes([0x0F, 0xC8 + operand.idx])
 
+    @staticmethod
+    def _is_dx_port(operand):
+        """The ``dx`` port register parses as a bare symbol reference."""
+        return (isinstance(operand, _Imm) and operand.symbol == "dx"
+                and operand.const == 0)
+
     def _op_in(self, ops, symtab):
         dst, src = ops
         size = 1 if (isinstance(dst, _Reg) and dst.kind == "r8") else 4
-        if isinstance(src, _Imm):
+        if isinstance(src, _Imm) and not self._is_dx_port(src):
             opcode = 0xE4 if size == 1 else 0xE5
             return bytes([opcode, src.value(symtab) & 0xFF])
         return b"\xec" if size == 1 else b"\xed"
@@ -1035,7 +1048,7 @@ class Assembler:
     def _op_out(self, ops, symtab):
         dst, src = ops
         size = 1 if (isinstance(src, _Reg) and src.kind == "r8") else 4
-        if isinstance(dst, _Imm):
+        if isinstance(dst, _Imm) and not self._is_dx_port(dst):
             opcode = 0xE6 if size == 1 else 0xE7
             return bytes([opcode, dst.value(symtab) & 0xFF])
         return b"\xee" if size == 1 else b"\xef"

@@ -26,7 +26,14 @@ _ATT_NAMES = {
     "ud2": "ud2a",
     "cwde": "cwtl",
     "cdq": "cltd",
+    "push_sr": "push",
+    "pop_sr": "pop",
+    "mov_from_sr": "mov",
+    "mov_to_sr": "mov",
 }
+
+#: Implicit accumulator operand of ``in``/``out`` by operand size.
+_ACC_NAMES = {1: "%al", 2: "%ax", 4: "%eax"}
 
 
 def _mem_str(mem):
@@ -86,8 +93,18 @@ def format_instr(ins):
             _operand_str(ins.src),
             _operand_str(ins.dst),
         )
+    if op in ("callf", "jmpf"):
+        # lcall/ljmp $sel,$offset (ptr16:32 in AT&T order).
+        return "%s %s,%s" % (_ATT_NAMES[op], _operand_str(ins.src),
+                             _operand_str(ins.dst))
+    if op == "in":
+        return "in %s,%s" % (_operand_str(ins.src),
+                             _ACC_NAMES[ins.size])
+    if op == "out":
+        return "out %s,%s" % (_ACC_NAMES[ins.size],
+                              _operand_str(ins.dst))
     name = _ATT_NAMES.get(op, op)
-    if op in ("movs", "cmps", "stos", "lods", "scas"):
+    if op in ("movs", "cmps", "stos", "lods", "scas", "ins", "outs"):
         prefix = (ins.rep + " ") if ins.rep else ""
         return "%s%s%s" % (prefix, name, _SIZE_SUFFIX[ins.size])
     if op in ("mov", "movzx", "movsx", "add", "or", "adc", "sbb", "and",
@@ -96,7 +113,7 @@ def format_instr(ins):
               "dec", "not", "neg", "mul", "imul1", "div", "idiv", "push",
               "pop", "lea", "bound", "bt", "bts", "btr", "btc", "bsf",
               "bsr", "bswap", "call_ind", "jmp_ind", "callf_ind",
-              "jmpf_ind", "les", "lds", "aam", "aad", "in", "out",
+              "jmpf_ind", "les", "lds", "aam", "aad",
               "int", "ret", "lret", "mov_from_sr", "mov_to_sr",
               "push_sr", "pop_sr", "enter", "imul2", "imul3", "shld",
               "shrd", "sysgrp"):

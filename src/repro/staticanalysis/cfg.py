@@ -1,0 +1,296 @@
+"""Control-flow graphs over the built kernel image.
+
+The assembler lays every function out contiguously (``FuncInfo.start`` /
+``.end`` from :mod:`repro.kernel.build`), and the image contains no data
+interleaved with code inside a function, so a linear sweep with the real
+decoder recovers the exact instruction stream.  On top of the sweep we
+compute basic-block leaders the classic way (function entry, branch
+targets, fall-throughs of terminators) and connect blocks with edges.
+
+Terminology used throughout the package:
+
+* *terminator* — an instruction ending a block with an explicit
+  successor set: ``ret``/``lret``/``iret`` (none), ``jmp`` (one),
+  conditional branches (two), indirect/far jumps (unknown), ``ud2``
+  (none).  ``hlt`` falls through: the simulated CPU resumes after it
+  on the next timer interrupt.
+* ``call`` does **not** terminate a block — control returns to the next
+  instruction — but each call site is recorded for the call graph.
+* A branch whose target lies outside the function (the hand-written
+  trap stubs ``jmp common_trap``) is recorded in
+  ``FunctionCFG.external_targets`` instead of creating an edge.
+"""
+
+from repro.isa.decoder import decode_all
+
+#: Ops that end a basic block with no fall-through successor.  ``hlt``
+#: is *not* here: the simulated CPU resumes after the halted
+#: instruction on the next timer tick (``cpu_idle``'s ``sti; hlt``
+#: loop), so control genuinely falls through it.
+_STOP_OPS = frozenset((
+    "ret", "lret", "iret", "jmp", "jmp_ind", "jmpf", "jmpf_ind",
+    "ud2", "(bad)",
+))
+
+#: Conditional control transfers: branch edge + fall-through edge.
+_COND_OPS = frozenset(("jcc", "loop", "loope", "loopne", "jcxz"))
+
+#: Direct near calls and their indirect forms (call-graph edges).
+_CALL_OPS = frozenset(("call", "call_ind", "callf", "callf_ind"))
+
+
+def branch_target(ins):
+    """Absolute target of a direct relative branch/call, else ``None``."""
+    if ins.rel is None:
+        return None
+    return ins.addr + ins.length + ins.rel
+
+
+class BasicBlock:
+    """A maximal straight-line instruction sequence.
+
+    Attributes:
+        start: address of the first instruction.
+        end: address one past the last instruction.
+        instrs: the decoded :class:`~repro.isa.instr.Instr` list.
+        succs: successor block start addresses (within the function).
+        preds: predecessor block start addresses.
+    """
+
+    __slots__ = ("start", "end", "instrs", "succs", "preds")
+
+    def __init__(self, start, instrs):
+        self.start = start
+        self.instrs = instrs
+        self.end = instrs[-1].addr + instrs[-1].length
+        self.succs = []
+        self.preds = []
+
+    @property
+    def terminator(self):
+        return self.instrs[-1]
+
+    @property
+    def falls_through(self):
+        """True when control may reach ``self.end`` sequentially."""
+        return self.terminator.op not in _STOP_OPS
+
+    def __contains__(self, addr):
+        return self.start <= addr < self.end
+
+    def __repr__(self):
+        return "BasicBlock(%#x..%#x, %d instrs)" % (
+            self.start, self.end, len(self.instrs))
+
+
+class FunctionCFG:
+    """CFG of one kernel function.
+
+    Attributes:
+        info: the :class:`~repro.isa.assembler.FuncInfo`.
+        blocks: ``{start_addr: BasicBlock}``.
+        entry: address of the entry block (== ``info.start``).
+        calls: ``[(call_instr_addr, target_addr_or_None)]`` — ``None``
+            marks an indirect call.
+        external_targets: jump targets outside ``[start, end)``.
+        has_indirect_jump: an unresolvable ``jmp_ind``/``jmpf_ind``
+            appears — successor sets are incomplete.
+        has_bad_instr: the sweep hit undecodable bytes.
+    """
+
+    __slots__ = ("info", "blocks", "entry", "calls", "external_targets",
+                 "has_indirect_jump", "has_bad_instr")
+
+    def __init__(self, info, blocks, calls, external_targets,
+                 has_indirect_jump, has_bad_instr):
+        self.info = info
+        self.blocks = blocks
+        self.entry = info.start
+        self.calls = calls
+        self.external_targets = external_targets
+        self.has_indirect_jump = has_indirect_jump
+        self.has_bad_instr = has_bad_instr
+
+    def block_at(self, addr):
+        """The block containing *addr*, or ``None``."""
+        for block in self.blocks.values():
+            if addr in block:
+                return block
+        return None
+
+    def block_order(self):
+        """Blocks in address order."""
+        return [self.blocks[a] for a in sorted(self.blocks)]
+
+    def reachable(self, extra_entries=()):
+        """Block start addresses reachable from the entry.
+
+        *extra_entries* adds roots the CFG cannot see (``__ex_table``
+        landing pads are entered by the fault path, not by an edge).
+        """
+        seen = set()
+        work = [self.entry]
+        for addr in extra_entries:
+            if addr in self.blocks:
+                work.append(addr)
+        while work:
+            addr = work.pop()
+            if addr in seen or addr not in self.blocks:
+                continue
+            seen.add(addr)
+            work.extend(self.blocks[addr].succs)
+        return seen
+
+    def instructions(self):
+        """All instructions in address order."""
+        for block in self.block_order():
+            for ins in block.instrs:
+                yield ins
+
+    def instr_at(self, addr):
+        """The instruction starting at *addr*, or ``None``."""
+        for block in self.blocks.values():
+            if addr in block:
+                for ins in block.instrs:
+                    if ins.addr == addr:
+                        return ins
+        return None
+
+    def __repr__(self):
+        return "FunctionCFG(%s: %d blocks)" % (
+            self.info.name, len(self.blocks))
+
+
+def build_cfg(kernel, info):
+    """Build the CFG for one function of a built kernel image.
+
+    Args:
+        kernel: a :class:`~repro.kernel.build.KernelImage` (anything
+            with ``code``/``base`` works).
+        info: the function's ``FuncInfo``.
+    """
+    code = kernel.code[info.start - kernel.base:info.end - kernel.base]
+    instrs = decode_all(code, base=info.start)
+    return build_cfg_from_instrs(info, instrs)
+
+
+def build_cfg_from_instrs(info, instrs):
+    """CFG construction from an already-decoded instruction list."""
+    by_addr = {ins.addr: ins for ins in instrs}
+    leaders = {info.start}
+    calls = []
+    external_targets = set()
+    has_indirect_jump = False
+    has_bad_instr = False
+
+    for ins in instrs:
+        if ins.op == "(bad)":
+            has_bad_instr = True
+        if ins.op in _CALL_OPS:
+            calls.append((ins.addr, branch_target(ins)))
+            continue  # call does not end a block
+        target = None
+        if ins.op == "jmp" or ins.op in _COND_OPS:
+            target = branch_target(ins)
+            if target is not None:
+                if info.start <= target < info.end and target in by_addr:
+                    leaders.add(target)
+                else:
+                    external_targets.add(target)
+        if ins.op in ("jmp_ind", "jmpf_ind"):
+            has_indirect_jump = True
+        if ins.op in _STOP_OPS or ins.op in _COND_OPS:
+            fall = ins.addr + ins.length
+            if fall in by_addr:
+                leaders.add(fall)
+
+    # Split the sweep at the leaders.
+    blocks = {}
+    current = []
+    for ins in instrs:
+        if ins.addr in leaders and current:
+            block = BasicBlock(current[0].addr, current)
+            blocks[block.start] = block
+            current = []
+        current.append(ins)
+    if current:
+        block = BasicBlock(current[0].addr, current)
+        blocks[block.start] = block
+
+    # Edges.
+    for block in blocks.values():
+        term = block.terminator
+        succs = []
+        if term.op == "jmp" or term.op in _COND_OPS:
+            target = branch_target(term)
+            if target is not None and target in blocks:
+                succs.append(target)
+        if term.op not in _STOP_OPS:
+            fall = term.addr + term.length
+            if fall in blocks:
+                succs.append(fall)
+        block.succs = succs
+    for block in blocks.values():
+        for succ in block.succs:
+            blocks[succ].preds.append(block.start)
+
+    return FunctionCFG(info, blocks, calls, external_targets,
+                       has_indirect_jump, has_bad_instr)
+
+
+def build_callgraph(kernel, functions=None):
+    """Direct call graph over the image.
+
+    Returns ``{caller_name: set(callee_names)}``; indirect calls add the
+    pseudo-callee ``"<indirect>"``.  Unresolvable direct targets (there
+    are none in the shipped image) add ``"<unknown>"``.
+    """
+    if functions is None:
+        functions = kernel.functions
+    graph = {}
+    for info in functions:
+        cfg = build_cfg(kernel, info)
+        callees = set()
+        for _, target in cfg.calls:
+            if target is None:
+                callees.add("<indirect>")
+                continue
+            callee = kernel.find_function(target)
+            callees.add(callee.name if callee is not None else "<unknown>")
+        graph[info.name] = callees
+    return graph
+
+
+def describe_block(cfg, addr, symbolize=None):
+    """Human-readable location of *addr* in its basic block.
+
+    Used by ``ksymoops`` to annotate oops dumps: names the block span,
+    the instruction index inside it, and the predecessor blocks.
+    """
+    block = cfg.block_at(addr)
+    if block is None:
+        return None
+    index = None
+    for i, ins in enumerate(block.instrs):
+        if ins.addr <= addr < ins.addr + ins.length:
+            index = i
+            break
+    preds = sorted(block.preds)
+    if symbolize is None:
+        def symbolize(a):
+            return "%#010x" % a
+    lines = [
+        "basic block %s..%s (%d instrs), faulting instr #%s"
+        % (symbolize(block.start), "%#010x" % block.end,
+           len(block.instrs),
+           index if index is not None else "?"),
+    ]
+    if preds:
+        lines.append("reached from: "
+                     + ", ".join(symbolize(p) for p in preds))
+    elif block.start == cfg.entry:
+        lines.append("reached from: function entry")
+    else:
+        lines.append("reached from: no static predecessor"
+                     " (fault/landing path)")
+    return "\n".join(lines)

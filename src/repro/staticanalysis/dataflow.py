@@ -1,0 +1,622 @@
+"""Register/flag def-use model and dataflow fixpoints over a CFG.
+
+The tracked resources are the eight GPRs by name plus the six flags the
+simulated CPU keeps (``cf zf sf of pf df``).  The def/use model mirrors
+:mod:`repro.cpu.cpu` — *this simulator*, not architectural IA-32 — so
+the quirks matter and are encoded here deliberately:
+
+* ``inc``/``dec`` preserve CF (the handler saves and restores it).
+* ``mul``/``imul`` write only CF and OF; ``div``/``idiv`` write no
+  flags at all.
+* Shifts and rotates with a zero count write *nothing* (flags
+  included), so a ``cl``-count shift only **may**-define its results.
+* ``rol``/``ror`` touch only CF among the flags; ``sahf``/``shld``/
+  ``shrd`` do not write OF.
+* ``not`` writes no flags.
+
+Two definition strengths are distinguished, because liveness and
+dead-store reasoning need opposite conservatisms:
+
+* ``must_defs`` — resources the instruction certainly overwrites
+  (safe to *kill* in the backward liveness transfer).
+* ``may_defs`` — resources it possibly writes, a superset of
+  ``must_defs`` (a store is dead only if **every** may-def is dead).
+
+Anything outside the model (BCD ops, system instructions…) falls back
+to "uses everything, may-define everything, kills nothing" — sound for
+both analyses, and irrelevant in practice since the compiler and the
+hand-written stubs never emit those ops.
+"""
+
+from repro.isa.registers import REG_NAMES
+
+#: Parent GPR of each byte register (al cl dl bl ah ch dh bh).
+_R8_PARENT = (0, 1, 2, 3, 0, 1, 2, 3)
+
+FLAGS = ("cf", "zf", "sf", "of", "pf", "df")
+_ARITH = frozenset(("cf", "zf", "sf", "of", "pf"))
+ALL_RESOURCES = frozenset(REG_NAMES) | frozenset(FLAGS)
+
+_EMPTY = frozenset()
+
+#: Flags read by ``cc_holds`` for each condition base (cc >> 1); the
+#: low cc bit only negates the predicate and reads nothing extra.
+CC_FLAG_USES = (
+    frozenset(("of",)),             # o / no
+    frozenset(("cf",)),             # b / ae
+    frozenset(("zf",)),             # e / ne
+    frozenset(("cf", "zf")),        # be / a
+    frozenset(("sf",)),             # s / ns
+    frozenset(("pf",)),             # p / np
+    frozenset(("sf", "of")),        # l / ge
+    frozenset(("zf", "sf", "of")),  # le / g
+)
+
+
+def cc_flag_uses(cc):
+    """Flags a jcc/setcc/cmovcc with condition nibble *cc* reads."""
+    return CC_FLAG_USES[(cc >> 1) & 7]
+
+
+class InstrEffect:
+    """Def/use summary of one instruction."""
+
+    __slots__ = ("uses", "must_defs", "may_defs", "reads_mem",
+                 "writes_mem", "side_effects", "may_trap")
+
+    def __init__(self, uses=_EMPTY, must_defs=_EMPTY, may_defs=None,
+                 reads_mem=False, writes_mem=False, side_effects=False,
+                 may_trap=False):
+        self.uses = frozenset(uses)
+        self.must_defs = frozenset(must_defs)
+        if may_defs is None:
+            may_defs = must_defs
+        self.may_defs = frozenset(may_defs) | self.must_defs
+        self.reads_mem = reads_mem
+        self.writes_mem = writes_mem
+        self.side_effects = side_effects
+        self.may_trap = may_trap
+
+    def __repr__(self):
+        return ("InstrEffect(uses=%s, must=%s, may=%s)"
+                % (sorted(self.uses), sorted(self.must_defs),
+                   sorted(self.may_defs)))
+
+
+def _operand_uses(operand):
+    """Resources read just to *address* or *evaluate* an operand."""
+    if operand is None:
+        return _EMPTY, False
+    kind = operand[0]
+    if kind == "r":
+        return frozenset((REG_NAMES[operand[1]],)), False
+    if kind == "r8":
+        return frozenset((REG_NAMES[_R8_PARENT[operand[1]]],)), False
+    if kind == "m":
+        mem = operand[1]
+        used = set()
+        if mem.base is not None:
+            used.add(REG_NAMES[mem.base])
+        if mem.index is not None:
+            used.add(REG_NAMES[mem.index])
+        return frozenset(used), True
+    if kind == "cl":
+        return frozenset(("ecx",)), False
+    if kind == "dx":
+        return frozenset(("edx",)), False
+    return _EMPTY, False  # immediates, segment registers
+
+
+def _dst_write(operand):
+    """(must_def_regs, may_def_regs, writes_mem) for writing *operand*.
+
+    A byte-register write only may-defines the parent GPR (the other
+    24 bits survive), so it can never kill liveness.
+    """
+    if operand is None:
+        return _EMPTY, _EMPTY, False
+    kind = operand[0]
+    if kind == "r":
+        name = frozenset((REG_NAMES[operand[1]],))
+        return name, name, False
+    if kind == "r8":
+        return _EMPTY, frozenset((REG_NAMES[_R8_PARENT[operand[1]]],)), \
+            False
+    if kind == "m":
+        return _EMPTY, _EMPTY, True
+    return _EMPTY, _EMPTY, False
+
+
+def _shift_const_count(ins):
+    """The shift count when static (immediate), else ``None``."""
+    if ins.src is not None and ins.src[0] == "i":
+        return ins.src[1] & 31
+    return None
+
+
+_STACK_READS = frozenset(("esp",))
+_STACK = frozenset(("esp",))
+
+
+def instr_defs_uses(ins):  # noqa: C901  (one big dispatch, kept flat)
+    """Def/use summary for *ins* under the simulated CPU's semantics."""
+    op = ins.op
+    dst_uses, dst_is_mem = _operand_uses(ins.dst)
+    src_uses, src_is_mem = _operand_uses(ins.src)
+    addr_uses = dst_uses | src_uses
+    must_dst, may_dst, dst_mem_write = _dst_write(ins.dst)
+
+    # Resources read to address a memory *destination* (its register
+    # value is not read unless the op also reads the destination).
+    dst_addr_uses = dst_uses if dst_is_mem else _EMPTY
+
+    # --- data movement ---------------------------------------------
+    if op == "mov":
+        return InstrEffect(
+            uses=src_uses | dst_addr_uses,
+            must_defs=must_dst, may_defs=may_dst,
+            reads_mem=src_is_mem, writes_mem=dst_mem_write,
+            may_trap=src_is_mem or dst_mem_write)
+    if op in ("movzx", "movsx"):
+        return InstrEffect(
+            uses=src_uses | dst_addr_uses, must_defs=must_dst,
+            reads_mem=src_is_mem, may_trap=src_is_mem)
+    if op == "lea":
+        return InstrEffect(uses=src_uses, must_defs=must_dst)
+    if op == "xchg":
+        # Both operands are read and written.
+        m2, may2, mem2 = _dst_write(ins.src)
+        return InstrEffect(
+            uses=addr_uses, must_defs=must_dst | m2,
+            may_defs=may_dst | may2,
+            reads_mem=src_is_mem or dst_is_mem,
+            writes_mem=dst_mem_write or mem2,
+            may_trap=src_is_mem or dst_is_mem)
+    if op == "bswap":
+        return InstrEffect(uses=dst_uses, must_defs=must_dst)
+    if op == "push":
+        return InstrEffect(
+            uses=addr_uses | _STACK_READS, must_defs=_STACK,
+            reads_mem=dst_is_mem, writes_mem=True, may_trap=True)
+    if op == "pop":
+        return InstrEffect(
+            uses=dst_addr_uses | _STACK_READS,
+            must_defs=must_dst | _STACK,
+            may_defs=may_dst | _STACK, reads_mem=True,
+            writes_mem=dst_mem_write, may_trap=True)
+    if op == "pusha":
+        return InstrEffect(
+            uses=frozenset(REG_NAMES), must_defs=_STACK,
+            writes_mem=True, may_trap=True)
+    if op == "popa":
+        # Writes every GPR except esp (skipped), reads the stack.
+        regs = frozenset(n for n in REG_NAMES if n != "esp") | _STACK
+        return InstrEffect(
+            uses=_STACK_READS, must_defs=regs, reads_mem=True,
+            may_trap=True)
+
+    # --- ALU -------------------------------------------------------
+    if op in ("add", "sub", "xor", "or", "and"):
+        return InstrEffect(
+            uses=addr_uses,
+            must_defs=must_dst | _ARITH, may_defs=may_dst | _ARITH,
+            reads_mem=src_is_mem or dst_is_mem,
+            writes_mem=dst_mem_write,
+            may_trap=src_is_mem or dst_is_mem)
+    if op in ("adc", "sbb"):
+        return InstrEffect(
+            uses=addr_uses | frozenset(("cf",)),
+            must_defs=must_dst | _ARITH, may_defs=may_dst | _ARITH,
+            reads_mem=src_is_mem or dst_is_mem,
+            writes_mem=dst_mem_write,
+            may_trap=src_is_mem or dst_is_mem)
+    if op in ("cmp", "test"):
+        return InstrEffect(
+            uses=addr_uses, must_defs=_ARITH,
+            reads_mem=src_is_mem or dst_is_mem,
+            may_trap=src_is_mem or dst_is_mem)
+    if op in ("inc", "dec"):
+        # The handler saves and restores CF: only zf/sf/of/pf change.
+        flags = _ARITH - frozenset(("cf",))
+        return InstrEffect(
+            uses=dst_uses, must_defs=must_dst | flags,
+            may_defs=may_dst | flags,
+            reads_mem=dst_is_mem, writes_mem=dst_mem_write,
+            may_trap=dst_is_mem)
+    if op == "neg":
+        return InstrEffect(
+            uses=dst_uses, must_defs=must_dst | _ARITH,
+            may_defs=may_dst | _ARITH,
+            reads_mem=dst_is_mem, writes_mem=dst_mem_write,
+            may_trap=dst_is_mem)
+    if op == "not":
+        return InstrEffect(
+            uses=dst_uses, must_defs=must_dst, may_defs=may_dst,
+            reads_mem=dst_is_mem, writes_mem=dst_mem_write,
+            may_trap=dst_is_mem)
+
+    # --- shifts and rotates ----------------------------------------
+    if op in ("shl", "shr", "sar", "rol", "ror", "rcl", "rcr"):
+        flag_written = (_ARITH if op in ("shl", "shr", "sar")
+                        else frozenset(("cf",)))
+        uses = dst_uses | src_uses
+        if op in ("rcl", "rcr"):
+            uses |= frozenset(("cf",))
+        count = _shift_const_count(ins)
+        writes = count is not None and count != 0
+        if op in ("rol", "ror") and count is not None:
+            writes = count % (8 * ins.size) != 0
+        if writes:
+            return InstrEffect(
+                uses=uses, must_defs=must_dst | flag_written,
+                may_defs=may_dst | flag_written,
+                reads_mem=dst_is_mem, writes_mem=dst_mem_write,
+                may_trap=dst_is_mem)
+        # cl-count (or count 0): everything is only a may-def.
+        return InstrEffect(
+            uses=uses, must_defs=_EMPTY,
+            may_defs=may_dst | must_dst | flag_written,
+            reads_mem=dst_is_mem, writes_mem=dst_mem_write,
+            may_trap=dst_is_mem)
+    if op in ("shld", "shrd"):
+        flags = _ARITH - frozenset(("of",))
+        uses = dst_uses | src_uses
+        if ins.imm2[0] == "cl":
+            uses |= frozenset(("ecx",))
+            count = None
+        else:
+            count = ins.imm2[1] & 31
+        if count:
+            return InstrEffect(
+                uses=uses, must_defs=must_dst | flags,
+                may_defs=may_dst | flags,
+                reads_mem=dst_is_mem, writes_mem=dst_mem_write,
+                may_trap=dst_is_mem)
+        return InstrEffect(
+            uses=uses, must_defs=_EMPTY,
+            may_defs=may_dst | must_dst | flags,
+            reads_mem=dst_is_mem, writes_mem=dst_mem_write,
+            may_trap=dst_is_mem)
+
+    # --- multiply / divide -----------------------------------------
+    if op in ("mul", "imul1"):
+        defs = frozenset(("eax", "cf", "of"))
+        if ins.size == 4:
+            defs |= frozenset(("edx",))
+        return InstrEffect(
+            uses=dst_uses | frozenset(("eax",)), must_defs=defs,
+            reads_mem=dst_is_mem, may_trap=dst_is_mem)
+    if op in ("imul2", "imul3"):
+        # imul2 reads its destination; imul3 (r = r/m * imm) does not.
+        uses = addr_uses if op == "imul2" else src_uses
+        return InstrEffect(
+            uses=uses, must_defs=must_dst | frozenset(("cf", "of")),
+            reads_mem=src_is_mem, may_trap=src_is_mem)
+    if op in ("div", "idiv"):
+        uses = dst_uses | frozenset(("eax",))
+        defs = frozenset(("eax",))
+        if ins.size == 4:
+            uses |= frozenset(("edx",))
+            defs |= frozenset(("edx",))
+        return InstrEffect(
+            uses=uses, must_defs=defs, reads_mem=dst_is_mem,
+            may_trap=True)  # #DE on zero/overflow
+    if op == "cwde":
+        return InstrEffect(uses=frozenset(("eax",)),
+                           must_defs=frozenset(("eax",)))
+    if op == "cdq":
+        return InstrEffect(uses=frozenset(("eax",)),
+                           must_defs=frozenset(("edx",)))
+
+    # --- bit ops ---------------------------------------------------
+    if op == "bt":
+        return InstrEffect(
+            uses=addr_uses, must_defs=frozenset(("cf",)),
+            reads_mem=dst_is_mem, may_trap=dst_is_mem)
+    if op in ("bts", "btr", "btc"):
+        return InstrEffect(
+            uses=addr_uses, must_defs=must_dst | frozenset(("cf",)),
+            may_defs=may_dst | frozenset(("cf",)),
+            reads_mem=dst_is_mem, writes_mem=dst_mem_write,
+            may_trap=dst_is_mem)
+    if op in ("bsf", "bsr"):
+        return InstrEffect(
+            uses=src_uses, must_defs=frozenset(("zf",)),
+            may_defs=may_dst | frozenset(("zf",)),
+            reads_mem=src_is_mem, may_trap=src_is_mem)
+
+    # --- flag manipulation -----------------------------------------
+    if op in ("clc", "stc", "cmc"):
+        uses = frozenset(("cf",)) if op == "cmc" else _EMPTY
+        return InstrEffect(uses=uses, must_defs=frozenset(("cf",)))
+    if op == "cld" or op == "std":
+        return InstrEffect(must_defs=frozenset(("df",)))
+    if op == "sahf":
+        return InstrEffect(
+            uses=frozenset(("eax",)),
+            must_defs=frozenset(("cf", "pf", "zf", "sf")))
+    if op == "lahf":
+        return InstrEffect(
+            uses=frozenset(("eax", "cf", "pf", "zf", "sf")),
+            must_defs=frozenset(("eax",)))
+    if op == "pushf":
+        return InstrEffect(
+            uses=frozenset(FLAGS) | _STACK_READS, must_defs=_STACK,
+            writes_mem=True, may_trap=True)
+    if op == "popf":
+        return InstrEffect(
+            uses=_STACK_READS, must_defs=frozenset(FLAGS) | _STACK,
+            reads_mem=True, side_effects=True, may_trap=True)
+
+    # --- conditionals ----------------------------------------------
+    if op == "setcc":
+        # A byte-register target is a partial (pass-through) write:
+        # the parent GPR is neither used nor killed.
+        return InstrEffect(
+            uses=cc_flag_uses(ins.cc) | dst_addr_uses,
+            may_defs=may_dst,
+            writes_mem=dst_mem_write, may_trap=dst_is_mem)
+    if op == "cmovcc":
+        return InstrEffect(
+            uses=cc_flag_uses(ins.cc) | src_uses,
+            may_defs=may_dst, reads_mem=src_is_mem,
+            may_trap=src_is_mem)
+    if op == "jcc":
+        return InstrEffect(uses=cc_flag_uses(ins.cc))
+    if op in ("loop", "loope", "loopne"):
+        uses = frozenset(("ecx",))
+        if op != "loop":
+            uses |= frozenset(("zf",))
+        return InstrEffect(uses=uses, must_defs=frozenset(("ecx",)))
+    if op == "jcxz":
+        return InstrEffect(uses=frozenset(("ecx",)))
+
+    # --- control transfer ------------------------------------------
+    if op == "jmp":
+        return InstrEffect()
+    if op in ("jmp_ind", "jmpf_ind"):
+        return InstrEffect(uses=addr_uses, reads_mem=dst_is_mem,
+                           side_effects=True, may_trap=True)
+    if op in ("call", "call_ind", "callf", "callf_ind"):
+        return InstrEffect(
+            uses=addr_uses | _STACK_READS, must_defs=_STACK,
+            reads_mem=dst_is_mem, writes_mem=True,
+            side_effects=True, may_trap=True)
+    if op in ("ret", "lret", "iret"):
+        return InstrEffect(
+            uses=_STACK_READS, must_defs=_STACK, reads_mem=True,
+            side_effects=True, may_trap=True)
+    if op in ("int", "int3", "into", "bound"):
+        return InstrEffect(uses=ALL_RESOURCES, may_defs=ALL_RESOURCES,
+                           side_effects=True, may_trap=True)
+
+    # --- string ops ------------------------------------------------
+    if op in ("movs", "cmps", "stos", "lods", "scas"):
+        uses = {"df"}
+        defs = set()
+        if op in ("movs", "cmps", "lods"):
+            uses.add("esi")
+            defs.add("esi")
+        if op in ("movs", "cmps", "stos", "scas"):
+            uses.add("edi")
+            defs.add("edi")
+        if op in ("stos", "scas"):
+            uses.add("eax")
+        if ins.rep is not None:
+            uses.add("ecx")
+            defs.add("ecx")
+        flags = set()
+        if op in ("cmps", "scas"):
+            flags = set(_ARITH)
+        acc = set()
+        if op == "lods":
+            acc = {"eax"}
+        if ins.rep is not None:
+            # ecx == 0 skips every write, flags included.
+            return InstrEffect(
+                uses=frozenset(uses), must_defs=_EMPTY,
+                may_defs=frozenset(defs | flags | acc),
+                reads_mem=op != "stos", writes_mem=op in ("movs", "stos"),
+                may_trap=True)
+        must = defs | flags | (acc if ins.size == 4 else set())
+        return InstrEffect(
+            uses=frozenset(uses), must_defs=frozenset(must),
+            may_defs=frozenset(defs | flags | acc),
+            reads_mem=op != "stos", writes_mem=op in ("movs", "stos"),
+            may_trap=True)
+    if op == "xlat":
+        return InstrEffect(
+            uses=frozenset(("eax", "ebx")),
+            may_defs=frozenset(("eax",)), reads_mem=True,
+            may_trap=True)
+
+    # --- read-modify-write compound ops ----------------------------
+    if op == "cmpxchg":
+        return InstrEffect(
+            uses=addr_uses | frozenset(("eax",)),
+            must_defs=_ARITH,
+            may_defs=may_dst | must_dst | _ARITH | frozenset(("eax",)),
+            reads_mem=dst_is_mem, writes_mem=dst_mem_write,
+            may_trap=dst_is_mem)
+    if op == "xadd":
+        m2, may2, _ = _dst_write(ins.src)
+        return InstrEffect(
+            uses=addr_uses, must_defs=must_dst | m2 | _ARITH,
+            may_defs=may_dst | may2 | _ARITH,
+            reads_mem=dst_is_mem, writes_mem=dst_mem_write,
+            may_trap=dst_is_mem)
+
+    # --- frame management ------------------------------------------
+    if op == "leave":
+        return InstrEffect(
+            uses=frozenset(("ebp",)),
+            must_defs=frozenset(("esp", "ebp")), reads_mem=True,
+            may_trap=True)
+    if op == "enter":
+        return InstrEffect(
+            uses=frozenset(("esp", "ebp")),
+            must_defs=frozenset(("esp", "ebp")), writes_mem=True,
+            may_trap=True)
+
+    # --- no-ops and I/O --------------------------------------------
+    if op in ("nop", "wait"):
+        return InstrEffect()
+    if op == "in":
+        return InstrEffect(
+            uses=src_uses, may_defs=frozenset(("eax",)),
+            side_effects=True)
+    if op == "out":
+        return InstrEffect(
+            uses=dst_uses | frozenset(("eax",)), side_effects=True)
+    if op in ("ins", "outs"):
+        return InstrEffect(
+            uses=frozenset(("edx", "esi", "edi", "ecx", "df")),
+            may_defs=frozenset(("esi", "edi", "ecx")),
+            reads_mem=True, writes_mem=True, side_effects=True,
+            may_trap=True)
+
+    # Everything else (system instructions, BCD, segment moves, hlt,
+    # cli/sti, (bad)…): sound catch-all.
+    return InstrEffect(uses=ALL_RESOURCES, may_defs=ALL_RESOURCES,
+                       side_effects=True, may_trap=True)
+
+
+def block_transfer(block):
+    """(use, must_kill) summarising *block* for the liveness fixpoint.
+
+    ``use`` are resources live on entry due to an upward-exposed read;
+    ``must_kill`` are resources certainly overwritten before any read.
+    A call (or any side-effecting instruction) inside the block makes
+    everything after it irrelevant for the kill set and everything
+    *conservatively used* at that point — callees' live-in is unknown.
+    """
+    use = set()
+    kill = set()
+    for ins in block.instrs:
+        eff = instr_defs_uses(ins)
+        if eff.side_effects:
+            # Unknown code runs here (call, trap, I/O): treat every
+            # resource as read, nothing as reliably killed after.
+            use |= ALL_RESOURCES - kill
+            return frozenset(use), frozenset(kill)
+        use |= eff.uses - kill
+        kill |= eff.must_defs
+    return frozenset(use), frozenset(kill)
+
+
+def liveness(cfg, exit_live=ALL_RESOURCES):
+    """Backward liveness fixpoint at block granularity.
+
+    Returns ``(live_in, live_out)`` dicts keyed by block start.  Any
+    block with an incomplete successor set — function exit, external
+    jump target, indirect jump, fall-through off the decoded region —
+    gets *exit_live* (default: everything) in its live-out, which keeps
+    the analysis sound for dead-store queries.
+    """
+    from repro.staticanalysis.cfg import branch_target
+
+    transfer = {b.start: block_transfer(b) for b in cfg.blocks.values()}
+    live_in = {start: frozenset() for start in cfg.blocks}
+    live_out = {start: frozenset() for start in cfg.blocks}
+    incomplete = set()
+    for block in cfg.blocks.values():
+        term = block.terminator
+        exits = not block.succs
+        if term.op in ("jmp", "jcc", "loop", "loope", "loopne",
+                       "jcxz"):
+            target = branch_target(term)
+            if target is not None and target not in cfg.blocks:
+                exits = True
+        if term.op in ("jmp_ind", "jmpf_ind"):
+            exits = True
+        if block.falls_through and (term.addr + term.length
+                                    not in cfg.blocks):
+            exits = True
+        if exits:
+            incomplete.add(block.start)
+
+    changed = True
+    while changed:
+        changed = False
+        for start in sorted(cfg.blocks, reverse=True):
+            block = cfg.blocks[start]
+            out = set()
+            if start in incomplete:
+                out |= exit_live
+            for succ in block.succs:
+                out |= live_in[succ]
+            out = frozenset(out)
+            use, kill = transfer[start]
+            new_in = use | (out - kill)
+            if out != live_out[start] or new_in != live_in[start]:
+                live_out[start] = out
+                live_in[start] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def live_after_map(cfg, live_out=None):
+    """Per-instruction live-after sets: ``{instr_addr: frozenset}``.
+
+    The set answers "which resources may be read after this
+    instruction completes, before being rewritten?" — the question the
+    dead-write predictor asks of an injection site.
+    """
+    if live_out is None:
+        _, live_out = liveness(cfg)
+    result = {}
+    for block in cfg.blocks.values():
+        live = set(live_out[block.start])
+        for ins in reversed(block.instrs):
+            result[ins.addr] = frozenset(live)
+            eff = instr_defs_uses(ins)
+            if eff.side_effects:
+                live = set(ALL_RESOURCES)
+            else:
+                live -= eff.must_defs
+                live |= eff.uses
+    return result
+
+
+def reaching_definitions(cfg):
+    """Forward reaching-definitions fixpoint at block granularity.
+
+    A definition is ``(instr_addr, resource)`` for every may-defined
+    resource; the synthetic ``("<entry>", r)`` definitions flow in from
+    the function entry.  Returns ``(reach_in, reach_out)`` dicts keyed
+    by block start.
+    """
+    gen = {}
+    kill_res = {}
+    for block in cfg.blocks.values():
+        block_gen = {}
+        killed = set()
+        for ins in block.instrs:
+            eff = instr_defs_uses(ins)
+            for res in eff.may_defs:
+                block_gen[res] = (ins.addr, res)
+            killed |= eff.must_defs
+        gen[block.start] = set(block_gen.values())
+        kill_res[block.start] = killed
+
+    entry_defs = frozenset(("<entry>", r) for r in ALL_RESOURCES)
+    reach_in = {start: set() for start in cfg.blocks}
+    reach_out = {start: set() for start in cfg.blocks}
+    reach_in[cfg.entry] = set(entry_defs)
+
+    changed = True
+    while changed:
+        changed = False
+        for start in sorted(cfg.blocks):
+            block = cfg.blocks[start]
+            in_set = set(entry_defs) if start == cfg.entry else set()
+            for pred in block.preds:
+                in_set |= reach_out[pred]
+            killed = kill_res[start]
+            out = gen[start] | {d for d in in_set
+                                if d[1] not in killed}
+            if in_set != reach_in[start] or out != reach_out[start]:
+                reach_in[start] = in_set
+                reach_out[start] = out
+                changed = True
+    return reach_in, reach_out

@@ -1,0 +1,267 @@
+"""Image lint rules over the per-function CFGs (``kerncheck``).
+
+Four rules, each encoding an invariant the shipped kernel genuinely
+holds — so a finding is a defect, not noise:
+
+``unreachable-block``
+    A basic block no edge reaches.  Exempt: ``__ex_table`` landing
+    pads (entered by the fault path, not by an edge), functions
+    containing an indirect jump (the successor set is unknowable), and
+    the compiler's *implicit-return tail* — the ``mov/xor eax``,
+    ``leave``, ``ret`` epilogue MinC must emit after a ``while (1)``
+    body because it cannot prove non-termination.
+``fall-off-end``
+    Control can run sequentially past the function's last byte into
+    the next function — the exact stream-desync failure mode the
+    injection campaigns provoke, but present at build time.
+``uncovered-uaccess``
+    Inside the user-access API (:data:`UACCESS_FUNCTIONS`), a memory
+    dereference that is not stack-frame-relative, not a kernel global,
+    not covered by an ``__ex_table`` fixup range, and not dominated by
+    a validity check (``access_ok``/``user_prefault``) — i.e. a user
+    pointer the kernel would oops on (the paper §5's dominant crash
+    cause, *unable to handle kernel paging request*).
+``stack-imbalance``
+    A path reaches ``ret`` with a non-zero push/pop balance, a join
+    with conflicting depths, or pops below the entry esp (see
+    :mod:`repro.staticanalysis.stackdepth`).
+"""
+
+import re
+
+from repro.staticanalysis.cfg import build_cfg
+from repro.staticanalysis.stackdepth import analyze_stack
+
+#: Functions whose memory dereferences handle user-supplied pointers.
+#: Everything else dereferences kernel structures, where the
+#: guarded-access discipline does not apply.
+UACCESS_FUNCTIONS = re.compile(
+    r"^(__copy_user|copy_to_user|copy_from_user"
+    r"|put_user\w*|get_user\w*|strncpy_from_user)$")
+
+#: Callees that establish "this user range is safe to dereference".
+UACCESS_GUARDS = ("access_ok", "user_prefault")
+
+RULES = ("unreachable-block", "fall-off-end", "uncovered-uaccess",
+         "stack-imbalance")
+
+
+class LintFinding:
+    """One linter hit."""
+
+    __slots__ = ("rule", "function", "addr", "message")
+
+    def __init__(self, rule, function, addr, message):
+        self.rule = rule
+        self.function = function
+        self.addr = addr
+        self.message = message
+
+    def to_dict(self):
+        return {"rule": self.rule, "function": self.function,
+                "addr": self.addr, "message": self.message}
+
+    def __repr__(self):
+        return "%s: %s@%#x: %s" % (
+            self.rule, self.function, self.addr, self.message)
+
+    def format(self, kernel=None):
+        return "%-18s %s @ %#010x: %s" % (
+            self.rule, self.function, self.addr, self.message)
+
+
+def read_ex_table(kernel):
+    """The image's fixup triples ``[(start, end, landing), ...]``.
+
+    Reads the ``.long`` triples the build layer emits between the
+    ``__ex_table`` and ``__ex_table_end`` symbols.
+    """
+    start = kernel.symbols.get("__ex_table")
+    end = kernel.symbols.get("__ex_table_end")
+    if start is None or end is None:
+        return []
+    entries = []
+    for addr in range(start, end, 12):
+        off = addr - kernel.base
+        words = [int.from_bytes(kernel.code[off + i:off + i + 4],
+                                "little") for i in (0, 4, 8)]
+        entries.append(tuple(words))
+    return entries
+
+
+def _dominators(cfg):
+    """Iterative dominator sets ``{block_start: set(block_starts)}``."""
+    all_blocks = set(cfg.blocks)
+    dom = {start: set(all_blocks) for start in cfg.blocks}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for start in sorted(cfg.blocks):
+            if start == cfg.entry:
+                continue
+            preds = cfg.blocks[start].preds
+            if preds:
+                new = set.intersection(*(dom[p] for p in preds))
+            else:
+                new = set()  # unreachable: dominated by nothing useful
+            new |= {start}
+            if new != dom[start]:
+                dom[start] = new
+                changed = True
+    return dom
+
+
+class KernelLinter:
+    """Run the lint rules over a built kernel image."""
+
+    def __init__(self, kernel, rules=RULES):
+        self.kernel = kernel
+        self.rules = tuple(rules)
+        self.ex_table = read_ex_table(kernel)
+        self._landing_pads = {entry[2] for entry in self.ex_table}
+
+    def _ex_covered(self, addr):
+        return any(start <= addr < end
+                   for start, end, _ in self.ex_table)
+
+    def lint_function(self, info):
+        cfg = build_cfg(self.kernel, info)
+        findings = []
+        if "unreachable-block" in self.rules:
+            findings += self._check_unreachable(cfg)
+        if "fall-off-end" in self.rules:
+            findings += self._check_fall_off_end(cfg)
+        if "uncovered-uaccess" in self.rules:
+            findings += self._check_uaccess(cfg)
+        if "stack-imbalance" in self.rules:
+            findings += self._check_stack(cfg)
+        return findings
+
+    def lint_image(self, functions=None):
+        if functions is None:
+            functions = self.kernel.functions
+        findings = []
+        for info in functions:
+            findings += self.lint_function(info)
+        return findings
+
+    # --- rules -----------------------------------------------------
+
+    #: Ops an implicit-return tail may consist of: load the return
+    #: value, unwind the frame, return (plus the jump linking them).
+    _EPILOGUE_OPS = frozenset(("mov", "xor", "jmp", "leave", "ret",
+                               "pop"))
+
+    def _check_unreachable(self, cfg):
+        if cfg.has_indirect_jump:
+            return []
+        pads = [a for a in self._landing_pads if a in cfg.blocks]
+        reachable = cfg.reachable(extra_entries=pads)
+        unreachable = set(cfg.blocks) - reachable
+
+        # Implicit-return tails: unreachable blocks built purely from
+        # epilogue ops whose unreachable successors are also exempt.
+        exempt = {start for start in unreachable
+                  if all(i.op in self._EPILOGUE_OPS
+                         for i in cfg.blocks[start].instrs)}
+        shrunk = True
+        while shrunk:
+            shrunk = False
+            for start in sorted(exempt):
+                block = cfg.blocks[start]
+                if any(s in unreachable and s not in exempt
+                       for s in block.succs):
+                    exempt.discard(start)
+                    shrunk = True
+
+        out = []
+        for start in sorted(unreachable - exempt):
+            block = cfg.blocks[start]
+            out.append(LintFinding(
+                "unreachable-block", cfg.info.name, start,
+                "block %#x..%#x (%d instrs) has no path from entry"
+                % (start, block.end, len(block.instrs))))
+        return out
+
+    def _check_fall_off_end(self, cfg):
+        out = []
+        for block in cfg.blocks.values():
+            if not block.falls_through:
+                continue
+            if block.terminator.op == "hlt":
+                continue  # parked CPU (_start): never resumes
+            fall = block.end
+            if fall not in cfg.blocks and fall >= cfg.info.end:
+                out.append(LintFinding(
+                    "fall-off-end", cfg.info.name,
+                    block.terminator.addr,
+                    "control falls past the function's last byte"
+                    " (%#x)" % cfg.info.end))
+        return out
+
+    def _check_uaccess(self, cfg):
+        from repro.staticanalysis.dataflow import instr_defs_uses
+
+        if not UACCESS_FUNCTIONS.match(cfg.info.name):
+            return []
+        guard_blocks = self._guard_call_blocks(cfg)
+        dom = _dominators(cfg)
+        out = []
+        for block in cfg.blocks.values():
+            guarded_in_block = False
+            for ins in block.instrs:
+                if self._is_guard_call(ins):
+                    guarded_in_block = True
+                eff = instr_defs_uses(ins)
+                if not (eff.reads_mem or eff.writes_mem):
+                    continue
+                mem = self._mem_operand(ins)
+                if mem is None or self._benign_mem(mem):
+                    continue
+                if self._ex_covered(ins.addr):
+                    continue
+                if guarded_in_block or any(
+                        d in guard_blocks for d in dom[block.start]
+                        if d != block.start):
+                    continue
+                out.append(LintFinding(
+                    "uncovered-uaccess", cfg.info.name, ins.addr,
+                    "%s dereference neither fixup-covered nor"
+                    " guarded by %s" % (ins.op,
+                                        "/".join(UACCESS_GUARDS))))
+        return out
+
+    def _guard_call_blocks(self, cfg):
+        return {block.start for block in cfg.blocks.values()
+                if any(self._is_guard_call(i) for i in block.instrs)}
+
+    def _is_guard_call(self, ins):
+        if ins.op != "call" or ins.rel is None:
+            return False
+        target = ins.addr + ins.length + ins.rel
+        callee = self.kernel.find_function(target)
+        return callee is not None and callee.name in UACCESS_GUARDS
+
+    @staticmethod
+    def _mem_operand(ins):
+        for operand in (ins.dst, ins.src):
+            if operand is not None and operand[0] == "m":
+                return operand[1]
+        return None
+
+    def _benign_mem(self, mem):
+        """Stack-frame slots and direct kernel globals cannot be user
+        pointers."""
+        if mem.base in (4, 5) and mem.index is None:  # esp/ebp
+            return True
+        if mem.base is None and mem.index is None:
+            return (mem.disp & 0xFFFFFFFF) >= self.kernel.base
+        return False
+
+    def _check_stack(self, cfg):
+        pads = [a for a in self._landing_pads if a in cfg.blocks]
+        analysis = analyze_stack(cfg, extra_entries=pads)
+        return [LintFinding("stack-imbalance", cfg.info.name, addr,
+                            message)
+                for addr, message in analysis.findings]

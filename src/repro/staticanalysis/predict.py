@@ -1,0 +1,213 @@
+"""Bit-flip pre-classifier: predict an injection's outcome statically.
+
+For a campaign site ``(instruction, byte_offset, bit)`` the classifier
+re-decodes the mutated byte stream and compares it against the original
+instruction:
+
+``PRED_INVALID_OPCODE``
+    The mutated bytes no longer decode — the first fetch of the site
+    raises #UD (a likely crash, Figure 6's *invalid opcode* cause).
+``PRED_LENGTH_CHANGE``
+    The mutated instruction decodes with a different length, so the
+    following bytes are re-interpreted as a shifted instruction stream
+    (the paper's Table 7 example 2).
+``PRED_BRANCH_REVERSAL``
+    A conditional branch decodes to the inverted condition with the
+    same displacement — campaign C's intended effect.
+``PRED_DEAD``
+    The flip provably cannot change architectural state: the mutation
+    decodes identically (redundant encodings), or the only difference
+    is a write to registers/flags that are dead at the site.  Predicted
+    dynamic outcome: NOT_MANIFESTED (or NOT_ACTIVATED).
+``PRED_UNKNOWN``
+    Anything the analysis cannot bound.
+
+The dead-write reasoning is deliberately *precise rather than
+complete*: liveness assumes everything is live at calls and exits, so
+a PRED_DEAD verdict is a strong claim (validated against dynamic
+campaign outcomes by ``repro.experiments.static_validation``).
+"""
+
+from repro.isa.decoder import DecodeError, decode
+from repro.isa.registers import REG_NAMES
+from repro.staticanalysis.cfg import build_cfg
+from repro.staticanalysis.dataflow import (
+    ALL_RESOURCES,
+    instr_defs_uses,
+    live_after_map,
+)
+
+PRED_INVALID_OPCODE = "PRED_INVALID_OPCODE"
+PRED_DEAD = "PRED_DEAD"
+PRED_LENGTH_CHANGE = "PRED_LENGTH_CHANGE"
+PRED_BRANCH_REVERSAL = "PRED_BRANCH_REVERSAL"
+PRED_UNKNOWN = "PRED_UNKNOWN"
+
+PRED_CLASSES = (
+    PRED_INVALID_OPCODE,
+    PRED_DEAD,
+    PRED_LENGTH_CHANGE,
+    PRED_BRANCH_REVERSAL,
+    PRED_UNKNOWN,
+)
+
+#: Semantic fields of a decoded instruction.  ``raw`` is deliberately
+#: excluded (redundant encodings differ in bytes, not behaviour); so is
+#: ``rep``-irrelevant segment/lock prefix noise, which the decoder
+#: already normalises away from these fields.
+_SEM_FIELDS = ("op", "size", "dst", "src", "cc", "rel", "imm2", "rep")
+
+
+def _same_semantics(a, b):
+    """True when two decoded instructions are behaviourally identical."""
+    return all(getattr(a, f) == getattr(b, f) for f in _SEM_FIELDS) \
+        and a.length == b.length
+
+
+def _decode_mutated(code, base, ins, byte_offset, bit):
+    """Decode the instruction at ``ins.addr`` after flipping one bit.
+
+    Returns ``(instr, None)`` or ``(None, pred_class)`` when decoding
+    itself settles the classification.
+    """
+    mutated = bytearray(code)
+    pos = ins.addr - base + byte_offset
+    mutated[pos] ^= 1 << bit
+
+    def read(addr):
+        offset = addr - base
+        if 0 <= offset < len(mutated):
+            return mutated[offset]
+        raise IndexError("read past function end")
+
+    try:
+        mut = decode(read, ins.addr)
+    except DecodeError:
+        return None, PRED_INVALID_OPCODE
+    except IndexError:
+        # The mutation made the instruction swallow bytes beyond the
+        # function: the stream is desynchronised past repair.
+        return None, PRED_LENGTH_CHANGE
+    return mut, None
+
+
+def _dead_resources(live):
+    """Complement of a live set, as register/flag names."""
+    return ALL_RESOURCES - live
+
+
+def _is_dead_write_pair(orig_eff, mut_eff, dead):
+    """True when orig and mutant differ only in writes to *dead* state.
+
+    Requires both to be straight-line register/flag instructions: no
+    memory traffic, no traps, no side effects, no control transfer.
+    """
+    for eff in (orig_eff, mut_eff):
+        if (eff.side_effects or eff.may_trap or eff.reads_mem
+                or eff.writes_mem):
+            return False
+    return (orig_eff.may_defs | mut_eff.may_defs) <= dead
+
+
+#: ALU pairs whose flag results are computed identically by the CPU
+#: (same helper, same inputs); they differ only in whether the
+#: destination is written.  ``cmp``/``sub`` share ``_flags_sub``.
+_FLAG_TWIN = {("cmp", "sub"), ("sub", "cmp")}
+
+
+def classify_flip(code, base, ins, byte_offset, bit, live_after):
+    """Classify one injection site.
+
+    Args:
+        code: the function's byte string.
+        base: address of ``code[0]``.
+        ins: the decoded original instruction at the site.
+        byte_offset: byte within the instruction.
+        bit: bit within the byte.
+        live_after: resources (register/flag names) possibly read after
+            this instruction — from
+            :func:`repro.staticanalysis.dataflow.live_after_map`.
+
+    Returns:
+        One of :data:`PRED_CLASSES`.
+    """
+    mut, verdict = _decode_mutated(code, base, ins, byte_offset, bit)
+    if verdict is not None:
+        return verdict
+    if mut.length != ins.length:
+        return PRED_LENGTH_CHANGE
+    if _same_semantics(ins, mut):
+        return PRED_DEAD
+    if (ins.op == "jcc" and mut.op == "jcc"
+            and mut.rel == ins.rel and mut.cc == ins.cc ^ 1):
+        return PRED_BRANCH_REVERSAL
+
+    dead = _dead_resources(live_after)
+
+    # Flag-twin rule: cmp <-> sub with identical operands compute the
+    # identical flag set; the only behavioural delta is the gained or
+    # lost write to the destination register.
+    if ((ins.op, mut.op) in _FLAG_TWIN
+            and ins.size == mut.size
+            and ins.dst == mut.dst and ins.src == mut.src
+            and ins.dst is not None and ins.dst[0] == "r"
+            and REG_NAMES[ins.dst[1]] in dead):
+        return PRED_DEAD
+
+    # General dead-write rule: both original and mutant only write
+    # dead registers/flags, with no memory or control effects either
+    # way — swapping one for the other cannot change live state.
+    if not ins.is_branch and not mut.is_branch:
+        if _is_dead_write_pair(instr_defs_uses(ins),
+                               instr_defs_uses(mut), dead):
+            return PRED_DEAD
+
+    return PRED_UNKNOWN
+
+
+class PreClassifier:
+    """Caches per-function CFG + liveness and classifies campaign sites.
+
+    >>> pre = PreClassifier(kernel)
+    >>> pre.classify_spec(spec)
+    'PRED_UNKNOWN'
+    """
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self._funcs = {}
+
+    def _function_state(self, name):
+        state = self._funcs.get(name)
+        if state is None:
+            info = next((f for f in self.kernel.functions
+                         if f.name == name), None)
+            if info is None:
+                return None
+            cfg = build_cfg(self.kernel, info)
+            live = live_after_map(cfg)
+            code = self.kernel.code[info.start - self.kernel.base:
+                                    info.end - self.kernel.base]
+            instrs = {ins.addr: ins for ins in cfg.instructions()}
+            state = (info, code, instrs, live)
+            self._funcs[name] = state
+        return state
+
+    def classify_site(self, function, instr_addr, byte_offset, bit):
+        """Classify ``(function, instr_addr, byte_offset, bit)``."""
+        state = self._function_state(function)
+        if state is None:  # not in the image (e.g. a synthetic spec)
+            return PRED_UNKNOWN
+        info, code, instrs, live = state
+        ins = instrs.get(instr_addr)
+        if ins is None:
+            return PRED_UNKNOWN
+        # An unknown site keeps everything live (nothing is "dead").
+        live_after = live.get(instr_addr, ALL_RESOURCES)
+        return classify_flip(code, info.start, ins, byte_offset, bit,
+                             live_after)
+
+    def classify_spec(self, spec):
+        """Classify an :class:`~repro.injection.campaigns.InjectionSpec`."""
+        return self.classify_site(spec.function, spec.instr_addr,
+                                  spec.byte_offset, spec.bit)

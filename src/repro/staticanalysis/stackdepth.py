@@ -1,0 +1,171 @@
+"""Symbolic stack-depth fixpoint for the linter's imbalance rule.
+
+Tracks, per basic block, how many bytes the function has pushed since
+entry (depth 0 = esp as on entry, return address on top).  The walk
+knows the idioms the compiler and the hand-written stubs actually use:
+
+* ``push``/``pop``/``pushf``/``popf``/``push_sr``/``pop_sr`` (±4),
+  ``pusha``/``popa`` (±32);
+* ``sub esp, imm`` / ``add esp, imm``;
+* the ``ebp`` frame dance: ``mov ebp, esp`` records the current depth,
+  ``leave`` (or ``mov esp, ebp``; ``pop ebp``) restores it;
+* ``call`` is depth-neutral (callees return with the caller's esp).
+
+Anything else that writes ``esp`` — ``iret``, loading esp from memory
+(``__switch_to``), ``enter``, arithmetic through registers — makes the
+function *unanalyzable* and the rule deliberately stays silent rather
+than guessing (these are the context-switch/trap-entry stubs, whose
+stack discipline is the interrupt frame's business).
+
+Reported findings:
+
+* a ``ret`` reached with non-zero depth (the classic smashed epilogue);
+* a block reachable with two different depths (imbalanced join);
+* popping below the entry depth (negative depth).
+"""
+
+from repro.staticanalysis.dataflow import instr_defs_uses
+
+#: ops with a fixed depth delta.
+_SIMPLE_DELTA = {
+    "push": 4, "pushf": 4, "push_sr": 4,
+    "pop": -4, "popf": -4, "pop_sr": -4,
+    "pusha": 32, "popa": -32,
+}
+
+#: System/flag ops that certainly leave esp and ebp alone, even though
+#: the general def/use model treats them with a catch-all summary.
+_ESP_NEUTRAL = frozenset((
+    "cli", "sti", "cld", "std", "clc", "stc", "cmc", "nop", "wait",
+    "hlt", "sahf", "lahf", "cwde", "cdq", "xlat", "in", "out",
+    # system ops writing only eax/ebx/ecx/edx (or nothing)
+    "rdtsc", "rdmsr", "wrmsr", "rdpmc", "cpuid", "invd", "clts",
+    "sysgrp", "mov_to_cr", "mov_to_dr",
+    # ud2 is the BUG() trap: it terminates its block, so the depth
+    # after it never flows anywhere
+    "ud2",
+))
+
+
+class StackAnalysis:
+    """Result of :func:`analyze_stack`.
+
+    Attributes:
+        analyzable: False when the function manipulates esp in ways
+            the model does not track (findings is then empty).
+        findings: list of ``(addr, message)``.
+        depth_in: block start -> entry depth (for analyzable funcs).
+    """
+
+    __slots__ = ("analyzable", "findings", "depth_in")
+
+    def __init__(self, analyzable, findings, depth_in):
+        self.analyzable = analyzable
+        self.findings = findings
+        self.depth_in = depth_in
+
+
+class _Unanalyzable(Exception):
+    pass
+
+
+def _step(ins, depth, frame):
+    """Apply one instruction: returns (depth, frame_depth).
+
+    *frame* is the depth recorded at ``mov ebp, esp`` (None when ebp
+    does not currently mirror a known stack position).
+    """
+    op = ins.op
+    if op in _SIMPLE_DELTA:
+        # pop into esp itself leaves esp = popped value: untrackable.
+        if op == "pop" and ins.dst == ("r", 4):
+            raise _Unanalyzable("pop esp")
+        return depth + _SIMPLE_DELTA[op], frame
+    if op == "mov" and ins.dst == ("r", 5) and ins.src == ("r", 4):
+        return depth, depth                  # mov ebp, esp
+    if op == "mov" and ins.dst == ("r", 4) and ins.src == ("r", 5):
+        if frame is None:
+            raise _Unanalyzable("mov esp, ebp with unknown ebp")
+        return frame, frame                  # mov esp, ebp
+    if op == "leave":
+        if frame is None:
+            raise _Unanalyzable("leave with unknown ebp")
+        return frame - 4, None               # esp = ebp; pop ebp
+    if op in ("add", "sub") and ins.dst == ("r", 4):
+        if ins.src is None or ins.src[0] != "i":
+            raise _Unanalyzable("esp arithmetic by register")
+        imm = ins.src[1]
+        imm = imm - (1 << 32) if imm >= (1 << 31) else imm
+        return depth + (imm if op == "sub" else -imm), frame
+    if op in ("call", "call_ind", "int", "int3", "into"):
+        return depth, frame                  # balanced callee / trap
+    if op in ("ret", "lret"):
+        return depth, frame                  # checked by the caller
+    if op in _ESP_NEUTRAL:
+        return depth, frame
+    if op in ("mov_from_cr", "mov_from_dr"):
+        if ins.dst == ("r", 4):
+            raise _Unanalyzable("control register read into esp")
+        return depth, (None if ins.dst == ("r", 5) else frame)
+    # ebp overwritten by anything else: the frame anchor is gone.
+    eff = instr_defs_uses(ins)
+    if "esp" in eff.may_defs:
+        raise _Unanalyzable("%s writes esp" % op)
+    if "ebp" in eff.may_defs:
+        return depth, None
+    return depth, frame
+
+
+def analyze_stack(cfg, extra_entries=()):
+    """Run the depth fixpoint over *cfg*.
+
+    *extra_entries* (``__ex_table`` landing pads) are additional roots;
+    they start at unknown depth and are skipped rather than guessed.
+    """
+    if cfg.has_bad_instr:
+        return StackAnalysis(False, [], {})
+    for block in cfg.blocks.values():
+        for ins in block.instrs:
+            if ins.op in ("iret", "enter", "jmp_ind", "jmpf_ind"):
+                return StackAnalysis(False, [], {})
+
+    findings = []
+    skip = set(extra_entries)
+    depth_in = {cfg.entry: (0, None)}
+    work = [cfg.entry]
+    try:
+        while work:
+            start = work.pop()
+            block = cfg.blocks[start]
+            depth, frame = depth_in[start]
+            for ins in block.instrs:
+                if ins.op in ("ret", "lret") and depth != 0:
+                    findings.append(
+                        (ins.addr,
+                         "ret with stack depth %+d bytes" % depth))
+                depth, frame = _step(ins, depth, frame)
+                if depth < 0:
+                    findings.append(
+                        (ins.addr,
+                         "stack depth below function entry (%d)"
+                         % depth))
+                    raise _Unanalyzable("negative depth")
+            for succ in block.succs:
+                if succ in skip:
+                    continue
+                state = (depth, frame)
+                seen = depth_in.get(succ)
+                if seen is None:
+                    depth_in[succ] = state
+                    work.append(succ)
+                elif seen[0] != depth:
+                    findings.append(
+                        (succ,
+                         "stack depth mismatch at join: %d vs %d"
+                         % (seen[0], depth)))
+    except _Unanalyzable:
+        if not findings:
+            return StackAnalysis(False, [], {})
+    return StackAnalysis(
+        True, findings,
+        {start: state[0] for start, state in depth_in.items()})

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Lint the built kernel image (static CFG/dataflow invariants).
+
+    python3 -m repro.tools.kerncheck
+    python3 -m repro.tools.kerncheck --subsystem fs
+    python3 -m repro.tools.kerncheck --rule stack-imbalance --json
+
+Runs :class:`repro.staticanalysis.linter.KernelLinter` over every
+function (or a subset) and prints one line per finding.  Exit status is
+the number of findings (capped at 125), so ``make lint-kernel`` fails
+the build when an invariant regresses.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.kernel.build import build_kernel
+from repro.staticanalysis.linter import RULES, KernelLinter
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("functions", nargs="*",
+                        help="function names to lint (default: all)")
+    parser.add_argument("--subsystem",
+                        help="restrict to one subsystem (arch/fs/...)")
+    parser.add_argument("--rule", action="append", choices=RULES,
+                        help="run only this rule (repeatable)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON array")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary line")
+    args = parser.parse_args(argv)
+
+    kernel = build_kernel()
+    functions = sorted(kernel.functions, key=lambda f: f.start)
+    if args.subsystem:
+        functions = [f for f in functions
+                     if f.subsystem == args.subsystem]
+    if args.functions:
+        wanted = set(args.functions)
+        functions = [f for f in functions if f.name in wanted]
+        missing = wanted - {f.name for f in functions}
+        if missing:
+            parser.error("unknown function(s): %s"
+                         % ", ".join(sorted(missing)))
+
+    linter = KernelLinter(kernel, rules=args.rule or RULES)
+    findings = linter.lint_image(functions)
+
+    if args.json:
+        json.dump([f.to_dict() for f in findings], sys.stdout, indent=1)
+        sys.stdout.write("\n")
+    else:
+        for finding in findings:
+            print(finding.format(kernel))
+        if not args.quiet:
+            print("kerncheck: %d function(s), %d finding(s)"
+                  % (len(functions), len(findings)))
+    return min(len(findings), 125)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

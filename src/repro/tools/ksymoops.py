@@ -33,6 +33,9 @@ def main(argv=None):
                         help="boot a recovery kernel (oops kills the "
                              "task and the machine runs on; every dump "
                              "is annotated, recovered ones marked)")
+    parser.add_argument("--no-cfg", action="store_true",
+                        help="omit the faulting basic block / CFG "
+                             "predecessor annotation")
     args = parser.parse_args(argv)
 
     kernel = build_kernel()
@@ -68,7 +71,8 @@ def main(argv=None):
     for index, crash in enumerate(result.crashes):
         if index:
             print()
-        print(annotate_crash(kernel, crash, machine=machine))
+        print(annotate_crash(kernel, crash, machine=machine,
+                             cfg_context=not args.no_cfg))
     return 0
 
 

@@ -1,0 +1,131 @@
+"""CFG construction: blocks, edges, call graph (staticanalysis.cfg)."""
+
+from repro.isa.assembler import assemble
+from repro.staticanalysis.cfg import (
+    build_callgraph,
+    build_cfg,
+    describe_block,
+)
+
+BASE = 0x1000
+
+
+def _cfg(body, name="f"):
+    prog = assemble(".func %s kernel\n%s:\n%s\n.endfunc"
+                    % (name, name, body), base=BASE)
+    info = next(i for i in prog.functions if i.name == name)
+    return build_cfg(prog, info), prog
+
+
+class TestBasicBlocks:
+    def test_straight_line_is_one_block(self):
+        cfg, _ = _cfg("  mov eax, 1\n  add eax, 2\n  ret")
+        assert len(cfg.blocks) == 1
+        block = cfg.blocks[cfg.entry]
+        assert [i.op for i in block.instrs] == ["mov", "add", "ret"]
+        assert block.succs == []
+        assert not block.falls_through
+
+    def test_diamond_blocks_and_edges(self):
+        cfg, _ = _cfg("""
+  test eax, eax
+  jz other
+  mov ebx, 1
+  jmp join
+other:
+  mov ebx, 2
+join:
+  ret""")
+        assert len(cfg.blocks) == 4
+        entry = cfg.blocks[cfg.entry]
+        assert entry.terminator.op == "jcc"
+        assert len(entry.succs) == 2
+        join = max(cfg.blocks)          # last block holds the ret
+        assert sorted(cfg.blocks[join].preds) == sorted(
+            b.start for b in cfg.blocks.values() if join in b.succs)
+        assert len(cfg.blocks[join].preds) == 2
+
+    def test_loop_has_back_edge(self):
+        cfg, prog = _cfg("""
+  mov ecx, 4
+top:
+  dec ecx
+  jnz top
+  ret""")
+        top = prog.symbol("top")
+        body = cfg.blocks[top]
+        assert top in body.succs        # the back edge
+        assert top in body.preds or cfg.entry in body.preds
+
+    def test_call_does_not_split_blocks(self):
+        prog = assemble("""
+.func g kernel
+g:
+  ret
+.endfunc
+.func f kernel
+f:
+  mov eax, 1
+  call g
+  add eax, 2
+  ret
+.endfunc""", base=BASE)
+        info = next(i for i in prog.functions if i.name == "f")
+        cfg = build_cfg(prog, info)
+        assert len(cfg.blocks) == 1
+        assert len(cfg.calls) == 1
+        _, target = cfg.calls[0]
+        assert target == prog.symbol("g")
+
+    def test_external_jump_target_recorded(self):
+        prog = assemble("""
+.func f kernel
+f:
+  jmp out
+.endfunc
+.func out kernel
+out:
+  ret
+.endfunc""", base=BASE)
+        info = next(i for i in prog.functions if i.name == "f")
+        cfg = build_cfg(prog, info)
+        assert prog.symbol("out") in cfg.external_targets
+        assert cfg.blocks[cfg.entry].succs == []
+
+    def test_unreachable_block_not_in_reachable_set(self):
+        cfg, prog = _cfg("""
+  jmp tail
+island:
+  mov eax, 9
+tail:
+  ret""")
+        island = prog.symbol("island")
+        assert island in cfg.blocks
+        assert island not in cfg.reachable()
+        assert island in cfg.reachable(extra_entries=[island])
+
+    def test_describe_block_names_location(self):
+        cfg, _ = _cfg("  mov eax, 1\n  add eax, 2\n  ret")
+        text = describe_block(cfg, cfg.entry + 5)
+        assert "basic block" in text
+        assert "instr #1" in text
+        assert "function entry" in text
+
+
+class TestKernelImage:
+    def test_every_function_builds_clean(self, kernel):
+        for info in kernel.functions:
+            cfg = build_cfg(kernel, info)
+            assert not cfg.has_bad_instr, info.name
+            assert cfg.entry in cfg.blocks, info.name
+            for block in cfg.blocks.values():
+                for succ in block.succs:
+                    assert succ in cfg.blocks, info.name
+                    assert block.start in cfg.blocks[succ].preds
+
+    def test_callgraph_contains_known_edges(self, kernel):
+        graph = build_callgraph(kernel)
+        assert "sys_open" in graph
+        assert "open_namei" in graph["sys_open"]
+        assert "strncpy_from_user" in graph["sys_open"]
+        assert "<unknown>" not in set().union(*graph.values())

@@ -1,0 +1,169 @@
+"""Def/use model, liveness and reaching definitions (dataflow)."""
+
+from repro.isa.assembler import assemble
+from repro.isa.decoder import decode_all
+from repro.staticanalysis.cfg import build_cfg
+from repro.staticanalysis.dataflow import (
+    ALL_RESOURCES,
+    instr_defs_uses,
+    live_after_map,
+    liveness,
+    reaching_definitions,
+)
+
+BASE = 0x1000
+
+
+def _decode_one(line):
+    return decode_all(assemble(line, base=BASE).code, base=BASE)[0]
+
+
+def _cfg(body, name="f"):
+    prog = assemble(".func %s kernel\n%s:\n%s\n.endfunc"
+                    % (name, name, body), base=BASE)
+    info = next(i for i in prog.functions if i.name == name)
+    return build_cfg(prog, info), prog
+
+
+class TestInstrDefsUses:
+    def test_mov_reg_imm_does_not_use_destination(self):
+        eff = instr_defs_uses(_decode_one("mov eax, 5"))
+        assert "eax" not in eff.uses
+        assert "eax" in eff.must_defs
+        assert not eff.may_defs - {"eax"}
+
+    def test_mov_mem_dst_uses_address_registers_only(self):
+        eff = instr_defs_uses(_decode_one("mov [ebx+8], eax"))
+        assert {"eax", "ebx"} <= eff.uses
+        assert eff.writes_mem and not eff.reads_mem
+        assert not eff.must_defs
+
+    def test_alu_uses_both_and_defs_flags(self):
+        eff = instr_defs_uses(_decode_one("add eax, ebx"))
+        assert {"eax", "ebx"} <= eff.uses
+        assert {"eax", "cf", "zf", "sf", "of", "pf"} <= eff.must_defs
+
+    def test_inc_preserves_carry(self):
+        # The simulated CPU's inc/dec handler saves and restores CF.
+        eff = instr_defs_uses(_decode_one("inc eax"))
+        assert "cf" not in eff.may_defs
+        assert "zf" in eff.must_defs
+
+    def test_cmp_defs_flags_not_destination(self):
+        eff = instr_defs_uses(_decode_one("cmp eax, ebx"))
+        assert "eax" not in eff.may_defs
+        assert "zf" in eff.must_defs
+
+    def test_shift_by_cl_is_a_may_def(self):
+        # Count 0 leaves everything (including flags) unwritten.
+        eff = instr_defs_uses(_decode_one("shl eax, cl"))
+        assert "ecx" in eff.uses
+        assert "eax" in eff.may_defs
+        assert "eax" not in eff.must_defs
+
+    def test_jcc_reads_its_condition_flags(self):
+        ins = decode_all(b"\x74\x00", base=BASE)[0]  # je
+        eff = instr_defs_uses(ins)
+        assert "zf" in eff.uses
+        assert not eff.may_defs
+
+    def test_call_is_side_effecting(self):
+        ins = decode_all(b"\xe8\x00\x00\x00\x00", base=BASE)[0]
+        eff = instr_defs_uses(ins)
+        assert eff.side_effects
+
+
+class TestLiveness:
+    def test_dead_store_is_not_live(self):
+        cfg, _ = _cfg("""
+  mov eax, 5
+  mov eax, 6
+  mov [esi], eax
+  ret""")
+        live = live_after_map(cfg)
+        instrs = list(cfg.instructions())
+        assert "eax" not in live[instrs[0].addr]   # overwritten
+        assert "eax" in live[instrs[1].addr]        # stored
+        assert "esi" in live[instrs[0].addr]        # address reg
+
+    def test_branch_arm_keeps_value_live(self):
+        cfg, prog = _cfg("""
+  mov ebx, 7
+  test eax, eax
+  jz skip
+  mov [esi], ebx
+skip:
+  ret""")
+        live = live_after_map(cfg)
+        first = cfg.entry
+        assert "ebx" in live[first]                 # used on one arm
+
+    def test_loop_counter_stays_live(self):
+        cfg, prog = _cfg("""
+  mov ecx, 4
+top:
+  dec ecx
+  jnz top
+  ret""")
+        live_in, live_out = liveness(cfg)
+        top = prog.symbol("top")
+        assert "ecx" in live_in[top]
+        assert "ecx" in live_out[top]               # back edge
+
+    def test_exit_assumes_everything_live(self):
+        cfg, _ = _cfg("  mov eax, 5\n  ret")
+        live = live_after_map(cfg)
+        # Conservative: the caller may read anything after ret.
+        assert "eax" in live[cfg.entry]
+
+    def test_custom_exit_live_set(self):
+        cfg, _ = _cfg("  mov eax, 5\n  mov ebx, 6\n  ret")
+        live_in, _ = liveness(cfg, exit_live=frozenset({"eax"}))
+        assert "ebx" not in live_in[cfg.entry]
+
+
+class TestReachingDefinitions:
+    def test_redefinition_kills_earlier_def(self):
+        cfg, _ = _cfg("""
+  mov eax, 5
+  mov eax, 6
+  mov [esi], eax
+  ret""")
+        reach_in, reach_out = reaching_definitions(cfg)
+        block = cfg.blocks[cfg.entry]
+        instrs = block.instrs
+        eax_defs = {d for d in reach_out[cfg.entry] if d[1] == "eax"}
+        assert eax_defs == {(instrs[1].addr, "eax")}
+
+    def test_entry_has_synthetic_defs(self):
+        cfg, _ = _cfg("  ret")
+        reach_in, _ = reaching_definitions(cfg)
+        assert ("<entry>", "eax") in reach_in[cfg.entry]
+
+    def test_diamond_merges_both_defs(self):
+        cfg, prog = _cfg("""
+  test eax, eax
+  jz other
+  mov ebx, 1
+  jmp join
+other:
+  mov ebx, 2
+join:
+  mov [esi], ebx
+  ret""")
+        reach_in, _ = reaching_definitions(cfg)
+        join = prog.symbol("join")
+        ebx_defs = {d for d in reach_in[join] if d[1] == "ebx"}
+        assert len(ebx_defs) == 2
+        assert all(d[0] != "<entry>" for d in ebx_defs)
+
+
+class TestKernelImage:
+    def test_liveness_converges_on_every_function(self, kernel):
+        for info in kernel.functions:
+            cfg = build_cfg(kernel, info)
+            live_in, live_out = liveness(cfg)
+            assert set(live_in) == set(cfg.blocks), info.name
+            for start, block in cfg.blocks.items():
+                assert live_in[start] <= ALL_RESOURCES
+                assert live_out[start] <= ALL_RESOURCES
