@@ -2,7 +2,7 @@
 
 PY ?= python3
 
-.PHONY: install test bench ci lint-kernel experiments \
+.PHONY: install test bench bench-static ci lint-kernel experiments \
 	experiments-full clean
 
 install:
@@ -15,6 +15,8 @@ test:
 # exit status is the number of findings.
 lint-kernel:
 	PYTHONPATH=src $(PY) -m repro.tools.kerncheck
+	PYTHONPATH=src $(PY) -m repro.tools.kerncheck --format json \
+		> /dev/null
 
 # What .github/workflows/ci.yml runs: lint (when available) + the
 # kernel-image linter + tier-1 + the smoke studies.
@@ -28,9 +30,14 @@ ci:
 	PYTHONPATH=src $(PY) -m pytest -x -q
 	PYTHONPATH=src $(PY) -m repro.experiments.recovery_study --smoke
 	PYTHONPATH=src $(PY) -m repro.experiments.static_validation --smoke
+	PYTHONPATH=src $(PY) -m repro.experiments.static_propagation --smoke
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Whole-image static-analysis timings -> BENCH_static.json.
+bench-static:
+	PYTHONPATH=src $(PY) benchmarks/bench_static.py
 
 # EXPERIMENTS.md at the default (quick) scale; standard takes ~1 h.
 experiments:

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Time the whole-image static-analysis stack; emit BENCH_static.json.
+
+Measures, against the freshly built kernel image:
+
+* CFG construction for every kernel function;
+* dataflow def/use extraction over every instruction;
+* stack-depth fixpoints for every function;
+* symbolic propagation summaries for every function (the FastFlip-style
+  cache the site solver composes against);
+* per-site verdict throughput over a campaign-A-like site sample.
+
+Run from the repo root::
+
+    PYTHONPATH=src python3 benchmarks/bench_static.py [--output PATH]
+
+The JSON is a flat record (seconds and counts) so successive runs can
+be diffed or charted as the analysis grows.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def run_benchmarks():
+    from repro.injection.campaigns import plan_campaign, select_targets
+    from repro.kernel.build import build_kernel
+    from repro.profiling.sampler import profile_kernel
+    from repro.staticanalysis.cfg import build_cfg
+    from repro.staticanalysis.dataflow import instr_defs_uses
+    from repro.staticanalysis.propagation import PropagationAnalyzer
+    from repro.staticanalysis.stackdepth import analyze_stack
+    from repro.userland.build import build_all_programs
+    from repro.userland.programs import WORKLOADS
+
+    record = {"tool": "bench_static", "unit": "seconds"}
+
+    build_s, kernel = _timed(build_kernel)
+    record["kernel_build_s"] = round(build_s, 4)
+    record["functions"] = len(kernel.functions)
+    record["code_bytes"] = len(kernel.code)
+
+    cfg_s, cfgs = _timed(lambda: {
+        f.name: build_cfg(kernel, f) for f in kernel.functions})
+    record["cfg_all_functions_s"] = round(cfg_s, 4)
+    record["basic_blocks"] = sum(len(c.blocks) for c in cfgs.values())
+
+    instrs = [ins for cfg in cfgs.values()
+              for block in cfg.blocks.values()
+              for ins in block.instrs]
+    record["instructions"] = len(instrs)
+    dataflow_s, _ = _timed(
+        lambda: [instr_defs_uses(ins) for ins in instrs])
+    record["dataflow_all_instrs_s"] = round(dataflow_s, 4)
+
+    def all_stacks():
+        done = 0
+        for cfg in cfgs.values():
+            try:
+                analyze_stack(cfg)
+            except Exception:
+                continue
+            done += 1
+        return done
+
+    stack_s, stack_count = _timed(all_stacks)
+    record["stackdepth_all_functions_s"] = round(stack_s, 4)
+    record["stackdepth_functions"] = stack_count
+
+    analyzer = PropagationAnalyzer(kernel)
+    summaries_s, _ = _timed(lambda: [
+        analyzer.summary(f.name) for f in kernel.functions])
+    record["propagation_summaries_s"] = round(summaries_s, 4)
+
+    profile = profile_kernel(kernel, build_all_programs(), WORKLOADS)
+    specs = []
+    for key in ("A", "B"):
+        functions = select_targets(kernel, profile, key)
+        specs.extend(plan_campaign(kernel, key, functions)[:300])
+    verdicts_s, verdicts = _timed(lambda: [
+        analyzer.analyze_site(s.function, s.instr_addr, s.byte_offset,
+                              s.bit) for s in specs])
+    record["site_verdicts"] = len(verdicts)
+    record["site_verdicts_s"] = round(verdicts_s, 4)
+    if verdicts_s > 0:
+        record["site_verdicts_per_s"] = round(
+            len(verdicts) / verdicts_s, 1)
+    record["sites_predicting_crash"] = sum(
+        1 for v in verdicts if v.predicts_crash)
+    return record
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_static.json")
+    args = parser.parse_args(argv)
+
+    record = run_benchmarks()
+    with open(args.output, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+    print("wrote %s" % args.output, file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -118,6 +118,57 @@ def cfg_location(kernel, address):
     return describe_block(cfg, address, symbolize=sym)
 
 
+def static_verdict_section(kernel, function, instr_addr, byte_offset,
+                           bit, crash=None, latency=None,
+                           analyzer=None):
+    """Predicted-vs-actual lines for one flip site.
+
+    Runs the symbolic error-propagation analyzer
+    (:mod:`repro.staticanalysis.propagation`) on the site and renders
+    its verdict; with a crash record the actual trap class is compared
+    against the predicted set, and with a measured *latency* (cycles
+    from activation to crash) the static [lower, upper] instruction
+    bound is checked.  Returns a list of lines.
+    """
+    from repro.injection.outcomes import crash_cause_name
+    from repro.staticanalysis.propagation import (
+        PropagationAnalyzer,
+        latency_within_bounds,
+        trap_of_cause,
+    )
+
+    if analyzer is None:
+        analyzer = PropagationAnalyzer(kernel)
+    verdict = analyzer.analyze_site(function, instr_addr, byte_offset,
+                                    bit)
+    hi = ("unbounded" if verdict.latency_hi is None
+          else "%d" % verdict.latency_hi)
+    lo = 0 if verdict.latency_lo is None else verdict.latency_lo
+    reachable = ", ".join(sorted(str(s) for s in verdict.subsystems))
+    lines = [
+        "seed corruption:  %s" % verdict.seed,
+        "predicted traps:  %s" % ", ".join(sorted(verdict.traps)),
+        "latency bound:    [%s, %s] instructions" % (lo, hi),
+        "reachable:        %s" % (reachable or "(none)"),
+    ]
+    if crash is not None:
+        actual = trap_of_cause(crash_cause_name(crash.vector,
+                                                crash.cr2))
+        hit = actual in verdict.traps or actual == "other"
+        lines.append("actual trap:      %s -> %s"
+                     % (actual,
+                        "within predicted set" if hit
+                        else "NOT predicted"))
+    if latency is not None:
+        inside = latency_within_bounds(latency, verdict.latency_lo,
+                                       verdict.latency_hi)
+        lines.append("actual latency:   %d cycles -> %s"
+                     % (latency,
+                        "within static bound" if inside
+                        else "OUTSIDE static bound"))
+    return lines
+
+
 def annotate_crash(kernel, crash, machine=None, cfg_context=False):
     """Render a full ksymoops-style report for a crash record.
 

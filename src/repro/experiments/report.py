@@ -14,6 +14,7 @@ from repro.experiments import (
     fig8_propagation,
     recovery_study,
     sensitivity,
+    static_propagation,
     static_validation,
     table1_profile,
     table2_setup,
@@ -43,6 +44,8 @@ _EXHIBITS = (
     ("§6.1 — per-function sensitivity", sensitivity),
     ("Extension — static pre-classifier validation",
      static_validation),
+    ("Extension — symbolic propagation verdicts",
+     static_propagation),
     ("§7.4 — strategic assertion placement", assertions_study),
     ("Extension — register-corruption campaign R", register_extension),
 )

@@ -91,17 +91,29 @@ class InjectionSpec:
     ``instr_class``/``is_branch`` are decoded-once instruction
     metadata; ``pred_class`` is the static pre-classifier's verdict
     when planning ran with ``preclassify``/``prune_dead``/
-    ``prioritize`` (``None`` otherwise).  All three default to ``None``
-    so specs serialized by older journals still load.
+    ``prioritize`` (``None`` otherwise).  ``pred_traps``/
+    ``pred_latency_lo``/``pred_latency_hi``/``pred_subsystems``/
+    ``pred_seed`` carry the symbolic error-propagation verdict
+    (:mod:`repro.staticanalysis.propagation`) when planning ran with
+    ``static_verdicts``.  All prediction fields default to ``None`` so
+    specs serialized by older journals still load, and none of them
+    participate in the journal fingerprint (which hashes only the site
+    coordinates), so enriched plans resume cleanly over plain
+    journals.
     """
 
     __slots__ = ("campaign", "function", "subsystem", "instr_addr",
                  "instr_len", "byte_offset", "bit", "mnemonic",
-                 "workload", "instr_class", "is_branch", "pred_class")
+                 "workload", "instr_class", "is_branch", "pred_class",
+                 "pred_traps", "pred_latency_lo", "pred_latency_hi",
+                 "pred_subsystems", "pred_seed")
 
     def __init__(self, campaign, function, subsystem, instr_addr,
                  instr_len, byte_offset, bit, mnemonic, workload=None,
-                 instr_class=None, is_branch=None, pred_class=None):
+                 instr_class=None, is_branch=None, pred_class=None,
+                 pred_traps=None, pred_latency_lo=None,
+                 pred_latency_hi=None, pred_subsystems=None,
+                 pred_seed=None):
         self.campaign = campaign
         self.function = function
         self.subsystem = subsystem
@@ -114,6 +126,11 @@ class InjectionSpec:
         self.instr_class = instr_class
         self.is_branch = is_branch
         self.pred_class = pred_class
+        self.pred_traps = pred_traps
+        self.pred_latency_lo = pred_latency_lo
+        self.pred_latency_hi = pred_latency_hi
+        self.pred_subsystems = pred_subsystems
+        self.pred_seed = pred_seed
 
     @property
     def target_byte_addr(self):
@@ -182,7 +199,8 @@ def select_targets(kernel, profile, campaign_key, coverage=0.95):
 def plan_campaign(kernel, campaign_key, functions, seed=2003,
                   byte_stride=1, max_per_function=None,
                   preclassify=False, prune_dead=False,
-                  prioritize=False):
+                  prioritize=False, static_verdicts=False,
+                  prioritize_latency=False):
     """Expand a campaign over *functions* into concrete injections.
 
     Args:
@@ -206,6 +224,14 @@ def plan_campaign(kernel, campaign_key, functions, seed=2003,
             classes (invalid opcode, length change, branch reversal)
             run first and predicted-dead sites last; with a fixed run
             budget the front of the list now carries the information.
+        static_verdicts: annotate each spec with the symbolic
+            error-propagation verdict (predicted trap classes, crash-
+            latency bounds in instructions, reachable subsystems).
+        prioritize_latency: stable-sort crash-predicting sites by
+            their static latency lower bound, shortest first, with
+            silent-only predictions last — a truncated run then
+            populates the dense low-latency region of Figure 7 first.
+            Implies *static_verdicts*.
 
     Returns:
         list of :class:`InjectionSpec` (workload not yet assigned).
@@ -257,6 +283,9 @@ def plan_campaign(kernel, campaign_key, functions, seed=2003,
         specs = apply_predictions(kernel, specs,
                                   prune_dead=prune_dead,
                                   prioritize=prioritize)
+    if static_verdicts or prioritize_latency:
+        specs = apply_static_verdicts(
+            kernel, specs, prioritize_latency=prioritize_latency)
     return specs
 
 
@@ -292,6 +321,56 @@ def apply_predictions(kernel, specs, prune_dead=False,
     return specs
 
 
+#: An unbounded predicted latency sorts after every finite bound.
+_LATENCY_UNBOUNDED = float("inf")
+
+
+def _latency_priority(spec):
+    """Sort key for ``prioritize_latency`` (smaller = runs earlier).
+
+    Crash-predicting sites order by their static latency lower bound
+    (shortest first); sites whose only predicted outcome is silence
+    run last — their dynamic result is the least informative per
+    cycle spent.
+    """
+    traps = spec.pred_traps or []
+    crash_traps = [t for t in traps if t != "silent"]
+    if not crash_traps:
+        return (1, _LATENCY_UNBOUNDED)
+    lo = spec.pred_latency_lo
+    return (0, lo if lo is not None else _LATENCY_UNBOUNDED)
+
+
+def apply_static_verdicts(kernel, specs, prioritize_latency=False):
+    """Annotate specs with symbolic error-propagation verdicts.
+
+    Sets ``pred_traps`` (sorted list of predicted first-failure trap
+    classes), ``pred_latency_lo``/``pred_latency_hi`` (instruction
+    bounds; ``hi`` ``None`` when unbounded), ``pred_subsystems``
+    (sorted reachable-subsystem list) and ``pred_seed`` (the seed
+    corruption lattice class) on every spec.  With
+    *prioritize_latency*, stable-sorts the plan by
+    :func:`_latency_priority`.
+
+    Imported lazily, like :func:`apply_predictions`, so plain
+    planning never pays for the static-analysis layer.
+    """
+    from repro.staticanalysis.propagation import PropagationAnalyzer
+
+    analyzer = PropagationAnalyzer(kernel)
+    for spec in specs:
+        verdict = analyzer.analyze_spec(spec)
+        spec.pred_traps = sorted(verdict.traps)
+        spec.pred_latency_lo = verdict.latency_lo
+        spec.pred_latency_hi = verdict.latency_hi
+        spec.pred_subsystems = sorted(
+            s for s in verdict.subsystems if s is not None)
+        spec.pred_seed = verdict.seed
+    if prioritize_latency:
+        specs = sorted(specs, key=_latency_priority)
+    return specs
+
+
 def main(argv=None):
     """CLI: plan a campaign and report/emit it.
 
@@ -315,6 +394,13 @@ def main(argv=None):
                         help="drop sites statically proven dead")
     parser.add_argument("--prioritize", action="store_true",
                         help="run predicted-interesting sites first")
+    parser.add_argument("--static-verdicts", action="store_true",
+                        help="annotate specs with symbolic error-"
+                             "propagation verdicts (trap classes,"
+                             " latency bounds, subsystem spread)")
+    parser.add_argument("--prioritize-latency", action="store_true",
+                        help="run predicted-short-latency crashes"
+                             " first (implies --static-verdicts)")
     parser.add_argument("--json", action="store_true",
                         help="emit the plan as JSON on stdout")
     args = parser.parse_args(argv)
@@ -326,7 +412,9 @@ def main(argv=None):
     specs = plan_campaign(
         ctx.kernel, args.campaign, functions, seed=args.seed,
         byte_stride=stride, preclassify=True,
-        prune_dead=args.prune_dead, prioritize=args.prioritize)
+        prune_dead=args.prune_dead, prioritize=args.prioritize,
+        static_verdicts=args.static_verdicts,
+        prioritize_latency=args.prioritize_latency)
     if max_specs is not None:
         specs = specs[:max_specs]
 
@@ -342,6 +430,18 @@ def main(argv=None):
         print("  %-22s %5d" % (pred, count))
     if args.prune_dead:
         print("(PRED_DEAD sites pruned from the plan)")
+    if args.static_verdicts or args.prioritize_latency:
+        crash_pred = sum(
+            1 for s in specs
+            if any(t != "silent" for t in (s.pred_traps or ())))
+        bounded = sum(1 for s in specs
+                      if s.pred_latency_hi is not None)
+        print("static verdicts: %d/%d sites predict a possible crash,"
+              " %d with a finite latency upper bound"
+              % (crash_pred, len(specs), bounded))
+        if args.prioritize_latency:
+            print("(plan ordered by predicted crash-latency lower"
+                  " bound)")
     return 0
 
 

@@ -118,11 +118,19 @@ class InjectionResult:
     (faults taken inside the crash handler itself); ``repro`` is only
     set on :data:`HARNESS_ERROR` outcomes and bundles the spec,
     traceback and seed needed to replay the harness failure.
+
+    ``pred_traps``/``pred_latency_lo``/``pred_latency_hi``/
+    ``pred_subsystems``/``pred_seed`` carry the symbolic
+    error-propagation verdict (see
+    :mod:`repro.staticanalysis.propagation`) when the plan ran with
+    ``--static-verdicts``; all default to ``None`` otherwise.
     """
 
     __slots__ = (
         "campaign", "function", "subsystem", "addr", "byte_offset", "bit",
         "mnemonic", "instr_class", "is_branch", "pred_class",
+        "pred_traps", "pred_latency_lo", "pred_latency_hi",
+        "pred_subsystems", "pred_seed",
         "workload", "outcome", "activated", "activation_tsc",
         "crash_vector", "crash_cause", "crash_cr2", "crash_eip",
         "crash_function", "crash_subsystem", "latency", "severity",

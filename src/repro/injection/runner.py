@@ -245,6 +245,11 @@ class InjectionHarness:
             instr_class=getattr(spec, "instr_class", None),
             is_branch=getattr(spec, "is_branch", None),
             pred_class=getattr(spec, "pred_class", None),
+            pred_traps=getattr(spec, "pred_traps", None),
+            pred_latency_lo=getattr(spec, "pred_latency_lo", None),
+            pred_latency_hi=getattr(spec, "pred_latency_hi", None),
+            pred_subsystems=getattr(spec, "pred_subsystems", None),
+            pred_seed=getattr(spec, "pred_seed", None),
             workload=spec.workload,
         )
         if not covered:
@@ -418,7 +423,8 @@ class InjectionHarness:
                      byte_stride=1, max_per_function=None, grade=True,
                      progress=None, max_specs=None, jobs=1,
                      timeout=None, retries=2, max_worker_failures=3,
-                     journal_path=None, resume=False):
+                     journal_path=None, resume=False,
+                     static_verdicts=False):
         """Plan and execute a whole campaign; returns CampaignResults.
 
         Execution goes through the fault-tolerant engine
@@ -430,13 +436,19 @@ class InjectionHarness:
         serial and parallel runs of the same seed yield identical
         results; only ``meta["engine"]`` (execution telemetry) may
         differ between modes.
+
+        *static_verdicts* enriches every spec (and hence every result)
+        with the symbolic error-propagation verdict.  Enrichment does
+        not enter the journal fingerprint, so enriched runs resume
+        cleanly over journals written without it and vice versa.
         """
         if functions is None:
             functions = select_targets(self.kernel, self.profile,
                                        campaign_key)
         specs = plan_campaign(self.kernel, campaign_key, functions,
                               seed=seed, byte_stride=byte_stride,
-                              max_per_function=max_per_function)
+                              max_per_function=max_per_function,
+                              static_verdicts=static_verdicts)
         if max_specs is not None:
             specs = specs[:max_specs]
         config = EngineConfig(jobs=jobs, timeout=timeout,

@@ -24,12 +24,29 @@ holds — so a finding is a defect, not noise:
 ``stack-imbalance``
     A path reaches ``ret`` with a non-zero push/pop balance, a join
     with conflicting depths, or pops below the entry esp (see
-    :mod:`repro.staticanalysis.stackdepth`).
+    :mod:`repro.staticanalysis.stackdepth`).  Calls into noreturn
+    functions (``panic``/``do_exit``) end the path rather than
+    propagating a bogus post-call depth.
+
+One additional rule is *opt-in* (``kerncheck --rules
+propagation-leak``), because it describes exposure rather than a
+defect — nearly every function has at least one escape channel, and
+the default rule set must stay finding-free for CI:
+
+``propagation-leak``
+    A channel through which corrupted definitions can escape the
+    function's home subsystem: a call into another subsystem
+    (corrupted arguments ride along), a return to callers in other
+    subsystems (corrupted ``eax``), or an indirect call (destination
+    unknowable).  Computed by
+    :class:`repro.staticanalysis.propagation.PropagationAnalyzer` —
+    the static side of the paper's Figure 8 spread measurement.
 """
 
 import re
 
 from repro.staticanalysis.cfg import build_cfg
+from repro.staticanalysis.propagation import NORETURN_FUNCTIONS
 from repro.staticanalysis.stackdepth import analyze_stack
 
 #: Functions whose memory dereferences handle user-supplied pointers.
@@ -44,6 +61,10 @@ UACCESS_GUARDS = ("access_ok", "user_prefault")
 
 RULES = ("unreachable-block", "fall-off-end", "uncovered-uaccess",
          "stack-imbalance")
+
+#: Opt-in rules: informative, not invariant-violating (a default run
+#: must stay finding-free, since kerncheck's exit status is the count).
+OPTIONAL_RULES = ("propagation-leak",)
 
 
 class LintFinding:
@@ -120,6 +141,10 @@ class KernelLinter:
         self.rules = tuple(rules)
         self.ex_table = read_ex_table(kernel)
         self._landing_pads = {entry[2] for entry in self.ex_table}
+        self._noreturn = frozenset(
+            f.start for f in kernel.functions
+            if f.name in NORETURN_FUNCTIONS)
+        self._propagation = None
 
     def _ex_covered(self, addr):
         return any(start <= addr < end
@@ -136,6 +161,8 @@ class KernelLinter:
             findings += self._check_uaccess(cfg)
         if "stack-imbalance" in self.rules:
             findings += self._check_stack(cfg)
+        if "propagation-leak" in self.rules:
+            findings += self._check_propagation_leak(info)
         return findings
 
     def lint_image(self, functions=None):
@@ -261,7 +288,18 @@ class KernelLinter:
 
     def _check_stack(self, cfg):
         pads = [a for a in self._landing_pads if a in cfg.blocks]
-        analysis = analyze_stack(cfg, extra_entries=pads)
+        analysis = analyze_stack(cfg, extra_entries=pads,
+                                 noreturn_targets=self._noreturn)
         return [LintFinding("stack-imbalance", cfg.info.name, addr,
                             message)
                 for addr, message in analysis.findings]
+
+    def _check_propagation_leak(self, info):
+        if self._propagation is None:
+            from repro.staticanalysis.propagation import \
+                PropagationAnalyzer
+            self._propagation = PropagationAnalyzer(self.kernel)
+        return [LintFinding("propagation-leak", info.name, addr,
+                            message)
+                for addr, message in
+                self._propagation.leak_channels(info.name)]

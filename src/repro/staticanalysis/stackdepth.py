@@ -9,7 +9,10 @@ knows the idioms the compiler and the hand-written stubs actually use:
 * ``sub esp, imm`` / ``add esp, imm``;
 * the ``ebp`` frame dance: ``mov ebp, esp`` records the current depth,
   ``leave`` (or ``mov esp, ebp``; ``pop ebp``) restores it;
-* ``call`` is depth-neutral (callees return with the caller's esp).
+* ``call`` is depth-neutral (callees return with the caller's esp) —
+  except calls into *noreturn* functions (``panic``/``do_exit``),
+  which end the path: the depth after them never flows anywhere, so
+  propagating it would manufacture bogus joins downstream.
 
 Anything else that writes ``esp`` — ``iret``, loading esp from memory
 (``__switch_to``), ``enter``, arithmetic through registers — makes the
@@ -116,12 +119,19 @@ def _step(ins, depth, frame):
     return depth, frame
 
 
-def analyze_stack(cfg, extra_entries=()):
+def analyze_stack(cfg, extra_entries=(), noreturn_targets=()):
     """Run the depth fixpoint over *cfg*.
 
     *extra_entries* (``__ex_table`` landing pads) are additional roots;
     they start at unknown depth and are skipped rather than guessed.
+
+    *noreturn_targets* are entry addresses of functions that never
+    return (``panic``/``do_exit``): a direct ``call`` into one ends
+    the path, so the remaining instructions of its block and the
+    block's successors do not receive the (meaningless) post-call
+    depth.
     """
+    noreturn_targets = frozenset(noreturn_targets)
     if cfg.has_bad_instr:
         return StackAnalysis(False, [], {})
     for block in cfg.blocks.values():
@@ -138,11 +148,17 @@ def analyze_stack(cfg, extra_entries=()):
             start = work.pop()
             block = cfg.blocks[start]
             depth, frame = depth_in[start]
+            terminated = False
             for ins in block.instrs:
                 if ins.op in ("ret", "lret") and depth != 0:
                     findings.append(
                         (ins.addr,
                          "ret with stack depth %+d bytes" % depth))
+                if (ins.op == "call" and ins.rel is not None
+                        and ins.addr + ins.length + ins.rel
+                        in noreturn_targets):
+                    terminated = True  # path ends inside the callee
+                    break
                 depth, frame = _step(ins, depth, frame)
                 if depth < 0:
                     findings.append(
@@ -150,6 +166,8 @@ def analyze_stack(cfg, extra_entries=()):
                          "stack depth below function entry (%d)"
                          % depth))
                     raise _Unanalyzable("negative depth")
+            if terminated:
+                continue
             for succ in block.succs:
                 if succ in skip:
                     continue

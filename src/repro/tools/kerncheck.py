@@ -3,12 +3,20 @@
 
     python3 -m repro.tools.kerncheck
     python3 -m repro.tools.kerncheck --subsystem fs
-    python3 -m repro.tools.kerncheck --rule stack-imbalance --json
+    python3 -m repro.tools.kerncheck --rule stack-imbalance --format json
+    python3 -m repro.tools.kerncheck --format sarif > kerncheck.sarif
+    python3 -m repro.tools.kerncheck --rule propagation-leak sys_open
 
 Runs :class:`repro.staticanalysis.linter.KernelLinter` over every
 function (or a subset) and prints one line per finding.  Exit status is
 the number of findings (capped at 125), so ``make lint-kernel`` fails
 the build when an invariant regresses.
+
+``--format json`` emits a machine-readable report (tool metadata +
+findings array); ``--format sarif`` emits SARIF 2.1.0 so CI systems
+can annotate findings natively.  The default remains the one-line-per-
+finding text output.  Opt-in rules (``propagation-leak``) run only
+when named explicitly with ``--rule``.
 """
 
 import argparse
@@ -16,7 +24,87 @@ import json
 import sys
 
 from repro.kernel.build import build_kernel
-from repro.staticanalysis.linter import RULES, KernelLinter
+from repro.staticanalysis.linter import (
+    OPTIONAL_RULES,
+    RULES,
+    KernelLinter,
+)
+
+#: One-line help per rule, surfaced in the SARIF tool metadata.
+_RULE_DESCRIPTIONS = {
+    "unreachable-block": "a basic block no edge reaches",
+    "fall-off-end": "control can run past the function's last byte",
+    "uncovered-uaccess": "user-pointer dereference without fixup or"
+                         " guard",
+    "stack-imbalance": "push/pop depth imbalance on some path",
+    "propagation-leak": "corrupted definitions can escape the home"
+                        " subsystem",
+}
+
+
+def findings_json(findings, functions):
+    """The ``--format json`` report object."""
+    return {
+        "tool": "kerncheck",
+        "functions_linted": len(functions),
+        "finding_count": len(findings),
+        "findings": [f.to_dict() for f in findings],
+    }
+
+
+def findings_sarif(findings):
+    """A minimal SARIF 2.1.0 log for CI annotation.
+
+    The kernel image has no source files, so each location is encoded
+    as the function name (artifact) plus the instruction address in
+    the message; severity is uniformly "warning" (the exit status is
+    what gates CI).
+    """
+    rules_used = sorted({f.rule for f in findings}) or sorted(RULES)
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "kerncheck",
+                    "informationUri":
+                        "docs/static-analysis.md",
+                    "rules": [
+                        {
+                            "id": rule,
+                            "shortDescription": {
+                                "text": _RULE_DESCRIPTIONS.get(
+                                    rule, rule),
+                            },
+                        }
+                        for rule in rules_used
+                    ],
+                },
+            },
+            "results": [
+                {
+                    "ruleId": f.rule,
+                    "level": "warning",
+                    "message": {
+                        "text": "%s @ %#010x: %s"
+                                % (f.function, f.addr, f.message),
+                    },
+                    "locations": [{
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": "kernel://" + f.function,
+                            },
+                            "region": {
+                                "byteOffset": f.addr,
+                            },
+                        },
+                    }],
+                }
+                for f in findings
+            ],
+        }],
+    }
 
 
 def main(argv=None):
@@ -25,13 +113,19 @@ def main(argv=None):
                         help="function names to lint (default: all)")
     parser.add_argument("--subsystem",
                         help="restrict to one subsystem (arch/fs/...)")
-    parser.add_argument("--rule", action="append", choices=RULES,
-                        help="run only this rule (repeatable)")
+    parser.add_argument("--rule", action="append",
+                        choices=RULES + OPTIONAL_RULES,
+                        help="run only this rule (repeatable;"
+                             " opt-in rules run only when named)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default=None,
+                        help="output format (default: text)")
     parser.add_argument("--json", action="store_true",
-                        help="emit findings as a JSON array")
+                        help="alias for --format json")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the summary line")
     args = parser.parse_args(argv)
+    fmt = args.format or ("json" if args.json else "text")
 
     kernel = build_kernel()
     functions = sorted(kernel.functions, key=lambda f: f.start)
@@ -49,8 +143,12 @@ def main(argv=None):
     linter = KernelLinter(kernel, rules=args.rule or RULES)
     findings = linter.lint_image(functions)
 
-    if args.json:
-        json.dump([f.to_dict() for f in findings], sys.stdout, indent=1)
+    if fmt == "json":
+        json.dump(findings_json(findings, functions), sys.stdout,
+                  indent=1)
+        sys.stdout.write("\n")
+    elif fmt == "sarif":
+        json.dump(findings_sarif(findings), sys.stdout, indent=1)
         sys.stdout.write("\n")
     else:
         for finding in findings:

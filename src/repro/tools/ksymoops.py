@@ -6,13 +6,16 @@
 Re-runs a single-bit injection against the named kernel function (bit
 BIT of byte BYTE of its first instruction, or use --addr-offset to pick
 another instruction) and prints the fully symbolized oops report:
-registers, the corrupted code listing, and the call-trace guess.
+registers, the corrupted code listing, the call-trace guess, and a
+STATIC section comparing the symbolic error-propagation verdict
+(predicted trap classes and latency bounds) against what actually
+happened.
 """
 
 import argparse
 import sys
 
-from repro.analysis.oops import annotate_crash
+from repro.analysis.oops import annotate_crash, static_verdict_section
 from repro.injection.runner import BOOT_MARKER, InjectionHarness
 from repro.kernel.build import build_kernel
 from repro.machine.machine import Machine, build_standard_disk
@@ -36,6 +39,9 @@ def main(argv=None):
     parser.add_argument("--no-cfg", action="store_true",
                         help="omit the faulting basic block / CFG "
                              "predecessor annotation")
+    parser.add_argument("--no-static", action="store_true",
+                        help="omit the predicted-vs-actual static "
+                             "verdict section")
     args = parser.parse_args(argv)
 
     kernel = build_kernel()
@@ -58,7 +64,10 @@ def main(argv=None):
     machine.run_until_console(BOOT_MARKER)
     target = info.start + args.addr_offset
 
+    flip_state = {}
+
     def flip(m):
+        flip_state["tsc"] = m.cpu.cycles
         m.flip_bit(target + args.byte, args.bit)
 
     machine.arm_breakpoint(target, flip)
@@ -67,12 +76,27 @@ def main(argv=None):
     if not result.crashes:
         print("no crash dump recorded; console tail:")
         print(result.console[-400:])
+        if not args.no_static:
+            print("STATIC (no crash to compare):")
+            for line in static_verdict_section(
+                    kernel, args.function, target, args.byte,
+                    args.bit):
+                print("  " + line)
         return 1
     for index, crash in enumerate(result.crashes):
         if index:
             print()
         print(annotate_crash(kernel, crash, machine=machine,
                              cfg_context=not args.no_cfg))
+        if not args.no_static:
+            latency = None
+            if flip_state.get("tsc") is not None:
+                latency = max(0, crash.tsc - flip_state["tsc"])
+            print("STATIC:")
+            for line in static_verdict_section(
+                    kernel, args.function, target, args.byte,
+                    args.bit, crash=crash, latency=latency):
+                print("  " + line)
     return 0
 
 

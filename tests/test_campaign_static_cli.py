@@ -1,0 +1,145 @@
+"""Static-analysis campaign planning: prune/prioritize, verdicts, resume."""
+
+import pytest
+
+from repro.injection.campaigns import (
+    apply_static_verdicts,
+    plan_campaign,
+    select_targets,
+)
+from repro.injection.engine import CampaignEngine, EngineConfig
+from repro.staticanalysis.predict import PRED_DEAD
+
+#: Small deterministic slice shared by the planning tests.
+PLAN = dict(seed=7, byte_stride=11)
+
+
+@pytest.fixture(scope="module")
+def targets(kernel, profile):
+    return select_targets(kernel, profile, "A")
+
+
+class TestPrunePrioritize:
+    def test_prune_dead_drops_only_predicted_dead(self, kernel, targets):
+        plain = plan_campaign(kernel, "A", targets, preclassify=True,
+                              **PLAN)
+        pruned = plan_campaign(kernel, "A", targets, prune_dead=True,
+                               **PLAN)
+        dead = [s for s in plain if s.pred_class == PRED_DEAD]
+        assert len(pruned) == len(plain) - len(dead)
+        assert all(s.pred_class != PRED_DEAD for s in pruned)
+
+    def test_prioritize_is_a_stable_permutation(self, kernel, targets):
+        plain = plan_campaign(kernel, "A", targets, preclassify=True,
+                              **PLAN)
+        ordered = plan_campaign(kernel, "A", targets, prioritize=True,
+                                **PLAN)
+        def key(s):
+            return (s.function, s.instr_addr, s.byte_offset, s.bit)
+
+        assert sorted(map(key, plain)) == sorted(map(key, ordered))
+        # every predicted-dead site sorts after every other class
+        classes = [s.pred_class for s in ordered]
+        if PRED_DEAD in classes:
+            first_dead = classes.index(PRED_DEAD)
+            assert all(c == PRED_DEAD for c in classes[first_dead:])
+
+
+class TestStaticVerdictPlanning:
+    def test_static_verdicts_annotate_every_spec(self, kernel, targets):
+        specs = plan_campaign(kernel, "A", targets,
+                              static_verdicts=True, **PLAN)[:60]
+        assert specs
+        for spec in specs:
+            assert spec.pred_traps
+            assert spec.pred_seed is not None
+            assert isinstance(spec.pred_subsystems, list)
+
+    def test_prioritize_latency_orders_by_lower_bound(self, kernel,
+                                                      targets):
+        specs = plan_campaign(kernel, "A", targets,
+                              prioritize_latency=True, **PLAN)
+        crash_bounds = [s.pred_latency_lo or 0 for s in specs
+                        if any(t != "silent"
+                               for t in (s.pred_traps or ()))
+                        and s.pred_latency_lo is not None]
+        assert crash_bounds == sorted(crash_bounds)
+        # silent-only predictions sink to the back of the plan
+        kinds = [0 if any(t != "silent" for t in (s.pred_traps or ()))
+                 else 1 for s in specs]
+        assert kinds == sorted(kinds)
+
+    def test_apply_static_verdicts_round_trips_spec_dicts(self, kernel,
+                                                          targets):
+        from repro.injection.campaigns import InjectionSpec
+        spec = plan_campaign(kernel, "A", targets, **PLAN)[0]
+        enriched = apply_static_verdicts(kernel, [spec])[0]
+        clone = InjectionSpec.from_dict(enriched.to_dict())
+        assert clone.pred_traps == enriched.pred_traps
+        assert clone.pred_latency_lo == enriched.pred_latency_lo
+
+
+class TestCliMain:
+    def test_prune_and_prioritize_flags(self, capsys):
+        from repro.injection.campaigns import main
+        assert main(["--campaign", "A", "--scale", "tiny",
+                     "--prune-dead", "--prioritize"]) == 0
+        out = capsys.readouterr().out
+        assert "planned injections" in out
+        assert "PRED_DEAD sites pruned" in out
+        assert "  PRED_DEAD " not in out
+
+    def test_static_verdict_flags(self, capsys):
+        from repro.injection.campaigns import main
+        assert main(["--campaign", "A", "--scale", "tiny",
+                     "--static-verdicts", "--prioritize-latency"]) == 0
+        out = capsys.readouterr().out
+        assert "static verdicts:" in out
+        assert "ordered by predicted crash-latency" in out
+
+
+class TestJournalResumeInteraction:
+    """Planned-with-static-analysis campaigns must resume cleanly.
+
+    The journal fingerprint covers only site coordinates, so pruning
+    or prioritizing changes the fingerprint via the *plan*, while
+    verdict enrichment must not change it at all.
+    """
+
+    def _run(self, harness, specs, journal_path, resume=False):
+        engine = CampaignEngine(
+            harness, EngineConfig(journal_path=journal_path,
+                                  resume=resume))
+        return engine.execute("C", specs, seed=PLAN["seed"],
+                              byte_stride=PLAN["byte_stride"],
+                              grade=False)
+
+    @pytest.fixture(scope="class")
+    def pruned_specs(self, kernel, profile):
+        functions = select_targets(kernel, profile, "C")
+        return plan_campaign(kernel, "C", functions, prune_dead=True,
+                             prioritize=True, **PLAN)[:4]
+
+    def test_pruned_prioritized_plan_resumes_exactly(self, harness,
+                                                     pruned_specs,
+                                                     tmp_path):
+        journal_path = str(tmp_path / "campaign.jsonl")
+        results, _ = self._run(harness, pruned_specs, journal_path)
+        resumed, meta = self._run(harness, pruned_specs, journal_path,
+                                  resume=True)
+        assert meta["resumed_results"] == len(pruned_specs)
+        assert ([r.to_dict() for r in resumed]
+                == [r.to_dict() for r in results])
+
+    def test_verdict_enrichment_does_not_change_fingerprint(
+            self, kernel, harness, pruned_specs, tmp_path):
+        journal_path = str(tmp_path / "campaign.jsonl")
+        self._run(harness, pruned_specs, journal_path)
+        enriched = apply_static_verdicts(
+            kernel, [s.__class__.from_dict(s.to_dict())
+                     for s in pruned_specs])
+        resumed, meta = self._run(harness, enriched, journal_path,
+                                  resume=True)
+        assert meta["resumed_results"] == len(pruned_specs)
+        for result in resumed:
+            assert result.outcome is not None

@@ -1,0 +1,118 @@
+"""Image linter plumbing: stack-depth noreturn, output formats, rules."""
+
+import json
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.staticanalysis.cfg import build_cfg
+from repro.staticanalysis.stackdepth import analyze_stack
+
+BASE = 0x1000
+
+#: f pushes once, calls the non-returning g, then (textually) pops
+#: three times — dead code that would drive the depth negative if the
+#: fixpoint flowed past the call.
+_NORETURN_PROG = """.func g kernel
+g:
+  jmp g
+.endfunc
+.func f kernel
+f:
+  push eax
+  call g
+  pop eax
+  pop eax
+  pop eax
+  ret
+.endfunc"""
+
+
+def _noreturn_case():
+    prog = assemble(_NORETURN_PROG, base=BASE)
+    f_info = next(i for i in prog.functions if i.name == "f")
+    g_info = next(i for i in prog.functions if i.name == "g")
+    return build_cfg(prog, f_info), g_info
+
+
+class TestStackDepthNoreturn:
+    def test_call_into_noreturn_ends_the_path(self):
+        cfg, g_info = _noreturn_case()
+        result = analyze_stack(cfg, noreturn_targets=(g_info.start,))
+        assert result.analyzable
+        assert result.findings == []
+
+    def test_without_the_hint_the_dead_tail_misfires(self):
+        # The same function analyzed flat: the post-call pops run the
+        # depth negative — the exact false positive the noreturn
+        # handling removes.
+        cfg, _ = _noreturn_case()
+        result = analyze_stack(cfg)
+        assert any("below function entry" in message
+                   for _, message in result.findings)
+
+    def test_kernel_linter_stays_clean_with_noreturn_model(self, kernel):
+        from repro.staticanalysis.linter import KernelLinter
+        linter = KernelLinter(kernel, rules=("stack-imbalance",))
+        assert linter.lint_image(kernel.functions) == []
+
+
+@pytest.fixture()
+def kerncheck(kernel, monkeypatch):
+    import repro.tools.kerncheck as kerncheck
+    monkeypatch.setattr(kerncheck, "build_kernel", lambda: kernel)
+    return kerncheck
+
+
+class TestKerncheckFormats:
+    def test_text_default_reports_summary(self, kerncheck, capsys):
+        assert kerncheck.main(["--subsystem", "ipc"]) == 0
+        out = capsys.readouterr().out
+        assert "kerncheck:" in out
+        assert "finding(s)" in out
+
+    def test_json_format_is_machine_readable(self, kerncheck, capsys):
+        assert kerncheck.main(["--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["tool"] == "kerncheck"
+        assert report["finding_count"] == 0
+        assert report["findings"] == []
+        assert report["functions_linted"] > 100
+
+    def test_json_alias_flag(self, kerncheck, capsys):
+        assert kerncheck.main(["--json", "--subsystem", "ipc"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["tool"] == "kerncheck"
+
+    def test_sarif_format_is_valid_2_1_0(self, kerncheck, capsys):
+        assert kerncheck.main(["--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "kerncheck"
+        assert {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert run["results"] == []
+
+    def test_sarif_encodes_findings_with_locations(self, kerncheck):
+        from repro.staticanalysis.linter import LintFinding
+        finding = LintFinding("stack-imbalance", "f", 0x1234, "boom")
+        log = kerncheck.findings_sarif([finding])
+        result = log["runs"][0]["results"][0]
+        assert result["ruleId"] == "stack-imbalance"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "kernel://f"
+        assert location["region"]["byteOffset"] == 0x1234
+
+    def test_optional_rule_runs_only_when_named(self, kerncheck,
+                                                capsys, kernel):
+        # propagation-leak reports real facts, not violations, so it
+        # must never contribute to the default run's exit status.
+        assert kerncheck.main(["--format", "json"]) == 0
+        capsys.readouterr()
+        status = kerncheck.main(["--rule", "propagation-leak",
+                                 "--format", "json", "--subsystem",
+                                 "fs"])
+        report = json.loads(capsys.readouterr().out)
+        assert status == min(report["finding_count"], 125)
+        assert all(f["rule"] == "propagation-leak"
+                   for f in report["findings"])

@@ -1,0 +1,186 @@
+"""Symbolic error-propagation: lattice semantics, summaries, verdicts."""
+
+from repro.isa.assembler import assemble
+from repro.staticanalysis.propagation import (
+    CORRUPT_PC,
+    CORRUPT_VALUE,
+    PropagationAnalyzer,
+    TRAP_GPF,
+    TRAP_INVALID_OPCODE,
+    TRAP_NONE,
+    TRAP_PAGE_FAULT,
+    latency_within_bounds,
+    trap_of_cause,
+)
+
+BASE = 0x1000
+
+
+def _analyzer(body, name="f"):
+    prog = assemble(".func %s kernel\n%s:\n%s\n.endfunc"
+                    % (name, name, body), base=BASE)
+    return PropagationAnalyzer(prog), prog
+
+
+class TestSeedAndPromotion:
+    def test_corrupt_value_promotes_at_addressing_use(self):
+        # Flipping bit 5 of `xor eax,eax` (31 c0) yields `adc eax,eax`
+        # (11 c0): eax keeps garbage, flows into ecx, and is used as an
+        # index three instructions later — the predicted fault site.
+        analyzer, _ = _analyzer("""
+  push eax
+  xor eax, eax
+  mov ecx, eax
+  pop eax
+  mov eax, [eax+ecx*4]
+  ret""")
+        verdict = analyzer.analyze_site("f", BASE + 1, 0, 5)
+        assert verdict.seed == CORRUPT_VALUE
+        assert {TRAP_PAGE_FAULT, TRAP_GPF} <= verdict.traps
+        assert verdict.latency_lo == 3
+
+    def test_undecodable_mutation_is_immediate_ud(self):
+        # 0f af (imul) -> 0f ae: not decoded by this subset.
+        analyzer, _ = _analyzer("""
+  imul eax, ebx
+  mov [esi], eax
+  ret""")
+        verdict = analyzer.analyze_site("f", BASE, 1, 0)
+        assert verdict.seed == CORRUPT_PC
+        assert verdict.traps == frozenset((TRAP_INVALID_OPCODE,))
+        assert (verdict.latency_lo, verdict.latency_hi) == (0, 0)
+
+    def test_length_change_is_wild(self):
+        # b8 (mov eax,imm32) -> b0 (mov al,imm8): stream desync — any
+        # trap can fire, at any point, anywhere.
+        analyzer, _ = _analyzer("""
+  mov eax, 5
+  mov [esi], eax
+  ret""")
+        verdict = analyzer.analyze_site("f", BASE, 0, 3)
+        assert verdict.seed == CORRUPT_PC
+        assert len(verdict.traps) >= 4
+        assert verdict.latency_lo == 0
+        assert verdict.latency_hi is None
+
+    def test_redundant_encoding_is_silent(self):
+        # 31 c0 vs 33 c0: direction bit, same register both sides.
+        analyzer, _ = _analyzer("""
+  xor eax, eax
+  mov [esi], eax
+  ret""")
+        verdict = analyzer.analyze_site("f", BASE, 0, 1)
+        assert verdict.predicts_silent_only
+        assert verdict.traps == frozenset((TRAP_NONE,))
+
+    def test_global_store_of_corrupt_value_escapes(self):
+        # The wrong value reaches a kernel global: no trap is forced,
+        # but the corruption outlives the function.
+        analyzer, _ = _analyzer("""
+  mov eax, 5
+  mov [0x2000], eax
+  ret""")
+        verdict = analyzer.analyze_site("f", BASE, 3, 2)
+        assert verdict.seed == CORRUPT_VALUE
+        assert verdict.escapes
+
+    def test_unknown_site_gets_sound_catch_all(self):
+        analyzer, _ = _analyzer("  mov eax, 5\n  ret")
+        verdict = analyzer.analyze_site("nope", 0xdead, 0, 0)
+        assert verdict.predicts_crash
+        assert verdict.latency_lo == 0
+        assert verdict.latency_hi is None
+
+
+class TestFunctionSummaries:
+    def test_straight_line_lengths(self):
+        analyzer, _ = _analyzer("  mov eax, 1\n  add eax, 2\n  ret")
+        summary = analyzer.summary("f")
+        assert summary.min_len == 3
+        assert summary.max_len == 3
+        assert not summary.noreturn
+
+    def test_loop_makes_max_len_unbounded(self):
+        analyzer, _ = _analyzer("""
+loop:
+  dec eax
+  jnz loop
+  ret""")
+        summary = analyzer.summary("f")
+        assert summary.max_len is None
+        assert summary.min_len == 3
+
+    def test_kernel_panic_and_do_exit_are_noreturn(self, kernel):
+        analyzer = PropagationAnalyzer(kernel)
+        assert analyzer.summary("panic").noreturn
+        assert analyzer.summary("do_exit").noreturn
+        assert not analyzer.summary("sys_getpid").noreturn
+
+
+class TestLatencyConversion:
+    def test_unmeasured_latency_is_never_within(self):
+        assert not latency_within_bounds(None, 0, None)
+
+    def test_lower_bound_is_direct_in_cycles(self):
+        assert latency_within_bounds(5, 3, None)
+        assert not latency_within_bounds(2, 3, None)
+
+    def test_upper_bound_allows_worst_case_cpi_plus_slack(self):
+        assert latency_within_bounds(10, 0, 1)        # 216-cycle ceiling
+        assert not latency_within_bounds(10_000, 0, 10)
+
+    def test_trap_of_cause_vocabulary(self):
+        assert trap_of_cause("null_pointer") == TRAP_PAGE_FAULT
+        assert trap_of_cause("paging_request") == TRAP_PAGE_FAULT
+        assert trap_of_cause("invalid_opcode") == TRAP_INVALID_OPCODE
+        assert trap_of_cause("kernel_panic") == "other"
+
+
+class TestKernelImage:
+    def test_every_function_summarizes(self, kernel):
+        analyzer = PropagationAnalyzer(kernel)
+        for info in kernel.functions:
+            summary = analyzer.summary(info.name)
+            assert summary.min_len >= 0
+            if summary.max_len is not None:
+                assert summary.max_len >= summary.min_len
+
+    def test_fs_site_slice_yields_sound_verdicts(self, kernel):
+        analyzer = PropagationAnalyzer(kernel)
+        checked = 0
+        for info in kernel.functions:
+            if info.subsystem != "fs" or checked >= 200:
+                continue
+            cfg = analyzer.cfg(info.name)
+            addrs = sorted(a for block in cfg.blocks.values()
+                           for a in (i.addr for i in block.instrs))
+            for addr in addrs[:5]:
+                for bit in (0, 5):
+                    verdict = analyzer.analyze_site(info.name, addr,
+                                                    0, bit)
+                    assert verdict.traps
+                    if (verdict.latency_lo is not None
+                            and verdict.latency_hi is not None):
+                        assert verdict.latency_lo <= verdict.latency_hi
+                    checked += 1
+        assert checked
+
+    def test_propagation_matrix_keeps_home_subsystem(self, kernel):
+        from repro.injection.campaigns import (
+            plan_campaign,
+            select_targets,
+        )
+        from repro.profiling.sampler import profile_kernel
+        from repro.userland.build import build_all_programs
+        from repro.userland.programs import WORKLOADS
+
+        profile = profile_kernel(kernel, build_all_programs(),
+                                 WORKLOADS)
+        functions = select_targets(kernel, profile, "A")
+        specs = plan_campaign(kernel, "A", functions,
+                              byte_stride=40)[:80]
+        analyzer = PropagationAnalyzer(kernel)
+        matrix = analyzer.propagation_matrix(specs)
+        assert matrix
+        for source, row in matrix.items():
+            assert source in row or any(row.values())
