@@ -2,8 +2,8 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-static ci lint-kernel experiments \
-	experiments-full clean
+.PHONY: install test bench bench-static bench-trace ci lint-kernel \
+	experiments experiments-full clean
 
 install:
 	pip install -e .
@@ -27,10 +27,18 @@ ci:
 		echo "flake8 not installed; skipping lint"; \
 	fi
 	$(MAKE) lint-kernel
-	PYTHONPATH=src $(PY) -m pytest -x -q
+	@if $(PY) -c "import pytest_cov" >/dev/null 2>&1; then \
+		PYTHONPATH=src $(PY) -m pytest -x -q --cov=repro \
+			--cov-report=term --cov-fail-under=60; \
+	else \
+		echo "pytest-cov not installed; running without coverage"; \
+		PYTHONPATH=src $(PY) -m pytest -x -q; \
+	fi
 	PYTHONPATH=src $(PY) -m repro.experiments.recovery_study --smoke
 	PYTHONPATH=src $(PY) -m repro.experiments.static_validation --smoke
 	PYTHONPATH=src $(PY) -m repro.experiments.static_propagation --smoke
+	PYTHONPATH=src $(PY) -m repro.experiments.trace_validation --smoke
+	PYTHONPATH=src $(PY) benchmarks/bench_trace.py --smoke --gate 1.5
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
@@ -38,6 +46,10 @@ bench:
 # Whole-image static-analysis timings -> BENCH_static.json.
 bench-static:
 	PYTHONPATH=src $(PY) benchmarks/bench_static.py
+
+# Flight-recorder overhead -> BENCH_trace.json (gate: <= 1.5x).
+bench-trace:
+	PYTHONPATH=src $(PY) benchmarks/bench_trace.py --gate 1.5
 
 # EXPERIMENTS.md at the default (quick) scale; standard takes ~1 h.
 experiments:

@@ -169,7 +169,27 @@ def static_verdict_section(kernel, function, instr_addr, byte_offset,
     return lines
 
 
-def annotate_crash(kernel, crash, machine=None, cfg_context=False):
+def trace_section(kernel, trace, before_cycle=None, depth=8):
+    """LBR-style ``TRACE:`` lines: the last branches before the oops.
+
+    *trace* is a :class:`~repro.tracing.ring.Trace` captured from the
+    crashed run (see :meth:`Machine.enable_trace`); *before_cycle* is
+    normally the dump's tsc so branches taken inside the crash handler
+    itself are excluded.  Returns a list of lines, newest last —
+    exactly the branch-record block hardware LBR gives ksymoops.
+    """
+    branches = trace.last_branches(depth, before_cycle=before_cycle)
+    lines = []
+    for event in branches:
+        _, cycle, _, src, dst = event
+        lines.append("[%10d] %s -> %s"
+                     % (cycle, symbolize(kernel, src),
+                        symbolize(kernel, dst)))
+    return lines
+
+
+def annotate_crash(kernel, crash, machine=None, cfg_context=False,
+                   trace=None, trace_depth=8):
     """Render a full ksymoops-style report for a crash record.
 
     Args:
@@ -180,6 +200,10 @@ def annotate_crash(kernel, crash, machine=None, cfg_context=False):
         cfg_context: also name the faulting basic block and its CFG
             predecessors (static-analysis layer; opt-in because it
             builds the function's CFG).
+        trace: optionally the run's flight-recorder
+            :class:`~repro.tracing.ring.Trace`; appends a ``TRACE:``
+            section with the last *trace_depth* branches retired
+            before the dump.
     """
     lines = []
     if crash.vector == 253:
@@ -224,4 +248,12 @@ def annotate_crash(kernel, crash, machine=None, cfg_context=False):
             for address in frames:
                 lines.append("  [<%08x>] %s"
                              % (address, symbolize(kernel, address)))
+    if trace is not None:
+        recorded = trace_section(kernel, trace,
+                                 before_cycle=crash.tsc,
+                                 depth=trace_depth)
+        if recorded:
+            lines.append("TRACE: (last %d branches before the oops)"
+                         % len(recorded))
+            lines.extend("  " + line for line in recorded)
     return "\n".join(lines)

@@ -95,6 +95,12 @@ class CPU:
         self.fault_depth = 0
         self._dcache = {}
         self.instret = 0
+        # Flight-recorder observation hooks (repro.tracing).  All None
+        # when untraced; they observe, never mutate, so arming them
+        # cannot perturb the run.
+        self.trace_branch = None     # (src_eip, dst_eip)
+        self.trace_trap = None       # (vector, error_code, return_eip)
+        self.trace_write = None      # (vaddr, size, value), CPL0 only
 
     # ------------------------------------------------------------------
     # memory access helpers (cycle-accounted, privilege-aware)
@@ -119,6 +125,8 @@ class CPU:
 
     def mem_write(self, vaddr, size, value):
         """Write memory (fast path inlined; falls back to the bus)."""
+        if self.trace_write is not None and self.cpl == 0:
+            self.trace_write(vaddr, size, value)
         self.cycles += 1
         vaddr &= M32
         bus = self.bus
@@ -205,6 +213,8 @@ class CPU:
         """
         if cr2 is not None:
             self.cr2 = cr2 & M32
+        if self.trace_trap is not None:
+            self.trace_trap(vector, error_code, return_eip)
         if self.fault_depth >= 3:
             raise TripleFault(vector)
         self.fault_depth += 1
@@ -351,11 +361,19 @@ class CPU:
                 coverage.add(eip)
             try:
                 ins = self._fetch(eip)
-                self.next_eip = (eip + ins.length) & M32
+                fallthrough = (eip + ins.length) & M32
+                self.next_eip = fallthrough
                 ins.run(self, ins)
-                self.eip = self.next_eip
+                new_eip = self.next_eip
+                self.eip = new_eip
                 self.cycles += 1
                 self.instret += 1
+                # A retired taken control transfer; rep-string resumes
+                # (next_eip == eip) are iteration plumbing, not
+                # branches, and are excluded.
+                if self.trace_branch is not None \
+                        and new_eip != fallthrough and new_eip != eip:
+                    self.trace_branch(eip, new_eip)
             except Trap as trap:
                 self.cycles += 10
                 return_eip = (trap.return_eip

@@ -43,8 +43,10 @@ class ExperimentContext:
         self._profile = None
         self._harness = None
         self._recovery_harness = None
+        self._traced_harness = None
         self._campaigns = {}
         self._recovery_campaigns = {}
+        self._traced_campaigns = {}
 
     # -- lazily built shared state ------------------------------------------
 
@@ -84,9 +86,17 @@ class ExperimentContext:
                 self.kernel, self.binaries, self.profile, recovery=True)
         return self._recovery_harness
 
+    @property
+    def traced_harness(self):
+        """Harness whose runs carry the execution flight recorder."""
+        if self._traced_harness is None:
+            self._traced_harness = InjectionHarness(
+                self.kernel, self.binaries, self.profile, trace=True)
+        return self._traced_harness
+
     def campaign(self, key):
         """Results for campaign *key* at this context's scale (cached)."""
-        return self._campaign(key, recovery=False)
+        return self._campaign(key)
 
     def recovery_campaign(self, key):
         """Campaign *key* re-run under the recovery kernel (cached).
@@ -95,32 +105,56 @@ class ExperimentContext:
         and spec cap) so the two distributions are directly comparable;
         only the kernel's oops handling differs.
         """
-        return self._campaign(key, recovery=True)
+        return self._campaign(key, variant="recovery")
 
-    def _campaign(self, key, recovery):
-        cache = self._recovery_campaigns if recovery else self._campaigns
+    def traced_campaign(self, key):
+        """Campaign *key* re-run under the flight recorder (cached).
+
+        Identical plan and (by the bit-identity property) identical
+        outcomes to :meth:`campaign`; the results additionally carry
+        the ``trace_*`` divergence measurements.  Cached separately —
+        plain campaign caches predate tracing and lack those fields.
+        """
+        return self._campaign(key, variant="traced")
+
+    def _harness_for(self, variant):
+        if variant == "recovery":
+            return self.recovery_harness
+        if variant == "traced":
+            return self.traced_harness
+        return self.harness
+
+    def _cache_for(self, variant):
+        if variant == "recovery":
+            return self._recovery_campaigns
+        if variant == "traced":
+            return self._traced_campaigns
+        return self._campaigns
+
+    def _campaign(self, key, variant=""):
+        cache = self._cache_for(variant)
         if key not in cache:
-            cached = self._load_cached(key, recovery)
+            cached = self._load_cached(key, variant)
             if cached is not None:
                 cache[key] = cached
                 return cached
             stride, max_specs = SCALES[self.scale][key]
-            mode = " [recovery]" if recovery else ""
+            mode = " [%s]" % variant if variant else ""
             self._log("running campaign %s%s (stride %d, jobs %d)..."
                       % (key, mode, stride, self.jobs))
             start = time.time()
             progress = self._progress if self.verbose else None
-            harness = self.recovery_harness if recovery else self.harness
+            harness = self._harness_for(variant)
             results = harness.run_campaign(
                 key, seed=self.seed, byte_stride=stride,
                 max_specs=max_specs, progress=progress,
                 jobs=self.jobs,
-                journal_path=self._journal_path(key, recovery),
+                journal_path=self._journal_path(key, variant),
                 resume=self.resume)
             self._log("campaign %s%s: %d injections in %.1fs"
                       % (key, mode, len(results), time.time() - start))
             cache[key] = results
-            self._store_cached(key, results, recovery)
+            self._store_cached(key, results, variant)
         return cache[key]
 
     def all_campaigns(self):
@@ -134,23 +168,23 @@ class ExperimentContext:
 
     # -- persistence -----------------------------------------------------------
 
-    def _cache_path(self, key, recovery=False):
+    def _cache_path(self, key, variant=""):
         if self.results_dir is None:
             return None
-        suffix = "_recovery" if recovery else ""
+        suffix = "_" + variant if variant else ""
         return os.path.join(self.results_dir,
                             "campaign_%s_%s_seed%d%s.json"
                             % (key, self.scale, self.seed, suffix))
 
-    def _journal_path(self, key, recovery=False):
+    def _journal_path(self, key, variant=""):
         """JSONL journal next to the cache (enables crash-safe resume)."""
-        path = self._cache_path(key, recovery)
+        path = self._cache_path(key, variant)
         if path is None:
             return None
         return path[:-len(".json")] + ".journal.jsonl"
 
-    def _load_cached(self, key, recovery=False):
-        path = self._cache_path(key, recovery)
+    def _load_cached(self, key, variant=""):
+        path = self._cache_path(key, variant)
         if path is None or not os.path.exists(path):
             return None
         try:
@@ -158,8 +192,8 @@ class ExperimentContext:
         except (OSError, ValueError, KeyError):
             return None
 
-    def _store_cached(self, key, results, recovery=False):
-        path = self._cache_path(key, recovery)
+    def _store_cached(self, key, results, variant=""):
+        path = self._cache_path(key, variant)
         if path is None:
             return
         os.makedirs(os.path.dirname(path), exist_ok=True)

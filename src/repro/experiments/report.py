@@ -23,6 +23,7 @@ from repro.experiments import (
     table5_severe,
     table6_cases,
     table7_cases,
+    trace_validation,
 )
 
 _EXHIBITS = (
@@ -46,6 +47,8 @@ _EXHIBITS = (
      static_validation),
     ("Extension — symbolic propagation verdicts",
      static_propagation),
+    ("Extension — flight-recorder divergence validation",
+     trace_validation),
     ("§7.4 — strategic assertion placement", assertions_study),
     ("Extension — register-corruption campaign R", register_extension),
 )

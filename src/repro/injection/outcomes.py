@@ -124,6 +124,17 @@ class InjectionResult:
     error-propagation verdict (see
     :mod:`repro.staticanalysis.propagation`) when the plan ran with
     ``--static-verdicts``; all default to ``None`` otherwise.
+
+    The ``trace_*`` fields are the execution flight recorder's
+    golden-vs-injected divergence measurements (see
+    :mod:`repro.tracing.diff`), recorded when the harness ran with
+    ``trace=True``: whether the corrupted run visibly diverged, the
+    absolute divergence cycle, the empirical flip->divergence distance
+    in cycles and retired instructions, divergence->trap cycles, the
+    ordered subsystem spread the corrupted run touched after
+    diverging, the injected ring's dropped-event count, and whether
+    both traces were complete (no ring wrap).  All ``None`` on
+    untraced runs.
     """
 
     __slots__ = (
@@ -137,6 +148,12 @@ class InjectionResult:
         "run_status", "run_cycles", "exit_code", "console_tail",
         "fs_status", "detail", "nested_crashes", "repro",
         "recovered_class",
+        "trace_diverged", "trace_divergence_cycle",
+        "trace_divergence_eip",
+        "trace_flip_to_divergence_cycles",
+        "trace_flip_to_divergence_instrs",
+        "trace_divergence_to_trap_cycles", "trace_subsystems",
+        "trace_dropped_events", "trace_complete",
     )
 
     def __init__(self, **kwargs):

@@ -32,7 +32,9 @@ from repro.injection.outcomes import (
     crash_cause_name,
 )
 from repro.injection.severity import grade_severity
+from repro.kernel.layout import KernelLayout
 from repro.machine.machine import Machine, build_standard_disk
+from repro.tracing import DEFAULT_CHANNELS, diff_traces
 
 
 #: Console marker separating boot from benchmark execution; the
@@ -118,20 +120,34 @@ class InjectionHarness:
     recovered crashes.  Runs that dump and keep going are classified
     :data:`CRASH_RECOVERED` with a post-recovery sub-classification.
     The default ``recovery=False`` reproduces the fail-stop kernel.
+
+    With ``trace=True`` every post-boot run (golden and injected)
+    carries the execution flight recorder (:mod:`repro.tracing`) on
+    *trace_channels*, and each activated result is enriched with the
+    golden-vs-injected divergence measurements (the ``trace_*`` fields
+    of :class:`InjectionResult`).  Tracing is purely observational —
+    outcomes, latencies and consoles are bit-identical to an untraced
+    harness.  *trace_capacity* bounds the ring (``None`` = unbounded,
+    which exact divergence measurement wants).
     """
 
     def __init__(self, kernel, binaries, profile, watchdog_factor=3,
-                 watchdog_slack=250_000, recovery=False):
+                 watchdog_slack=250_000, recovery=False, trace=False,
+                 trace_channels=DEFAULT_CHANNELS, trace_capacity=None):
         self.kernel = kernel
         self.binaries = binaries
         self.profile = profile
         self.watchdog_factor = watchdog_factor
         self.watchdog_slack = watchdog_slack
         self.recovery = recovery
+        self.trace = trace
+        self.trace_channels = tuple(trace_channels)
+        self.trace_capacity = trace_capacity
         self._golden = {}
         self._workload_rank = {}
         self._golden_critical = None
         self._crash_overhead = None
+        self._trace_domains = {}
 
     # -- golden runs --------------------------------------------------------
 
@@ -148,6 +164,12 @@ class InjectionHarness:
                                       max_cycles=10_000_000)
             boot_cycles = machine.cpu.cycles
             snapshot = machine.snapshot()
+            if self.trace:
+                # Enabled *after* the snapshot so the golden trace and
+                # every per-experiment clone's trace start from the
+                # same machine state and align stamp-for-stamp.
+                machine.enable_trace(channels=self.trace_channels,
+                                     capacity=self.trace_capacity)
             coverage = set()
             result = machine.run(max_cycles=120_000_000,
                                  coverage=coverage)
@@ -259,10 +281,14 @@ class InjectionHarness:
         # Clone the booted machine instead of re-running the (identical,
         # fault-free) boot: same protocol, ~2x the campaign throughput.
         machine = golden.snapshot.clone()
+        if self.trace:
+            machine.enable_trace(channels=self.trace_channels,
+                                 capacity=self.trace_capacity)
         state = {}
 
         def callback(m):
             state["tsc"] = m.cpu.cycles
+            state["instret"] = m.cpu.instret
             m.flip_bit(spec.target_byte_addr, spec.bit)
 
         machine.arm_breakpoint(spec.instr_addr, callback)
@@ -270,7 +296,50 @@ class InjectionHarness:
             + golden.workload_cycles * self.watchdog_factor \
             + self.watchdog_slack
         result = machine.run(max_cycles=budget)
-        return self._classify(spec, base, state, golden, result, grade)
+        outcome = self._classify(spec, base, state, golden, result,
+                                 grade)
+        if self.trace and outcome.activated:
+            self._attach_trace(outcome, golden, result, state)
+        return outcome
+
+    def _trace_domain(self, eip):
+        """Memoized eip -> subsystem domain for trace diffing."""
+        domain = self._trace_domains.get(eip)
+        if domain is None:
+            layout = self.kernel.layout or KernelLayout()
+            if eip < layout.KERNEL_BASE:
+                domain = "user"
+            else:
+                info = self.kernel.find_function(eip)
+                domain = (info.subsystem if info else None) or "(kernel)"
+            self._trace_domains[eip] = domain
+        return domain
+
+    def _attach_trace(self, res, golden, result, state):
+        """Fill a result's ``trace_*`` fields from the run's traces."""
+        golden_trace = golden.result.trace
+        trace = result.trace
+        if golden_trace is None or trace is None:
+            return
+        crash = result.crash
+        diff = diff_traces(
+            golden_trace, trace,
+            activation_cycle=state.get("tsc"),
+            activation_instret=state.get("instret"),
+            crash_cycle=crash.tsc if crash is not None else None,
+            subsystem_of=self._trace_domain)
+        res.trace_diverged = diff.diverged
+        res.trace_divergence_cycle = diff.divergence_cycle
+        res.trace_divergence_eip = diff.divergence_eip
+        res.trace_flip_to_divergence_cycles = \
+            diff.flip_to_divergence_cycles
+        res.trace_flip_to_divergence_instrs = \
+            diff.flip_to_divergence_instrs
+        res.trace_divergence_to_trap_cycles = \
+            diff.divergence_to_trap_cycles
+        res.trace_subsystems = list(diff.subsystems or ())
+        res.trace_dropped_events = trace.dropped_events
+        res.trace_complete = diff.complete
 
     def _classify(self, spec, base, state, golden, result, grade):
         activated = "tsc" in state

@@ -55,7 +55,7 @@ class RunResult:
     """Outcome of one machine run."""
 
     def __init__(self, status, exit_code, console, crash, cycles, instret,
-                 disk_image, detail="", crashes=None):
+                 disk_image, detail="", crashes=None, trace=None):
         #: "shutdown" (clean power-off), "halted" (CPU wedged — a dumped
         #: crash if ``crash`` is set, otherwise a hang), "watchdog"
         #: (hang), or "triple_fault" (unknown crash, no dump possible).
@@ -75,6 +75,9 @@ class RunResult:
         self.instret = instret
         self.disk_image = disk_image
         self.detail = detail
+        #: :class:`~repro.tracing.ring.Trace` snapshot when the machine
+        #: ran with :meth:`Machine.enable_trace`, else ``None``.
+        self.trace = trace
 
     @property
     def crashed(self):
@@ -158,6 +161,7 @@ class Machine:
             self.cpu.timer_interval = lay.TIMER_INTERVAL
             self.cpu.timer_next = lay.TIMER_INTERVAL
         self._page_table_pages = builder.next_free
+        self.tracer = None
 
     # -- injection plumbing -------------------------------------------------
 
@@ -203,6 +207,42 @@ class Machine:
         if panic_on_oops:
             self.write_word(self.kernel.symbols["panic_on_oops"], 1)
 
+    def enable_trace(self, channels=None, capacity=None):
+        """Arm the execution flight recorder for this machine's runs.
+
+        Args:
+            channels: iterable of channel names from
+                :data:`repro.tracing.ring.CHANNELS` (default: retired
+                branches + traps, what the divergence diff needs).
+            capacity: ring capacity in events; ``None`` records the
+                whole run (needed for exact golden-vs-injected
+                diffing), a finite value keeps a flight-recorder
+                window and counts what it overwrote.
+
+        Recording is purely observational — a traced run is
+        bit-identical to an untraced one.  The tracer survives
+        multiple ``run`` calls on this machine; clones of a snapshot
+        start untraced and must call ``enable_trace`` themselves.
+        Returns the :class:`~repro.tracing.recorder.Tracer`.
+        """
+        from repro.tracing.recorder import Tracer
+        from repro.tracing.ring import DEFAULT_CHANNELS, EV_SUBSYS
+        channels = tuple(channels) if channels else DEFAULT_CHANNELS
+        subsystem_of = None
+        if EV_SUBSYS in channels:
+            subsystem_of = self.trace_domain_of
+        self.tracer = Tracer(self.cpu, channels=channels,
+                             capacity=capacity,
+                             subsystem_of=subsystem_of)
+        return self.tracer
+
+    def trace_domain_of(self, eip):
+        """Trace-domain name for an address: subsystem, user, or gap."""
+        if eip < self.layout.KERNEL_BASE:
+            return "user"
+        info = self.kernel.find_function(eip)
+        return info.subsystem if info is not None else "(kernel)"
+
     def read_byte(self, vaddr):
         return self.bus.phys_read(vaddr - self.layout.KERNEL_BASE, 1)
 
@@ -246,6 +286,8 @@ class Machine:
             disk_image=bytes(self.disk.image),
             detail=detail,
             crashes=crashes,
+            trace=(self.tracer.snapshot() if self.tracer is not None
+                   else None),
         )
 
     def run_until_console(self, marker, max_cycles=DEFAULT_WATCHDOG,
@@ -304,7 +346,9 @@ class Machine:
                            crashes[-1] if crashes else None,
                            cpu.cycles, cpu.instret,
                            bytes(self.disk.image), detail,
-                           crashes=crashes)
+                           crashes=crashes,
+                           trace=(self.tracer.snapshot()
+                                  if self.tracer is not None else None))
         return result, samples
 
 
@@ -367,6 +411,7 @@ class MachineSnapshot:
             setattr(cpu, name, value)
         machine.cpu = cpu
         machine._page_table_pages = None
+        machine.tracer = None
         return machine
 
 

@@ -6,10 +6,11 @@
 Re-runs a single-bit injection against the named kernel function (bit
 BIT of byte BYTE of its first instruction, or use --addr-offset to pick
 another instruction) and prints the fully symbolized oops report:
-registers, the corrupted code listing, the call-trace guess, and a
-STATIC section comparing the symbolic error-propagation verdict
-(predicted trap classes and latency bounds) against what actually
-happened.
+registers, the corrupted code listing, the call-trace guess, a TRACE
+section with the last branches the flight recorder saw before the
+oops (LBR-style; disable with --no-trace), and a STATIC section
+comparing the symbolic error-propagation verdict (predicted trap
+classes and latency bounds) against what actually happened.
 """
 
 import argparse
@@ -42,6 +43,12 @@ def main(argv=None):
     parser.add_argument("--no-static", action="store_true",
                         help="omit the predicted-vs-actual static "
                              "verdict section")
+    parser.add_argument("--no-trace", action="store_true",
+                        help="run without the flight recorder (omits "
+                             "the TRACE branch-history section)")
+    parser.add_argument("--trace-depth", type=int, default=8,
+                        help="branches to show in the TRACE section "
+                             "(default 8)")
     args = parser.parse_args(argv)
 
     kernel = build_kernel()
@@ -62,6 +69,10 @@ def main(argv=None):
     if args.recovery:
         machine.enable_recovery()
     machine.run_until_console(BOOT_MARKER)
+    if not args.no_trace:
+        # A bounded ring is plenty for last-N branch history and keeps
+        # long runs cheap.
+        machine.enable_trace(capacity=4096)
     target = info.start + args.addr_offset
 
     flip_state = {}
@@ -87,7 +98,9 @@ def main(argv=None):
         if index:
             print()
         print(annotate_crash(kernel, crash, machine=machine,
-                             cfg_context=not args.no_cfg))
+                             cfg_context=not args.no_cfg,
+                             trace=result.trace,
+                             trace_depth=args.trace_depth))
         if not args.no_static:
             latency = None
             if flip_state.get("tsc") is not None:

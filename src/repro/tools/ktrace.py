@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Dump, filter and diff execution flight-recorder traces.
+
+    python3 -m repro.tools.ktrace golden [--workload W] [options]
+    python3 -m repro.tools.ktrace dump FUNCTION BYTE BIT [options]
+    python3 -m repro.tools.ktrace diff FUNCTION BYTE BIT [options]
+
+``golden`` boots the machine, runs the workload under the flight
+recorder and prints the event stream.  ``dump`` does the same with a
+single-bit injection armed (bit BIT of byte BYTE of FUNCTION's first
+instruction; ``--addr-offset`` picks another instruction).  ``diff``
+runs both from the same post-boot snapshot and reports the first
+architectural divergence, the empirical flip->divergence->trap
+distances and the subsystem spread — the per-experiment view of what
+the ``trace_validation`` exhibit scores campaign-wide.
+
+Events are filtered with ``--kind`` and trimmed with ``--last``;
+``--json`` emits machine-readable output instead of symbolized text.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.analysis.oops import symbolize
+from repro.injection.runner import BOOT_MARKER
+from repro.kernel.build import build_kernel
+from repro.machine.machine import Machine, build_standard_disk
+from repro.tracing import CHANNELS, DEFAULT_CHANNELS, diff_traces, \
+    format_event
+from repro.userland.build import build_all_programs
+
+
+def _add_common(parser):
+    parser.add_argument("--workload", default="syscall")
+    parser.add_argument("--channels", default=None,
+                        help="comma-separated channel list (default: "
+                             "%s; all: %s)"
+                             % (",".join(DEFAULT_CHANNELS),
+                                ",".join(CHANNELS)))
+    parser.add_argument("--capacity", type=int, default=None,
+                        help="ring capacity in events (default "
+                             "unbounded)")
+    parser.add_argument("--last", type=int, default=None,
+                        help="print only the last N events")
+    parser.add_argument("--kind", default=None, choices=CHANNELS,
+                        help="print only events of one channel")
+    parser.add_argument("--json", action="store_true")
+
+
+def _add_site(parser):
+    parser.add_argument("function")
+    parser.add_argument("byte", type=int)
+    parser.add_argument("bit", type=int)
+    parser.add_argument("--addr-offset", type=int, default=0,
+                        help="offset from the function start")
+
+
+def _parse_channels(args):
+    if args.channels is None:
+        return DEFAULT_CHANNELS
+    return tuple(c.strip() for c in args.channels.split(",") if c.strip())
+
+
+def _boot(kernel, binaries, workload):
+    machine = Machine(kernel, build_standard_disk(binaries, workload))
+    machine.run_until_console(BOOT_MARKER, max_cycles=10_000_000)
+    return machine.snapshot()
+
+
+def _traced_run(snapshot, channels, capacity, flip=None):
+    """Clone the snapshot, trace it, optionally arm a flip; run."""
+    machine = snapshot.clone()
+    machine.enable_trace(channels=channels, capacity=capacity)
+    state = {}
+    if flip is not None:
+        target, byte_offset, bit = flip
+
+        def callback(m):
+            state["tsc"] = m.cpu.cycles
+            state["instret"] = m.cpu.instret
+            m.flip_bit(target + byte_offset, bit)
+
+        machine.arm_breakpoint(target, callback)
+    result = machine.run(max_cycles=120_000_000)
+    return machine, result, state
+
+
+def _print_trace(kernel, trace, args):
+    events = trace.events
+    if args.kind is not None:
+        events = [ev for ev in events if ev[0] == args.kind]
+    if args.last is not None:
+        events = events[-args.last:]
+    if args.json:
+        payload = trace.to_dict()
+        payload["events"] = [list(ev) for ev in events]
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return
+    print("# %r" % trace, file=sys.stderr)
+
+    def sym(addr):
+        return symbolize(kernel, addr)
+
+    for event in events:
+        print(format_event(event, symbolize=sym))
+
+
+def _resolve_site(kernel, parser, args):
+    info = next((f for f in kernel.functions
+                 if f.name == args.function), None)
+    if info is None:
+        parser.error("unknown kernel function %r" % args.function)
+    return info.start + args.addr_offset
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_golden = sub.add_parser("golden", help="trace a fault-free run")
+    _add_common(p_golden)
+
+    p_dump = sub.add_parser("dump", help="trace an injected run")
+    _add_site(p_dump)
+    _add_common(p_dump)
+
+    p_diff = sub.add_parser("diff",
+                            help="diff golden vs injected traces")
+    _add_site(p_diff)
+    _add_common(p_diff)
+
+    args = parser.parse_args(argv)
+    channels = _parse_channels(args)
+
+    kernel = build_kernel()
+    binaries = build_all_programs()
+    flip = None
+    if args.command in ("dump", "diff"):
+        target = _resolve_site(kernel, parser, args)
+        flip = (target, args.byte, args.bit)
+
+    print("booting %s..." % args.workload, file=sys.stderr)
+    snapshot = _boot(kernel, binaries, args.workload)
+
+    if args.command in ("golden", "dump"):
+        _, result, state = _traced_run(snapshot, channels,
+                                       args.capacity, flip=flip)
+        print("run status: %s (exit %r)"
+              % (result.status, result.exit_code), file=sys.stderr)
+        if flip is not None and "tsc" not in state:
+            print("note: injection never activated", file=sys.stderr)
+        _print_trace(kernel, result.trace, args)
+        return 0
+
+    # diff: golden first, then the corrupted twin of the same snapshot.
+    _, golden_result, _ = _traced_run(snapshot, channels, args.capacity)
+    machine, result, state = _traced_run(snapshot, channels,
+                                         args.capacity, flip=flip)
+    if "tsc" not in state:
+        print("injection never activated; traces are identical",
+              file=sys.stderr)
+        return 1
+    crash = result.crash
+    diff = diff_traces(
+        golden_result.trace, result.trace,
+        activation_cycle=state.get("tsc"),
+        activation_instret=state.get("instret"),
+        crash_cycle=crash.tsc if crash is not None else None,
+        subsystem_of=machine.trace_domain_of)
+    if args.json:
+        payload = diff.to_dict()
+        payload["run_status"] = result.status
+        payload["activation_cycle"] = state.get("tsc")
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+    print("golden:   %s (exit %r)"
+          % (golden_result.status, golden_result.exit_code))
+    print("injected: %s (exit %r)" % (result.status, result.exit_code))
+    print("activated at cycle %d (instret %d)"
+          % (state["tsc"], state["instret"]))
+    if not diff.diverged:
+        print("no architectural divergence (%d events compared)"
+              % diff.compared_events)
+        return 0
+    print("divergence: %s at cycle %s"
+          % (diff.divergence_kind, diff.divergence_cycle))
+    if diff.divergence_event is not None:
+        print("  first differing event:")
+        print("    " + format_event(
+            diff.divergence_event,
+            symbolize=lambda a: symbolize(kernel, a)))
+    print("  flip -> divergence: %s cycles, %s instructions"
+          % (diff.flip_to_divergence_cycles,
+             diff.flip_to_divergence_instrs))
+    if diff.divergence_to_trap_cycles is not None:
+        print("  divergence -> trap: %d cycles"
+              % diff.divergence_to_trap_cycles)
+    print("  subsystem spread: %s"
+          % (" -> ".join(diff.subsystems) if diff.subsystems
+             else "(none)"))
+    if not diff.complete:
+        print("  (ring wrapped: divergence may be later than reported)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Execution flight recorder: trace ring buffer + divergence diffing.
+
+The paper reads crash latency and propagation off hardware dumps; the
+simulator can do better: record the *execution itself*.  This package
+is the observability layer (see ``docs/observability.md``):
+
+- ``repro.tracing.ring`` — the fixed-capacity flight-recorder ring
+  buffer and the immutable :class:`Trace` snapshot a run returns;
+- ``repro.tracing.recorder`` — the :class:`Tracer` that installs the
+  CPU observation hooks (retired branches, traps, kernel memory
+  writes, subsystem/privilege transitions);
+- ``repro.tracing.diff`` — golden-vs-injected trace comparison: the
+  first architectural divergence after a bit flip, empirical
+  propagation distance, and the ordered subsystem spread.
+
+Tracing is purely observational: an enabled tracer never touches the
+architectural state, cycle counter or decode cache, so a traced run is
+bit-identical to an untraced one (enforced by test).
+"""
+
+from repro.tracing.ring import (
+    CHANNELS,
+    DEFAULT_CHANNELS,
+    EV_BRANCH,
+    EV_SUBSYS,
+    EV_TRAP,
+    EV_WRITE,
+    Trace,
+    TraceRing,
+    format_event,
+)
+from repro.tracing.recorder import Tracer
+from repro.tracing.diff import TraceDiff, diff_traces
+
+__all__ = [
+    "CHANNELS",
+    "DEFAULT_CHANNELS",
+    "EV_BRANCH",
+    "EV_SUBSYS",
+    "EV_TRAP",
+    "EV_WRITE",
+    "Trace",
+    "TraceDiff",
+    "TraceRing",
+    "Tracer",
+    "diff_traces",
+    "format_event",
+]

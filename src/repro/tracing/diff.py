@@ -1,0 +1,190 @@
+"""Golden-vs-injected trace diffing: the empirical propagation oracle.
+
+A campaign run is deterministic, so the traced event stream of an
+injected run is *identical* to the golden run's stream right up to the
+first architectural consequence of the flip.  :func:`diff_traces`
+exploits that: align the two streams, find the first differing event,
+and report the empirical propagation distances the paper could only
+bound from dumps —
+
+- **flip -> divergence**: instructions and cycles from activation to
+  the first event the corruption changed;
+- **divergence -> trap**: cycles from that first visible divergence to
+  the crash dump's timestamp;
+- the **ordered subsystem spread**: which kernel subsystems the
+  corrupted run's post-divergence events touched, in first-touch
+  order.
+
+This is the dynamic ground truth the ``trace_validation`` exhibit
+holds the static propagation analyzer (PR 4) against.
+"""
+
+from repro.tracing.ring import EV_BRANCH, EV_SUBSYS, EV_TRAP, EV_WRITE
+
+#: How a divergence was pinned down.
+DIV_EVENT = "event"              # a differing event in both streams
+DIV_EXTRA = "extra_events"       # injected stream has extra events
+DIV_TRUNCATED = "end_of_trace"   # injected stream ended early
+
+
+class TraceDiff:
+    """Result of comparing a golden trace against an injected one."""
+
+    __slots__ = (
+        "diverged", "divergence_kind", "divergence_cycle",
+        "divergence_instret", "divergence_eip", "divergence_event",
+        "flip_to_divergence_cycles", "flip_to_divergence_instrs",
+        "divergence_to_trap_cycles", "flip_to_trap_cycles",
+        "subsystems", "compared_events", "complete",
+    )
+
+    def __init__(self, **kwargs):
+        for name in self.__slots__:
+            setattr(self, name, kwargs.pop(name, None))
+        if kwargs:
+            raise TypeError("unexpected fields: %s" % sorted(kwargs))
+
+    def to_dict(self):
+        out = {name: getattr(self, name) for name in self.__slots__}
+        if out["divergence_event"] is not None:
+            out["divergence_event"] = list(out["divergence_event"])
+        return out
+
+    def __repr__(self):
+        if not self.diverged:
+            return "TraceDiff(no divergence, %d events compared)" \
+                % (self.compared_events or 0)
+        return ("TraceDiff(%s @ cycle %s, flip->div %s instr, "
+                "div->trap %s cycles, spread %s)"
+                % (self.divergence_kind, self.divergence_cycle,
+                   self.flip_to_divergence_instrs,
+                   self.divergence_to_trap_cycles,
+                   list(self.subsystems or ())))
+
+
+def _stamp(event):
+    return (event[1], event[2])
+
+
+def _skip_before(events, stamp):
+    """Index of the first event whose stamp is >= *stamp*."""
+    for index, event in enumerate(events):
+        if _stamp(event) >= stamp:
+            return index
+    return len(events)
+
+
+def _event_domains(event, subsystem_of):
+    """The domains an event touches, source before destination."""
+    kind = event[0]
+    if kind == EV_SUBSYS:
+        return (event[5],)
+    if subsystem_of is None:
+        return ()
+    if kind == EV_BRANCH:
+        return (subsystem_of(event[3]), subsystem_of(event[4]))
+    if kind in (EV_TRAP, EV_WRITE):
+        return (subsystem_of(event[3]),)
+    return ()
+
+
+def diff_traces(golden, injected, activation_cycle=None,
+                activation_instret=None, crash_cycle=None,
+                subsystem_of=None):
+    """Locate the first divergence between two traces of the same run.
+
+    Args:
+        golden: :class:`~repro.tracing.ring.Trace` of the fault-free
+            run.
+        injected: trace of the corrupted run (same channels, started
+            from the same machine state).
+        activation_cycle / activation_instret: cycle counter and
+            retired-instruction counter at the moment the bit was
+            flipped (from the injection callback); enables the
+            flip-relative distances.
+        crash_cycle: the crash dump's tsc, if the injected run
+            crashed; enables divergence -> trap distance.
+        subsystem_of: ``eip -> domain`` mapping used to compute the
+            post-divergence subsystem spread from branch/trap/write
+            events (unnecessary when the ``subsys`` channel was
+            recorded).
+
+    Both rings should be complete (unbounded or never wrapped) for
+    exact results; a wrapped ring degrades gracefully — the diff is
+    still computed over the retained window but ``complete`` is False
+    and the divergence may be reported later than it really was.
+    """
+    g = list(golden.events)
+    j = list(injected.events)
+    complete = (golden.dropped_events == 0
+                and injected.dropped_events == 0)
+    gi = ji = 0
+    if g and j:
+        start = max(_stamp(g[0]), _stamp(j[0]))
+        gi = _skip_before(g, start)
+        ji = _skip_before(j, start)
+    n = min(len(g) - gi, len(j) - ji)
+    div_at = None
+    for k in range(n):
+        if g[gi + k] != j[ji + k]:
+            div_at = k
+            break
+    kind = None
+    if div_at is not None:
+        kind = DIV_EVENT
+    elif len(j) - ji > n:
+        div_at, kind = n, DIV_EXTRA
+    elif len(g) - gi > n:
+        div_at, kind = n, DIV_TRUNCATED
+
+    if kind is None:
+        return TraceDiff(diverged=False, complete=complete,
+                         compared_events=n, subsystems=())
+
+    fields = dict(diverged=True, divergence_kind=kind,
+                  complete=complete, compared_events=div_at)
+    tail = []
+    if kind in (DIV_EVENT, DIV_EXTRA):
+        event = j[ji + div_at]
+        tail = j[ji + div_at:]
+        fields.update(divergence_event=event,
+                      divergence_cycle=event[1],
+                      divergence_instret=event[2],
+                      divergence_eip=event[3])
+    else:
+        # The injected run stopped emitting events while the golden
+        # run went on: it wedged or crashed without a single further
+        # branch/trap/write.  The best stamp is the crash itself, or
+        # failing that the injected stream's end.
+        last = j[-1] if j else None
+        fields.update(
+            divergence_event=None,
+            divergence_cycle=(crash_cycle if crash_cycle is not None
+                              else (last[1] if last else None)),
+            divergence_instret=last[2] if last else None,
+            divergence_eip=None,
+        )
+
+    div_cycle = fields["divergence_cycle"]
+    div_instret = fields["divergence_instret"]
+    if activation_cycle is not None and div_cycle is not None:
+        fields["flip_to_divergence_cycles"] = \
+            max(0, div_cycle - activation_cycle)
+    if activation_instret is not None and div_instret is not None:
+        fields["flip_to_divergence_instrs"] = \
+            max(0, div_instret - activation_instret)
+    if crash_cycle is not None:
+        if div_cycle is not None:
+            fields["divergence_to_trap_cycles"] = \
+                max(0, crash_cycle - div_cycle)
+        if activation_cycle is not None:
+            fields["flip_to_trap_cycles"] = \
+                max(0, crash_cycle - activation_cycle)
+
+    spread = []
+    for event in tail:
+        for domain in _event_domains(event, subsystem_of):
+            if domain is not None and domain not in spread:
+                spread.append(domain)
+    fields["subsystems"] = tuple(spread)
+    return TraceDiff(**fields)

@@ -1,0 +1,126 @@
+"""The Tracer: installs CPU observation hooks and fills the ring.
+
+The CPU exposes three optional callbacks, all ``None`` by default so
+the untraced hot path pays one attribute test per instruction at most:
+
+- ``cpu.trace_branch(src, dst)`` — after a retired taken control
+  transfer (called with the pre-branch EIP and the new EIP);
+- ``cpu.trace_trap(vector, error_code, return_eip)`` — at the top of
+  trap delivery (nested faults during delivery recurse and are
+  recorded too);
+- ``cpu.trace_write(vaddr, size, value)`` — on every CPL0 memory
+  write, before translation (attempted writes are recorded even if
+  they fault: a flight recorder's job is the attempt).
+
+The hooks never mutate CPU state and never touch the cycle counter,
+so enabling them cannot perturb the run (the bit-identical property
+test holds the recorder to this).
+"""
+
+from repro.tracing.ring import (
+    CHANNELS,
+    DEFAULT_CHANNELS,
+    EV_BRANCH,
+    EV_SUBSYS,
+    EV_TRAP,
+    EV_WRITE,
+    Trace,
+    TraceRing,
+)
+
+M32 = 0xFFFFFFFF
+
+
+class Tracer:
+    """Records selected channels from one CPU into a ring buffer.
+
+    Args:
+        cpu: the :class:`~repro.cpu.cpu.CPU` to observe.
+        channels: iterable of channel names (see
+            :data:`~repro.tracing.ring.CHANNELS`).
+        capacity: ring capacity in events (``None`` = unbounded).
+        subsystem_of: ``eip -> domain-name`` callable; required by the
+            ``subsys`` channel (the machine layer supplies a
+            kernel-map-backed one).
+    """
+
+    def __init__(self, cpu, channels=DEFAULT_CHANNELS, capacity=None,
+                 subsystem_of=None):
+        channels = tuple(channels)
+        unknown = set(channels) - set(CHANNELS)
+        if unknown:
+            raise ValueError("unknown trace channels %s (have %s)"
+                             % (sorted(unknown), list(CHANNELS)))
+        if not channels:
+            raise ValueError("at least one trace channel is required")
+        if EV_SUBSYS in channels and subsystem_of is None:
+            raise ValueError("the %r channel needs a subsystem_of "
+                             "mapping" % EV_SUBSYS)
+        self.cpu = cpu
+        self.channels = channels
+        self.ring = TraceRing(capacity)
+        self.subsystem_of = subsystem_of
+        self._emit_branch = EV_BRANCH in channels
+        self._emit_trap = EV_TRAP in channels
+        self._emit_subsys = EV_SUBSYS in channels
+        self._domain_cache = {}
+        self._domain = None
+        if self._emit_subsys:
+            self._domain = self._lookup_domain(cpu.eip)
+        if self._emit_branch or self._emit_subsys:
+            cpu.trace_branch = self._on_branch
+        if self._emit_trap:
+            cpu.trace_trap = self._on_trap
+        if EV_WRITE in channels:
+            cpu.trace_write = self._on_write
+
+    # -- hook bodies (hot; keep lean) -----------------------------------
+
+    def _on_branch(self, src, dst):
+        cpu = self.cpu
+        if self._emit_branch:
+            self.ring.append((EV_BRANCH, cpu.cycles, cpu.instret, src,
+                              dst))
+        if self._emit_subsys:
+            domain = self._domain_cache.get(dst)
+            if domain is None:
+                domain = self._lookup_domain(dst)
+            if domain != self._domain:
+                self.ring.append((EV_SUBSYS, cpu.cycles, cpu.instret,
+                                  dst, self._domain, domain))
+                self._domain = domain
+
+    def _on_trap(self, vector, error_code, return_eip):
+        cpu = self.cpu
+        self.ring.append((EV_TRAP, cpu.cycles, cpu.instret,
+                          return_eip & M32, vector,
+                          (error_code or 0) & M32, cpu.cr2))
+
+    def _on_write(self, vaddr, size, value):
+        cpu = self.cpu
+        self.ring.append((EV_WRITE, cpu.cycles, cpu.instret, cpu.eip,
+                          vaddr & M32, size,
+                          value & ((1 << (8 * size)) - 1)))
+
+    def _lookup_domain(self, eip):
+        domain = self.subsystem_of(eip) or "(none)"
+        self._domain_cache[eip] = domain
+        return domain
+
+    # -- lifecycle ------------------------------------------------------
+
+    def detach(self):
+        """Remove the hooks from the CPU (the ring stays readable)."""
+        cpu = self.cpu
+        if cpu.trace_branch is self._on_branch:
+            cpu.trace_branch = None
+        if cpu.trace_trap is self._on_trap:
+            cpu.trace_trap = None
+        if cpu.trace_write is self._on_write:
+            cpu.trace_write = None
+
+    def snapshot(self):
+        """Freeze the ring into an immutable :class:`Trace`."""
+        ring = self.ring
+        return Trace(self.channels, ring.capacity, ring.events(),
+                     ring.total, ring.dropped)

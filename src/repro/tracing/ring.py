@@ -1,0 +1,180 @@
+"""The flight-recorder ring buffer and the immutable trace snapshot.
+
+Events are plain tuples so the hot recording path is one tuple
+construction plus one list store.  Every event starts with the same
+stamp triple — ``(kind, cycle, instret, eip, ...)`` — so readers can
+sort, align and filter streams without per-kind cases:
+
+==========  =======================================================
+kind        payload after ``(kind, cycle, instret, ...)``
+==========  =======================================================
+"branch"    ``(src_eip, dst_eip)`` — a retired *taken* control
+            transfer (jcc/jmp/call/ret/iret/loop...).  Fall-through
+            execution and rep-string self-resumes are not branches.
+"trap"      ``(eip, vector, error_code, cr2)`` — an exception or
+            interrupt entering delivery at ``eip``.
+"write"     ``(eip, addr, size, value)`` — a kernel-mode (CPL0)
+            memory write issued by the instruction at ``eip``.
+"subsys"    ``(eip, from_domain, to_domain)`` — control moved into a
+            different kernel subsystem (or "user"); observed at
+            retired-branch granularity.
+==========  =======================================================
+"""
+
+EV_BRANCH = "branch"
+EV_TRAP = "trap"
+EV_WRITE = "write"
+EV_SUBSYS = "subsys"
+
+#: Every channel the recorder knows, in documentation order.
+CHANNELS = (EV_BRANCH, EV_TRAP, EV_WRITE, EV_SUBSYS)
+
+#: What :meth:`Machine.enable_trace` records when not told otherwise:
+#: control flow and traps — the channels the divergence diff needs —
+#: without the much chattier write channel.
+DEFAULT_CHANNELS = (EV_BRANCH, EV_TRAP)
+
+
+class TraceRing:
+    """Fixed-capacity overwrite-oldest event buffer.
+
+    ``capacity=None`` means unbounded (used for whole-run divergence
+    diffing, where a wrapped buffer would lose the divergence point);
+    ``capacity=0`` is a legal black hole that only counts events.
+    ``total`` counts every event ever appended; ``dropped`` is how
+    many of those are no longer retained.
+    """
+
+    __slots__ = ("capacity", "_buf", "_next", "total")
+
+    def __init__(self, capacity=None):
+        if capacity is not None and capacity < 0:
+            raise ValueError("capacity must be >= 0 or None")
+        self.capacity = capacity
+        self._buf = []
+        self._next = 0          # overwrite cursor, used once full
+        self.total = 0
+
+    def append(self, event):
+        self.total += 1
+        cap = self.capacity
+        buf = self._buf
+        if cap is None or len(buf) < cap:
+            buf.append(event)
+        elif cap == 0:
+            return
+        else:
+            buf[self._next] = event
+            self._next += 1
+            if self._next == cap:
+                self._next = 0
+
+    def __len__(self):
+        return len(self._buf)
+
+    @property
+    def dropped(self):
+        """Events appended but no longer retained (overwritten)."""
+        return self.total - len(self._buf)
+
+    def events(self):
+        """Retained events, oldest first."""
+        buf = self._buf
+        cap = self.capacity
+        if cap is None or len(buf) < cap or self._next == 0:
+            return list(buf)
+        return buf[self._next:] + buf[:self._next]
+
+
+class Trace:
+    """Immutable snapshot of a tracer's ring at end of run.
+
+    Attached to :class:`~repro.machine.machine.RunResult` as
+    ``result.trace``.  ``events`` is a tuple of event tuples, oldest
+    first; ``total_events`` / ``dropped_events`` carry the ring's
+    accounting so analyses can tell a complete trace from a windowed
+    one.
+    """
+
+    __slots__ = ("channels", "capacity", "events", "total_events",
+                 "dropped_events")
+
+    def __init__(self, channels, capacity, events, total_events,
+                 dropped_events):
+        self.channels = tuple(channels)
+        self.capacity = capacity
+        self.events = tuple(events)
+        self.total_events = total_events
+        self.dropped_events = dropped_events
+
+    def __len__(self):
+        return len(self.events)
+
+    def of_kind(self, kind):
+        """Retained events of one channel, oldest first."""
+        return [ev for ev in self.events if ev[0] == kind]
+
+    def branches(self):
+        return self.of_kind(EV_BRANCH)
+
+    def traps(self):
+        return self.of_kind(EV_TRAP)
+
+    def writes(self):
+        return self.of_kind(EV_WRITE)
+
+    def last_branches(self, n, before_cycle=None):
+        """The last *n* retired branches, optionally at/before a cycle.
+
+        This is the LBR-style view ksymoops renders under ``TRACE:`` —
+        pass the crash dump's tsc as *before_cycle* to cut the handler
+        epilogue off.
+        """
+        picked = [ev for ev in self.events
+                  if ev[0] == EV_BRANCH
+                  and (before_cycle is None or ev[1] <= before_cycle)]
+        return picked[-n:] if n else []
+
+    def to_dict(self):
+        return {
+            "channels": list(self.channels),
+            "capacity": self.capacity,
+            "total_events": self.total_events,
+            "dropped_events": self.dropped_events,
+            "events": [list(ev) for ev in self.events],
+        }
+
+    def __repr__(self):
+        return ("Trace(%d events, %d dropped, channels=%s)"
+                % (len(self.events), self.dropped_events,
+                   "+".join(self.channels)))
+
+
+def format_event(event, symbolize=None):
+    """One human-readable line for an event tuple.
+
+    *symbolize* maps an address to a ``name+0xoff`` string (see
+    :func:`repro.analysis.oops.symbolize`); addresses print raw
+    without it.
+    """
+    def sym(addr):
+        if symbolize is None:
+            return "%08x" % addr
+        return "%08x <%s>" % (addr, symbolize(addr))
+
+    kind, cycle, instret = event[0], event[1], event[2]
+    head = "cycle=%-10d instret=%-9d %-6s" % (cycle, instret, kind)
+    if kind == EV_BRANCH:
+        return "%s %s -> %s" % (head, sym(event[3]), sym(event[4]))
+    if kind == EV_TRAP:
+        return ("%s vector=%d err=%#x cr2=%08x at %s"
+                % (head, event[4], event[5], event[6], sym(event[3])))
+    if kind == EV_WRITE:
+        return ("%s [%08x] <- %0*x (%d bytes) at %s"
+                % (head, event[4], 2 * event[5], event[6], event[5],
+                   sym(event[3])))
+    if kind == EV_SUBSYS:
+        return ("%s %s -> %s at %s"
+                % (head, event[4] or "(start)", event[5],
+                   sym(event[3])))
+    return "%s %r" % (head, event[3:])

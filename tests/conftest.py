@@ -27,3 +27,9 @@ def profile(kernel, binaries):
 def harness(kernel, binaries, profile):
     from repro.injection.runner import InjectionHarness
     return InjectionHarness(kernel, binaries, profile)
+
+
+@pytest.fixture(scope="session")
+def traced_harness(kernel, binaries, profile):
+    from repro.injection.runner import InjectionHarness
+    return InjectionHarness(kernel, binaries, profile, trace=True)

@@ -30,6 +30,11 @@ class StubCtx:
         # campaign with zero recovered runs is a valid digest.
         return self._campaigns[key]
 
+    def traced_campaign(self, key):
+        # likewise: the sample results carry no trace enrichment, so
+        # the divergence exhibit must degrade to "-" rates.
+        return self._campaigns[key]
+
     def all_results(self):
         out = []
         for key in "ABC":
@@ -49,7 +54,8 @@ def test_full_report_contains_every_exhibit(kernel, binaries, profile,
                     "Figure 6", "Figure 7", "Figure 8", "Table 6",
                     "Table 7", "availability", "recovery-kernel study",
                     "sensitivity", "assertion placement",
-                    "register-corruption"):
+                    "register-corruption",
+                    "flight-recorder divergence validation"):
         assert heading in text, heading
     assert "Generated in" in text
 

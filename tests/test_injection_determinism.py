@@ -1,5 +1,7 @@
 """Whole-pipeline determinism: same seed, same outcomes, bit for bit."""
 
+import pytest
+
 
 def test_campaign_slice_is_deterministic(harness):
     from repro.injection.campaigns import plan_campaign, select_targets
@@ -18,3 +20,65 @@ def test_campaign_slice_is_deterministic(harness):
     first = run_once()
     second = run_once()
     assert first == second
+
+
+class TestTracedCampaignDeterminism:
+    """Serial, parallel and resumed traced campaigns must agree.
+
+    The trace-derived divergence metrics ride the same engine paths as
+    every other result field (worker pickling, journal JSON,
+    resume-from-journal), so all three execution modes must produce
+    them bit-identically.
+    """
+
+    # The tiny-scale campaign-A plan: its head is known to contain
+    # activated runs and dumped crashes (the C slice the engine tests
+    # share is all not-activated, which would leave nothing to check).
+    CAMPAIGN = dict(seed=2003, byte_stride=40, max_specs=8,
+                    grade=False)
+
+    def trace_metrics(self, campaign_results):
+        return [
+            (r.trace_diverged, r.trace_divergence_cycle,
+             r.trace_divergence_eip,
+             r.trace_flip_to_divergence_cycles,
+             r.trace_flip_to_divergence_instrs,
+             r.trace_divergence_to_trap_cycles,
+             r.trace_subsystems, r.trace_dropped_events,
+             r.trace_complete)
+            for r in campaign_results.results
+        ]
+
+    @pytest.fixture(scope="class")
+    def serial(self, traced_harness):
+        return traced_harness.run_campaign("A", **self.CAMPAIGN)
+
+    def test_traced_campaign_measures_something(self, serial):
+        metrics = self.trace_metrics(serial)
+        assert any(m[0] for m in metrics)  # at least one divergence
+
+    def test_parallel_matches_serial(self, traced_harness, serial):
+        parallel = traced_harness.run_campaign("A", jobs=2,
+                                               **self.CAMPAIGN)
+        assert self.trace_metrics(parallel) == self.trace_metrics(serial)
+        assert ([r.to_dict() for r in parallel.results]
+                == [r.to_dict() for r in serial.results])
+
+    def test_resume_matches_serial(self, traced_harness, serial,
+                                   tmp_path):
+        journal_path = str(tmp_path / "traced.jsonl")
+
+        def interrupt(done, total, result):
+            if done == 3:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            traced_harness.run_campaign("A", journal_path=journal_path,
+                                        progress=interrupt,
+                                        **self.CAMPAIGN)
+        resumed = traced_harness.run_campaign("A",
+                                              journal_path=journal_path,
+                                              resume=True,
+                                              **self.CAMPAIGN)
+        assert resumed.meta["engine"]["resumed_results"] == 3
+        assert self.trace_metrics(resumed) == self.trace_metrics(serial)

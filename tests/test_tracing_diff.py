@@ -1,0 +1,131 @@
+"""Golden-vs-injected trace diffing on synthetic streams."""
+
+from repro.tracing.diff import (
+    DIV_EVENT,
+    DIV_EXTRA,
+    DIV_TRUNCATED,
+    diff_traces,
+)
+from repro.tracing.ring import DEFAULT_CHANNELS, EV_BRANCH, EV_TRAP, \
+    Trace
+
+
+def br(cycle, instret, src, dst):
+    return (EV_BRANCH, cycle, instret, src, dst)
+
+
+def tr(cycle, instret, eip, vector):
+    return (EV_TRAP, cycle, instret, eip, vector, 0, 0)
+
+
+def trace(events, dropped=0, capacity=None):
+    return Trace(DEFAULT_CHANNELS, capacity, events,
+                 len(events) + dropped, dropped)
+
+
+GOLDEN = [
+    br(100, 10, 0xC0100000, 0xC0100050),
+    br(120, 15, 0xC0100060, 0xC0100100),
+    br(150, 22, 0xC0100110, 0xC0100200),
+    br(180, 30, 0xC0100210, 0xC0100300),
+]
+
+
+class TestNoDivergence:
+    def test_identical_streams(self):
+        diff = diff_traces(trace(GOLDEN), trace(list(GOLDEN)))
+        assert not diff.diverged
+        assert diff.compared_events == len(GOLDEN)
+        assert diff.complete
+
+    def test_empty_streams(self):
+        diff = diff_traces(trace([]), trace([]))
+        assert not diff.diverged
+
+
+class TestEventDivergence:
+    def test_first_differing_event_is_found(self):
+        injected = list(GOLDEN)
+        injected[2] = br(150, 22, 0xC0100110, 0xC0999999)  # went wild
+        diff = diff_traces(trace(GOLDEN), trace(injected),
+                           activation_cycle=130,
+                           activation_instret=18)
+        assert diff.diverged
+        assert diff.divergence_kind == DIV_EVENT
+        assert diff.divergence_cycle == 150
+        assert diff.divergence_eip == 0xC0100110
+        assert diff.compared_events == 2
+        assert diff.flip_to_divergence_cycles == 20
+        assert diff.flip_to_divergence_instrs == 4
+
+    def test_crash_cycle_gives_trap_distance(self):
+        injected = GOLDEN[:2] + [tr(160, 24, 0xC0100110, 14)]
+        diff = diff_traces(trace(GOLDEN), trace(injected),
+                           activation_cycle=130, crash_cycle=400)
+        assert diff.divergence_kind == DIV_EVENT
+        assert diff.divergence_cycle == 160
+        assert diff.divergence_to_trap_cycles == 240
+        assert diff.flip_to_trap_cycles == 270
+
+    def test_subsystem_spread_orders_first_touch(self):
+        domains = {0xC0100110: "fs", 0xC0999999: "mm",
+                   0xC0100210: "kernel", 0xC0100300: "fs"}
+        injected = GOLDEN[:2] + [
+            br(150, 22, 0xC0100110, 0xC0999999),
+            br(180, 30, 0xC0100210, 0xC0100300),
+        ]
+        diff = diff_traces(trace(GOLDEN), trace(injected),
+                           subsystem_of=lambda a: domains.get(a, "?"))
+        assert diff.subsystems == ("fs", "mm", "kernel")
+
+
+class TestLengthDivergence:
+    def test_extra_injected_events(self):
+        injected = list(GOLDEN) + [br(300, 50, 0xC0100400, 0xC0100500)]
+        diff = diff_traces(trace(GOLDEN), trace(injected))
+        assert diff.divergence_kind == DIV_EXTRA
+        assert diff.divergence_cycle == 300
+
+    def test_truncated_injected_stream(self):
+        diff = diff_traces(trace(GOLDEN), trace(GOLDEN[:2]),
+                           activation_cycle=130, crash_cycle=500)
+        assert diff.divergence_kind == DIV_TRUNCATED
+        # no further event to stamp with: the crash is the divergence
+        assert diff.divergence_cycle == 500
+        assert diff.divergence_eip is None
+        assert diff.flip_to_divergence_cycles == 370
+
+    def test_truncated_without_crash_uses_last_stamp(self):
+        diff = diff_traces(trace(GOLDEN), trace(GOLDEN[:2]))
+        assert diff.divergence_kind == DIV_TRUNCATED
+        assert diff.divergence_cycle == GOLDEN[1][1]
+
+
+class TestWrappedRings:
+    def test_wrapped_rings_align_by_stamp_and_flag_incomplete(self):
+        # The injected ring lost its two oldest events to a wrap; the
+        # diff must align at the injected window's start, still find
+        # the divergence, and mark the result incomplete.
+        injected = GOLDEN[2:3] + [br(180, 30, 0xC0100210, 0xC0777777)]
+        diff = diff_traces(trace(GOLDEN), trace(injected, dropped=2,
+                                                capacity=2))
+        assert diff.diverged
+        assert diff.divergence_kind == DIV_EVENT
+        assert diff.divergence_cycle == 180
+        assert not diff.complete
+
+    def test_flip_distances_never_negative(self):
+        injected = list(GOLDEN)
+        injected[0] = br(100, 10, 0xC0100000, 0xC0BAD000)
+        diff = diff_traces(trace(GOLDEN), trace(injected),
+                           activation_cycle=100_000,
+                           activation_instret=9_999)
+        assert diff.flip_to_divergence_cycles == 0
+        assert diff.flip_to_divergence_instrs == 0
+
+    def test_to_dict_serializes_event_tuple(self):
+        injected = list(GOLDEN)
+        injected[1] = br(120, 15, 0xC0100060, 0xC0BAD000)
+        data = diff_traces(trace(GOLDEN), trace(injected)).to_dict()
+        assert data["diverged"] is True
+        assert isinstance(data["divergence_event"], list)

@@ -1,0 +1,46 @@
+"""Overhead regression: the recorder must stay cheap.
+
+The acceptance bar is a <= 1.5x cycles/sec overhead for the default
+channels on the golden boot + workload.  Wall-clock comparisons are
+noisy, so each configuration takes the best of three runs; the bound
+itself has headroom (measured overhead is ~1.1x).
+"""
+
+import time
+
+from repro.machine.machine import Machine, build_standard_disk
+from repro.tracing.ring import DEFAULT_CHANNELS
+
+OVERHEAD_BOUND = 1.5
+REPEATS = 3
+
+
+def best_time(kernel, binaries, channels):
+    best = None
+    cycles = None
+    for _ in range(REPEATS):
+        machine = Machine(kernel,
+                          build_standard_disk(binaries, "syscall"))
+        if channels is not None:
+            machine.enable_trace(channels=channels)
+        start = time.perf_counter()
+        result = machine.run(max_cycles=120_000_000)
+        elapsed = time.perf_counter() - start
+        assert result.status == "shutdown" and result.exit_code == 0
+        if best is None or elapsed < best:
+            best = elapsed
+        cycles = result.cycles
+    return best, cycles
+
+
+def test_default_channels_within_overhead_bound(kernel, binaries):
+    untraced_s, untraced_cycles = best_time(kernel, binaries, None)
+    traced_s, traced_cycles = best_time(kernel, binaries,
+                                        DEFAULT_CHANNELS)
+    # the traced run is cycle-identical, so the cps ratio is the
+    # wall-clock ratio
+    assert traced_cycles == untraced_cycles
+    ratio = traced_s / untraced_s
+    assert ratio <= OVERHEAD_BOUND, (
+        "flight recorder overhead %.2fx exceeds %.1fx"
+        % (ratio, OVERHEAD_BOUND))

@@ -1,0 +1,143 @@
+"""TraceRing edge cases: tiny capacities, wrap order, accounting."""
+
+import pytest
+
+from repro.tracing.ring import (
+    CHANNELS,
+    DEFAULT_CHANNELS,
+    EV_BRANCH,
+    EV_SUBSYS,
+    EV_TRAP,
+    EV_WRITE,
+    Trace,
+    TraceRing,
+    format_event,
+)
+
+
+def ev(i):
+    """A distinguishable branch event with increasing stamps."""
+    return (EV_BRANCH, 10 * i, i, 0xC0100000 + i, 0xC0200000 + i)
+
+
+class TestCapacityEdges:
+    def test_capacity_zero_counts_but_retains_nothing(self):
+        ring = TraceRing(0)
+        for i in range(5):
+            ring.append(ev(i))
+        assert len(ring) == 0
+        assert ring.events() == []
+        assert ring.total == 5
+        assert ring.dropped == 5
+
+    def test_capacity_one_keeps_only_the_newest(self):
+        ring = TraceRing(1)
+        for i in range(4):
+            ring.append(ev(i))
+            assert ring.events() == [ev(i)]
+        assert ring.total == 4
+        assert ring.dropped == 3
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRing(-1)
+
+    def test_unbounded_never_drops(self):
+        ring = TraceRing(None)
+        events = [ev(i) for i in range(1000)]
+        for event in events:
+            ring.append(event)
+        assert ring.events() == events
+        assert ring.dropped == 0
+
+
+class TestExactFillAndWrap:
+    def test_exact_fill_drops_nothing(self):
+        ring = TraceRing(4)
+        events = [ev(i) for i in range(4)]
+        for event in events:
+            ring.append(event)
+        assert ring.events() == events
+        assert ring.total == 4
+        assert ring.dropped == 0
+
+    def test_one_past_full_overwrites_the_oldest(self):
+        ring = TraceRing(4)
+        for i in range(5):
+            ring.append(ev(i))
+        assert ring.events() == [ev(1), ev(2), ev(3), ev(4)]
+        assert ring.dropped == 1
+
+    def test_multi_wrap_preserves_oldest_first_order(self):
+        ring = TraceRing(3)
+        for i in range(11):        # wraps 3 times, lands mid-buffer
+            ring.append(ev(i))
+        assert ring.events() == [ev(8), ev(9), ev(10)]
+        assert ring.total == 11
+        assert ring.dropped == 8
+        # stamps strictly increase across the reported window
+        stamps = [(e[1], e[2]) for e in ring.events()]
+        assert stamps == sorted(stamps)
+
+    def test_drained_plus_dropped_equals_total(self):
+        for capacity in (0, 1, 2, 3, 7, None):
+            ring = TraceRing(capacity)
+            for i in range(23):
+                ring.append(ev(i))
+            assert len(ring.events()) + ring.dropped == ring.total == 23
+
+
+class TestTraceSnapshot:
+    def make(self, n=6, capacity=None):
+        ring = TraceRing(capacity)
+        for i in range(n):
+            ring.append(ev(i))
+        return Trace(DEFAULT_CHANNELS, capacity, ring.events(),
+                     ring.total, ring.dropped)
+
+    def test_snapshot_carries_ring_accounting(self):
+        trace = self.make(n=9, capacity=4)
+        assert len(trace) == 4
+        assert trace.total_events == 9
+        assert trace.dropped_events == 5
+
+    def test_of_kind_filters(self):
+        events = [ev(0), (EV_TRAP, 5, 1, 0xC0100000, 14, 0, 0),
+                  (EV_WRITE, 7, 2, 0xC0100000, 0x1000, 4, 0xFF)]
+        trace = Trace(CHANNELS, None, events, 3, 0)
+        assert trace.branches() == [ev(0)]
+        assert len(trace.traps()) == 1
+        assert len(trace.writes()) == 1
+
+    def test_last_branches_respects_before_cycle(self):
+        trace = self.make(n=10)
+        assert trace.last_branches(3) == [ev(7), ev(8), ev(9)]
+        # ev(i) has cycle 10*i; cut at cycle 45 excludes ev(5)...
+        assert trace.last_branches(2, before_cycle=45) == [ev(3), ev(4)]
+        assert trace.last_branches(0) == []
+
+    def test_to_dict_round_trips_counts(self):
+        trace = self.make(n=5, capacity=2)
+        data = trace.to_dict()
+        assert data["total_events"] == 5
+        assert data["dropped_events"] == 3
+        assert len(data["events"]) == 2
+
+
+class TestFormatEvent:
+    def test_every_kind_formats(self):
+        events = [
+            ev(1),
+            (EV_TRAP, 5, 1, 0xC0100010, 14, 0x2, 0x1234),
+            (EV_WRITE, 7, 2, 0xC0100020, 0x1000, 4, 0xDEAD),
+            (EV_SUBSYS, 9, 3, 0xC0100030, "fs", "mm"),
+        ]
+        lines = [format_event(e) for e in events]
+        assert "branch" in lines[0]
+        assert "vector=14" in lines[1]
+        assert "4 bytes" in lines[2]
+        assert "fs -> mm" in lines[3]
+
+    def test_symbolize_hook_is_used(self):
+        line = format_event(ev(1), symbolize=lambda a: "sym@%x" % a)
+        assert "sym@" in line
