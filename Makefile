@@ -38,6 +38,7 @@ ci:
 	PYTHONPATH=src $(PY) -m repro.experiments.static_validation --smoke
 	PYTHONPATH=src $(PY) -m repro.experiments.static_propagation --smoke
 	PYTHONPATH=src $(PY) -m repro.experiments.trace_validation --smoke
+	PYTHONPATH=src $(PY) -m repro.experiments.fault_model_study --smoke
 	PYTHONPATH=src $(PY) benchmarks/bench_trace.py --smoke --gate 1.5
 
 bench:

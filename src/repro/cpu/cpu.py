@@ -101,6 +101,15 @@ class CPU:
         self.trace_branch = None     # (src_eip, dst_eip)
         self.trace_trap = None       # (vector, error_code, return_eip)
         self.trace_write = None      # (vaddr, size, value), CPL0 only
+        # Fault-injection hooks (repro.injection.faultmodels).  Unlike
+        # the trace hooks these MAY mutate state: on_trap_entry fires
+        # at the top of trap delivery (register faults delivered at
+        # trap/syscall entry), and on_alarm fires once the cycle
+        # counter passes alarm_cycle (intermittent flip-then-restore
+        # scheduling).  Both are disarmed by the consumer.
+        self.on_trap_entry = None    # (cpu, vector, error_code, eip)
+        self.alarm_cycle = None      # cycle stamp, or None
+        self.on_alarm = None         # (cpu)
 
     # ------------------------------------------------------------------
     # memory access helpers (cycle-accounted, privilege-aware)
@@ -213,6 +222,11 @@ class CPU:
         """
         if cr2 is not None:
             self.cr2 = cr2 & M32
+        if self.on_trap_entry is not None:
+            # Fault injection at trap entry happens before the frame is
+            # pushed, so a corrupted register lands in the saved
+            # context exactly as a hardware fault during delivery would.
+            self.on_trap_entry(self, vector, error_code, return_eip)
         if self.trace_trap is not None:
             self.trace_trap(vector, error_code, return_eip)
         if self.fault_depth >= 3:
@@ -349,6 +363,13 @@ class CPU:
             if self.timer_interval and self.cycles >= self.timer_next:
                 self.pending_irq = True
                 self.timer_next = self.cycles + self.timer_interval
+            if self.alarm_cycle is not None \
+                    and self.cycles >= self.alarm_cycle:
+                hook = self.on_alarm
+                self.alarm_cycle = None
+                self.on_alarm = None
+                if hook is not None:
+                    hook(self)
             if self.pending_irq and self.if_flag:
                 self.pending_irq = False
                 self.deliver_trap(VEC_TIMER_IRQ, None, self.eip)

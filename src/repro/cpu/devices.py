@@ -51,14 +51,32 @@ class DiskDevice:
     4  COUNT     number of 512-byte sectors
     8  DMA       physical RAM address of the buffer
     12 CMD       write 1 = read sectors into RAM, 2 = write RAM to disk
-    16 STATUS    0 = ok, 1 = out-of-range, 2 = bad DMA address
+    16 STATUS    0 = ok, 1 = out-of-range, 2 = bad DMA address,
+                 3 = command timeout, 4 = transient media error
     == ========= =====================================================
+
+    Device-level fault injection (:meth:`arm_fault`) models the three
+    disk faults of the fault-model framework: ``corrupt`` flips one bit
+    of the DMA-transferred data on the next read(s), ``timeout`` makes
+    the controller stop answering reads (sticky — the device is gone),
+    and ``transient`` fails the next N reads with a media error and
+    then recovers, which a driver retry path can mask entirely.
     """
 
     SECTOR_SIZE = 512
 
     CMD_READ = 1
     CMD_WRITE = 2
+
+    STATUS_OK = 0
+    STATUS_RANGE = 1
+    STATUS_BAD_DMA = 2
+    STATUS_TIMEOUT = 3
+    STATUS_TRANSIENT = 4
+
+    FAULT_CORRUPT = "corrupt"
+    FAULT_TIMEOUT = "timeout"
+    FAULT_TRANSIENT = "transient"
 
     def __init__(self, bus, image):
         self.bus = bus
@@ -69,6 +87,63 @@ class DiskDevice:
         self.status = 0
         self.reads = 0
         self.writes = 0
+        # Armed fault state (None when healthy).
+        self.fault_kind = None
+        self.fault_ops = 0          # reads still affected (timeout: n/a)
+        self.fault_byte = 0         # corrupt: byte offset into transfer
+        self.fault_bit = 0          # corrupt: bit to flip
+        self.fault_notify = None    # callback() on each faulted read
+        self.faulted_reads = 0
+
+    def arm_fault(self, kind, ops=1, byte_offset=0, bit=0, notify=None):
+        """Arm a device-level read fault.
+
+        Args:
+            kind: ``corrupt`` / ``timeout`` / ``transient``.
+            ops: number of reads affected (ignored for ``timeout``,
+                which is sticky: a timed-out controller stays dead).
+            byte_offset: for ``corrupt``, offset into the transferred
+                data (wrapped to the transfer length).
+            bit: for ``corrupt``, the bit to flip.
+            notify: optional zero-argument callback invoked on every
+                faulted read (the injection harness records activation
+                from the first call).
+        """
+        if kind not in (self.FAULT_CORRUPT, self.FAULT_TIMEOUT,
+                        self.FAULT_TRANSIENT):
+            raise ValueError("unknown disk fault kind %r" % kind)
+        self.fault_kind = kind
+        self.fault_ops = max(1, int(ops))
+        self.fault_byte = byte_offset
+        self.fault_bit = bit & 7
+        self.fault_notify = notify
+        self.faulted_reads = 0
+
+    def _fault_read(self, start, length):
+        """Apply the armed fault to one read; returns True if the
+        transfer was suppressed (status already set)."""
+        kind = self.fault_kind
+        self.faulted_reads += 1
+        if self.fault_notify is not None:
+            self.fault_notify()
+        if kind == self.FAULT_TIMEOUT:
+            # Sticky: the controller never answers again.
+            self.status = self.STATUS_TIMEOUT
+            return True
+        self.fault_ops -= 1
+        if self.fault_ops <= 0:
+            self.fault_kind = None
+        if kind == self.FAULT_TRANSIENT:
+            self.status = self.STATUS_TRANSIENT
+            return True
+        # corrupt: transfer goes through with one bit flipped in the
+        # DMA'd copy (the platter stays intact — a read-path fault).
+        data = bytearray(self.image[start:start + length])
+        data[self.fault_byte % length] ^= 1 << self.fault_bit
+        self.bus.phys_write_bytes(self.dma, bytes(data))
+        self.reads += self.count
+        self.status = self.STATUS_OK
+        return True
 
     def mmio_read(self, offset, size):
         if offset == 0:
@@ -101,6 +176,9 @@ class DiskDevice:
             self.status = 2
             return
         if cmd == self.CMD_READ:
+            if self.fault_kind is not None \
+                    and self._fault_read(start, length):
+                return
             self.bus.phys_write_bytes(self.dma, self.image[start:start
                                                            + length])
             self.reads += self.count

@@ -27,4 +27,18 @@ def run(ctx=None):
             years = years_between_failures(0.99999, mean_downtime)
             lines.append("    -> at most %.2f crash events/yr "
                          "(one every %.1f years)" % (per_year, years))
+        # Per-fault-model rows: how the budget stretches or shrinks
+        # when the error model moves off the instruction stream.
+        from repro.experiments.fault_model_study import availability_rows
+        lines.append("  by fault model (mean downtime per crash/hang "
+                     "event):")
+        for label, mean, events in availability_rows(ctx):
+            if events == 0 or mean <= 0:
+                lines.append("    %-26s no crash/hang events observed"
+                             % label)
+                continue
+            per_year = allowed_failures_per_year(0.99999, mean)
+            lines.append("    %-26s %4.0f s/event over %3d events "
+                         "-> at most %.2f/yr"
+                         % (label, mean, events, per_year))
     return "\n".join(lines)

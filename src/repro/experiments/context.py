@@ -23,6 +23,18 @@ SCALES = {
     "full": {"A": (1, None), "B": (1, None), "C": (1, None)},
 }
 
+#: Fault-model campaign sizing: scale -> max specs per model (the
+#: plans themselves are already per-function-capped; None = all).
+FAULT_SCALES = {
+    "tiny": 10,
+    "quick": 40,
+    "standard": 120,
+    "full": None,
+}
+
+#: Retry budget of the "retrying driver" ablation harness.
+DEFAULT_DISK_RETRIES = 2
+
 
 class ExperimentContext:
     """Builds and caches everything the experiments share."""
@@ -44,9 +56,11 @@ class ExperimentContext:
         self._harness = None
         self._recovery_harness = None
         self._traced_harness = None
+        self._retry_harness = None
         self._campaigns = {}
         self._recovery_campaigns = {}
         self._traced_campaigns = {}
+        self._fault_campaigns = {}
 
     # -- lazily built shared state ------------------------------------------
 
@@ -94,6 +108,20 @@ class ExperimentContext:
                 self.kernel, self.binaries, self.profile, trace=True)
         return self._traced_harness
 
+    @property
+    def retry_harness(self):
+        """Harness whose kernels boot with the IDE retry path armed.
+
+        The middle rung of the graceful-degradation ablation: same
+        fail-stop oops handling as :attr:`harness`, but a failed disk
+        transfer is retried with backoff before ``-EIO`` propagates.
+        """
+        if self._retry_harness is None:
+            self._retry_harness = InjectionHarness(
+                self.kernel, self.binaries, self.profile,
+                disk_retries=DEFAULT_DISK_RETRIES)
+        return self._retry_harness
+
     def campaign(self, key):
         """Results for campaign *key* at this context's scale (cached)."""
         return self._campaign(key)
@@ -117,11 +145,48 @@ class ExperimentContext:
         """
         return self._campaign(key, variant="traced")
 
+    def fault_campaign(self, kind, variant=""):
+        """Results of one fault-model campaign (cached).
+
+        *kind* is a :data:`repro.injection.faultmodels.FAULT_KINDS`
+        entry; *variant* selects the harness: ``""`` (fail-stop),
+        ``"retry"`` (IDE retry path) or ``"recovery"`` (oops-kill-
+        continue kernel).  The plan is identical across variants, so
+        the three outcome distributions are directly comparable.
+        """
+        cache_key = (kind, variant)
+        if cache_key not in self._fault_campaigns:
+            from repro.injection.faultmodels import \
+                run_fault_model_campaign
+            name = "F" + kind
+            cached = self._load_cached(name, variant)
+            if cached is not None:
+                self._fault_campaigns[cache_key] = cached
+                return cached
+            max_specs = FAULT_SCALES[self.scale]
+            mode = " [%s]" % variant if variant else ""
+            self._log("running fault-model campaign %s%s (jobs %d)..."
+                      % (kind, mode, self.jobs))
+            start = time.time()
+            progress = self._progress if self.verbose else None
+            results = run_fault_model_campaign(
+                self._harness_for(variant), kind, seed=self.seed,
+                max_specs=max_specs, progress=progress, jobs=self.jobs,
+                journal_path=self._journal_path(name, variant),
+                resume=self.resume)
+            self._log("fault-model campaign %s%s: %d injections in %.1fs"
+                      % (kind, mode, len(results), time.time() - start))
+            self._fault_campaigns[cache_key] = results
+            self._store_cached(name, results, variant)
+        return self._fault_campaigns[cache_key]
+
     def _harness_for(self, variant):
         if variant == "recovery":
             return self.recovery_harness
         if variant == "traced":
             return self.traced_harness
+        if variant == "retry":
+            return self.retry_harness
         return self.harness
 
     def _cache_for(self, variant):

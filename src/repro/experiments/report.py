@@ -5,6 +5,7 @@ import time
 from repro.experiments import (
     assertions_study,
     availability_model,
+    fault_model_study,
     register_extension,
     fig1_subsystem_sizes,
     fig4_outcomes,
@@ -51,6 +52,7 @@ _EXHIBITS = (
      trace_validation),
     ("§7.4 — strategic assertion placement", assertions_study),
     ("Extension — register-corruption campaign R", register_extension),
+    ("Extension — pluggable fault-model study", fault_model_study),
 )
 
 

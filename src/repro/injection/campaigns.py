@@ -17,6 +17,14 @@ from repro.isa.decoder import decode_all
 #: Subsystems targeted by the paper (net deliberately excluded, §3).
 TARGET_SUBSYSTEMS = ("arch", "fs", "kernel", "mm")
 
+#: Version of the spec/journal record layout.  Bumped when
+#: :class:`InjectionSpec` or the result schema gains fields; readers
+#: tolerate older versions (``from_dict`` drops unknown keys, new
+#: fields default to ``None``), so journals written before a bump
+#: still load and resume.  v1: instruction-stream specs only.
+#: v2: optional ``fault_model`` field (PR 6 fault-model framework).
+SPEC_SCHEMA_VERSION = 2
+
 
 class CampaignDef:
     """One campaign's selection rules."""
@@ -100,20 +108,28 @@ class InjectionSpec:
     participate in the journal fingerprint (which hashes only the site
     coordinates), so enriched plans resume cleanly over plain
     journals.
+
+    ``fault_model`` is ``None`` for the paper's instruction-stream
+    flip (keeping plans, fingerprints and journals byte-identical with
+    pre-framework runs) or a JSON-serializable dict describing a
+    pluggable fault model (see :mod:`repro.injection.faultmodels`):
+    ``{"kind": ..., "v": <model version>, ...params}``.  When set, the
+    dict *does* enter the journal fingerprint — a resumed campaign
+    must re-deliver exactly the same faults.
     """
 
     __slots__ = ("campaign", "function", "subsystem", "instr_addr",
                  "instr_len", "byte_offset", "bit", "mnemonic",
                  "workload", "instr_class", "is_branch", "pred_class",
                  "pred_traps", "pred_latency_lo", "pred_latency_hi",
-                 "pred_subsystems", "pred_seed")
+                 "pred_subsystems", "pred_seed", "fault_model")
 
     def __init__(self, campaign, function, subsystem, instr_addr,
                  instr_len, byte_offset, bit, mnemonic, workload=None,
                  instr_class=None, is_branch=None, pred_class=None,
                  pred_traps=None, pred_latency_lo=None,
                  pred_latency_hi=None, pred_subsystems=None,
-                 pred_seed=None):
+                 pred_seed=None, fault_model=None):
         self.campaign = campaign
         self.function = function
         self.subsystem = subsystem
@@ -131,6 +147,7 @@ class InjectionSpec:
         self.pred_latency_hi = pred_latency_hi
         self.pred_subsystems = pred_subsystems
         self.pred_seed = pred_seed
+        self.fault_model = fault_model
 
     @property
     def target_byte_addr(self):

@@ -68,14 +68,28 @@ class EngineConfig:
         self.resume = resume
 
 
+def _spec_coords(spec):
+    """The fingerprint coordinates of one spec.
+
+    The ``fault_model`` dict is appended only when set, so plans of
+    the default instruction-stream model keep the exact pre-framework
+    fingerprint and old journals still resume.
+    """
+    coords = [spec.function, spec.instr_addr, spec.byte_offset,
+              spec.bit]
+    fault_model = getattr(spec, "fault_model", None)
+    if fault_model is not None:
+        coords.append(fault_model)
+    return coords
+
+
 def plan_fingerprint(campaign_key, specs, seed, byte_stride):
     """Stable digest of a planned campaign (guards ``--resume``)."""
     payload = {
         "campaign": campaign_key,
         "seed": seed,
         "byte_stride": byte_stride,
-        "specs": [[s.function, s.instr_addr, s.byte_offset, s.bit]
-                  for s in specs],
+        "specs": [_spec_coords(s) for s in specs],
     }
     blob = json.dumps(payload, sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()[:16]
@@ -126,6 +140,13 @@ class CampaignJournal:
     are flushed and fsynced as written, so the journal survives a
     SIGKILL of the whole campaign; a torn final line (the write that
     was in flight) is tolerated and simply re-run on resume.
+
+    The header also records ``schema_version``
+    (:data:`~repro.injection.campaigns.SPEC_SCHEMA_VERSION`).  Loading
+    tolerates headers without the field (v1, pre-fault-model journals)
+    and any version whose records still parse — result fields added
+    since simply come back ``None``, so old journals resume cleanly
+    under newer code.
     """
 
     def __init__(self, path):
@@ -182,9 +203,11 @@ class CampaignJournal:
             mode = "w"
         self._fh = open(self.path, mode)
         if mode == "w":
+            from repro.injection.campaigns import SPEC_SCHEMA_VERSION
             self._write({"type": "header", "fingerprint": fingerprint,
                          "campaign": campaign_key, "seed": seed,
-                         "n_specs": n_specs})
+                         "n_specs": n_specs,
+                         "schema_version": SPEC_SCHEMA_VERSION})
 
     def record(self, index, result):
         self._write({"type": "result", "index": index,

@@ -135,6 +135,14 @@ class InjectionResult:
     diverging, the injected ring's dropped-event count, and whether
     both traces were complete (no ring wrap).  All ``None`` on
     untraced runs.
+
+    ``fault_model``/``fault_target`` identify the pluggable fault
+    model that drove the experiment (``"mem"``, ``"reg_trap"``,
+    ``"intermittent"``, ``"disk"``, ...) and a human-readable
+    description of the corrupted target (``"edx bit 17 @ trap
+    entry"``).  Both stay ``None`` for the paper's default
+    instruction-stream flip, so pre-framework results round-trip
+    unchanged.
     """
 
     __slots__ = (
@@ -154,6 +162,7 @@ class InjectionResult:
         "trace_flip_to_divergence_instrs",
         "trace_divergence_to_trap_cycles", "trace_subsystems",
         "trace_dropped_events", "trace_complete",
+        "fault_model", "fault_target",
     )
 
     def __init__(self, **kwargs):

@@ -11,8 +11,7 @@ compared against campaign A's.
 
 import random
 
-from repro.injection.campaigns import TARGET_SUBSYSTEMS
-from repro.injection.outcomes import NOT_ACTIVATED, InjectionResult
+from repro.injection.campaigns import TARGET_SUBSYSTEMS, InjectionSpec
 from repro.isa.decoder import decode_all
 from repro.isa.registers import REG_NAMES
 
@@ -39,6 +38,28 @@ class RegisterInjectionSpec:
     @property
     def reg_name(self):
         return REG_NAMES[self.reg]
+
+    def to_injection_spec(self):
+        """The pipeline form: an InjectionSpec carrying the ``reg``
+        fault model (see :mod:`repro.injection.faultmodels`).
+
+        ``byte_offset`` keeps its historical repurposing as the
+        register index so journaled campaign-R results stay
+        comparable.
+        """
+        return InjectionSpec(
+            campaign="R",
+            function=self.function,
+            subsystem=self.subsystem,
+            instr_addr=self.instr_addr,
+            instr_len=1,
+            byte_offset=self.reg,       # repurposed: register index
+            bit=self.bit,
+            mnemonic="reg:%s" % self.reg_name,
+            workload=self.workload,
+            fault_model={"kind": "reg", "v": 1, "reg": self.reg,
+                         "bit": self.bit},
+        )
 
     def __repr__(self):
         return ("RegisterInjectionSpec(%s@%#x %s bit %d)"
@@ -80,39 +101,13 @@ def plan_register_campaign(kernel, functions, seed=2003, per_function=6,
 def run_register_spec(harness, spec, grade=True):
     """Execute one register-corruption experiment via *harness*.
 
-    Shares the whole classification pipeline with the instruction
-    campaigns — only the mutation applied at the trigger differs.
+    Since the fault-model framework this is a thin shim: the spec is
+    converted to the pipeline form (``fault_model={"kind": "reg"}``)
+    and runs through :meth:`InjectionHarness.run_spec` like every
+    other model — trigger, watchdog, classification and grading all
+    shared.
     """
-    covered = harness.assign_workload(spec)
-    base = dict(
-        campaign="R",
-        function=spec.function,
-        subsystem=spec.subsystem,
-        addr=spec.instr_addr,
-        byte_offset=spec.reg,           # repurposed: register index
-        bit=spec.bit,
-        mnemonic="reg:%s" % spec.reg_name,
-        workload=spec.workload,
-    )
-    if not covered:
-        return InjectionResult(outcome=NOT_ACTIVATED, activated=False,
-                               **base)
-    golden = harness.golden(spec.workload)
-    machine = golden.snapshot.clone()
-    state = {}
-    reg = spec.reg
-    mask = 1 << spec.bit
-
-    def callback(m):
-        state["tsc"] = m.cpu.cycles
-        m.cpu.regs[reg] ^= mask
-
-    machine.arm_breakpoint(spec.instr_addr, callback)
-    budget = machine.cpu.cycles \
-        + golden.workload_cycles * harness.watchdog_factor \
-        + harness.watchdog_slack
-    result = machine.run(max_cycles=budget)
-    return harness._classify(spec, base, state, golden, result, grade)
+    return harness.run_spec(spec.to_injection_spec(), grade=grade)
 
 
 def run_register_campaign(harness, functions=None, seed=2003,

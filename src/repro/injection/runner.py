@@ -129,17 +129,27 @@ class InjectionHarness:
     outcomes, latencies and consoles are bit-identical to an untraced
     harness.  *trace_capacity* bounds the ring (``None`` = unbounded,
     which exact divergence measurement wants).
+
+    With ``disk_retries > 0`` every machine boots with the IDE
+    driver's bounded retry/backoff path armed
+    (:meth:`~repro.machine.machine.Machine.enable_disk_retry`): a
+    failed disk transfer is re-issued up to that many times before
+    ``-EIO`` propagates.  The graceful-degradation ablation of the
+    fault-model framework compares ``disk_retries=0`` (the paper's
+    fail-stop driver), a retrying driver, and the recovery kernel.
     """
 
     def __init__(self, kernel, binaries, profile, watchdog_factor=3,
                  watchdog_slack=250_000, recovery=False, trace=False,
-                 trace_channels=DEFAULT_CHANNELS, trace_capacity=None):
+                 trace_channels=DEFAULT_CHANNELS, trace_capacity=None,
+                 disk_retries=0):
         self.kernel = kernel
         self.binaries = binaries
         self.profile = profile
         self.watchdog_factor = watchdog_factor
         self.watchdog_slack = watchdog_slack
         self.recovery = recovery
+        self.disk_retries = disk_retries
         self.trace = trace
         self.trace_channels = tuple(trace_channels)
         self.trace_capacity = trace_capacity
@@ -160,6 +170,10 @@ class InjectionHarness:
                 # Arm the ladder pre-boot so the post-boot snapshot
                 # (and every per-experiment clone) inherits it.
                 machine.enable_recovery()
+            if self.disk_retries:
+                # Same pre-boot patching: the retry budget lives in a
+                # kernel global, so clones inherit it through RAM.
+                machine.enable_disk_retry(self.disk_retries)
             machine.run_until_console(BOOT_MARKER,
                                       max_cycles=10_000_000)
             boot_cycles = machine.cpu.cycles
@@ -254,7 +268,18 @@ class InjectionHarness:
     # -- single experiment ------------------------------------------------------------
 
     def run_spec(self, spec, grade=True):
-        """Execute one injection experiment; returns InjectionResult."""
+        """Execute one injection experiment; returns InjectionResult.
+
+        A spec carrying a ``fault_model`` dict is armed through its
+        :class:`~repro.injection.faultmodels.FaultModel` instead of
+        the default instruction-byte flip; everything else — workload
+        assignment, watchdog, classification, severity grading — is
+        shared, so every model's results are directly comparable.
+        """
+        model = None
+        if getattr(spec, "fault_model", None) is not None:
+            from repro.injection.faultmodels import resolve_model
+            model = resolve_model(spec)
         covered = self.assign_workload(spec)
         base = dict(
             campaign=spec.campaign,
@@ -274,6 +299,9 @@ class InjectionHarness:
             pred_seed=getattr(spec, "pred_seed", None),
             workload=spec.workload,
         )
+        if model is not None:
+            base["fault_model"] = model.kind
+            base["fault_target"] = model.target_name(spec)
         if not covered:
             return InjectionResult(outcome=NOT_ACTIVATED, activated=False,
                                    **base)
@@ -286,12 +314,15 @@ class InjectionHarness:
                                  capacity=self.trace_capacity)
         state = {}
 
-        def callback(m):
-            state["tsc"] = m.cpu.cycles
-            state["instret"] = m.cpu.instret
-            m.flip_bit(spec.target_byte_addr, spec.bit)
+        if model is not None:
+            model.arm(self, machine, spec, state)
+        else:
+            def callback(m):
+                state["tsc"] = m.cpu.cycles
+                state["instret"] = m.cpu.instret
+                m.flip_bit(spec.target_byte_addr, spec.bit)
 
-        machine.arm_breakpoint(spec.instr_addr, callback)
+            machine.arm_breakpoint(spec.instr_addr, callback)
         budget = machine.cpu.cycles \
             + golden.workload_cycles * self.watchdog_factor \
             + self.watchdog_slack

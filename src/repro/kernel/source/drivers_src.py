@@ -28,19 +28,42 @@ const DISK_CMD_WRITE = 2;
 int disk_stat_reads = 0;
 int disk_stat_writes = 0;
 
+/*
+ * Opt-in graceful degradation: disk_retries > 0 lets disk_io retry a
+ * failed transfer up to that many times with linear backoff before
+ * giving up with -EIO.  The default 0 is the fail-stop driver the
+ * paper measured: the first device error propagates immediately.
+ * Patched pre-boot by the harness (Machine.enable_disk_retry), like
+ * recovery_enabled.
+ */
+int disk_retries = 0;
+int disk_stat_retries = 0;
+
 /* Transfer one 1 KiB block between the disk and a kernel buffer. */
 int disk_io(cmd, block, buf) {
-    st(DISK_DEV + DISK_REG_SECTOR, block * 2);
-    st(DISK_DEV + DISK_REG_COUNT, 2);
-    st(DISK_DEV + DISK_REG_DMA, buf - KERNEL_BASE);
-    st(DISK_DEV + DISK_REG_CMD, cmd);
-    if (ld(DISK_DEV + DISK_REG_STATUS))
-        return -EIO;
-    if (cmd == DISK_CMD_READ)
-        disk_stat_reads++;
-    else
-        disk_stat_writes++;
-    return 0;
+    int attempt;
+    int delay;
+    for (attempt = 0; attempt <= disk_retries; attempt++) {
+        st(DISK_DEV + DISK_REG_SECTOR, block * 2);
+        st(DISK_DEV + DISK_REG_COUNT, 2);
+        st(DISK_DEV + DISK_REG_DMA, buf - KERNEL_BASE);
+        st(DISK_DEV + DISK_REG_CMD, cmd);
+        if (ld(DISK_DEV + DISK_REG_STATUS) == 0) {
+            if (cmd == DISK_CMD_READ)
+                disk_stat_reads++;
+            else
+                disk_stat_writes++;
+            return 0;
+        }
+        if (ult(attempt, disk_retries)) {
+            disk_stat_retries++;
+            /* Linear backoff: give a transient fault time to clear. */
+            delay = (attempt + 1) * 16;
+            while (delay)
+                delay--;
+        }
+    }
+    return -EIO;
 }
 
 int disk_read_block(block, buf) {

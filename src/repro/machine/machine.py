@@ -207,6 +207,19 @@ class Machine:
         if panic_on_oops:
             self.write_word(self.kernel.symbols["panic_on_oops"], 1)
 
+    def enable_disk_retry(self, retries=2):
+        """Arm the IDE driver's bounded retry/backoff path (patch
+        before booting, like :meth:`enable_recovery`).
+
+        Sets the ``disk_retries`` kernel global: a failed disk transfer
+        is then re-issued up to *retries* times with linear backoff
+        before ``-EIO`` propagates.  The default 0 (fail-stop driver)
+        is what the paper measured; the knob exists for the
+        graceful-degradation ablations of the fault-model framework.
+        """
+        self.write_word(self.kernel.symbols["disk_retries"],
+                        int(retries))
+
     def enable_trace(self, channels=None, capacity=None):
         """Arm the execution flight recorder for this machine's runs.
 

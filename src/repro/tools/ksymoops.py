@@ -11,6 +11,11 @@ section with the last branches the flight recorder saw before the
 oops (LBR-style; disable with --no-trace), and a STATIC section
 comparing the symbolic error-propagation verdict (predicted trap
 classes and latency bounds) against what actually happened.
+
+``--model`` swaps the instruction flip for any pluggable fault model
+(memory state, register, register-at-trap, intermittent, disk); the
+dump is then annotated with the delivered fault, e.g.
+``FAULT: reg flip edx bit 17 @ trap entry``.
 """
 
 import argparse
@@ -21,6 +26,8 @@ from repro.injection.runner import BOOT_MARKER, InjectionHarness
 from repro.kernel.build import build_kernel
 from repro.machine.machine import Machine, build_standard_disk
 from repro.profiling.sampler import profile_kernel
+from repro.tools.faultcli import add_model_options, arm_fault, \
+    fault_from_args, site_spec
 from repro.userland.build import build_all_programs
 from repro.userland.programs import WORKLOADS
 
@@ -49,6 +56,7 @@ def main(argv=None):
     parser.add_argument("--trace-depth", type=int, default=8,
                         help="branches to show in the TRACE section "
                              "(default 8)")
+    add_model_options(parser)
     args = parser.parse_args(argv)
 
     kernel = build_kernel()
@@ -76,18 +84,32 @@ def main(argv=None):
     target = info.start + args.addr_offset
 
     flip_state = {}
+    fault_line = None
+    fault = fault_from_args(args)
+    if fault is None:
+        def flip(m):
+            flip_state["tsc"] = m.cpu.cycles
+            m.flip_bit(target + args.byte, args.bit)
 
-    def flip(m):
-        flip_state["tsc"] = m.cpu.cycles
-        m.flip_bit(target + args.byte, args.bit)
-
-    machine.arm_breakpoint(target, flip)
+        machine.arm_breakpoint(target, flip)
+    else:
+        spec = site_spec(info, target, fault, workload=workload)
+        model = arm_fault(kernel, machine, spec, flip_state)
+        fault_line = model.describe(spec)
+        print("%s (trigger: %s+%#x)"
+              % (fault_line, args.function, args.addr_offset),
+              file=sys.stderr)
+    # The static pre-classifier reasons about instruction-stream
+    # corruption only; other models have no prediction to compare.
+    want_static = not args.no_static and args.model in (None, "instr")
     result = machine.run(max_cycles=60_000_000)
     print("run status: %s (exit %r)" % (result.status, result.exit_code))
+    if fault is not None and "tsc" not in flip_state:
+        print("note: fault never delivered (not activated)")
     if not result.crashes:
         print("no crash dump recorded; console tail:")
         print(result.console[-400:])
-        if not args.no_static:
+        if want_static:
             print("STATIC (no crash to compare):")
             for line in static_verdict_section(
                     kernel, args.function, target, args.byte,
@@ -101,7 +123,9 @@ def main(argv=None):
                              cfg_context=not args.no_cfg,
                              trace=result.trace,
                              trace_depth=args.trace_depth))
-        if not args.no_static:
+        if fault_line is not None:
+            print(fault_line)
+        if want_static:
             latency = None
             if flip_state.get("tsc") is not None:
                 latency = max(0, crash.tsc - flip_state["tsc"])

@@ -16,6 +16,10 @@ the ``trace_validation`` exhibit scores campaign-wide.
 
 Events are filtered with ``--kind`` and trimmed with ``--last``;
 ``--json`` emits machine-readable output instead of symbolized text.
+
+``dump`` and ``diff`` accept ``--model`` to trace any pluggable fault
+model instead of the instruction flip; the output is annotated with
+the delivered fault (``FAULT: disk read timeout (sticky)``).
 """
 
 import argparse
@@ -26,6 +30,8 @@ from repro.analysis.oops import symbolize
 from repro.injection.runner import BOOT_MARKER
 from repro.kernel.build import build_kernel
 from repro.machine.machine import Machine, build_standard_disk
+from repro.tools.faultcli import add_model_options, arm_fault, \
+    fault_from_args, site_spec
 from repro.tracing import CHANNELS, DEFAULT_CHANNELS, diff_traces, \
     format_event
 from repro.userland.build import build_all_programs
@@ -54,6 +60,7 @@ def _add_site(parser):
     parser.add_argument("bit", type=int)
     parser.add_argument("--addr-offset", type=int, default=0,
                         help="offset from the function start")
+    add_model_options(parser)
 
 
 def _parse_channels(args):
@@ -68,12 +75,19 @@ def _boot(kernel, binaries, workload):
     return machine.snapshot()
 
 
-def _traced_run(snapshot, channels, capacity, flip=None):
-    """Clone the snapshot, trace it, optionally arm a flip; run."""
+def _traced_run(snapshot, channels, capacity, flip=None, fault=None):
+    """Clone the snapshot, trace it, optionally arm a fault; run.
+
+    *fault* is ``(kernel, spec)`` for a pluggable fault model; *flip*
+    is the default instruction flip ``(target, byte, bit)``.
+    """
     machine = snapshot.clone()
     machine.enable_trace(channels=channels, capacity=capacity)
     state = {}
-    if flip is not None:
+    if fault is not None:
+        kernel, spec = fault
+        arm_fault(kernel, machine, spec, state)
+    elif flip is not None:
         target, byte_offset, bit = flip
 
         def callback(m):
@@ -112,7 +126,7 @@ def _resolve_site(kernel, parser, args):
                  if f.name == args.function), None)
     if info is None:
         parser.error("unknown kernel function %r" % args.function)
-    return info.start + args.addr_offset
+    return info, info.start + args.addr_offset
 
 
 def main(argv=None):
@@ -139,16 +153,25 @@ def main(argv=None):
     kernel = build_kernel()
     binaries = build_all_programs()
     flip = None
+    fault = None
     if args.command in ("dump", "diff"):
-        target = _resolve_site(kernel, parser, args)
+        info, target = _resolve_site(kernel, parser, args)
         flip = (target, args.byte, args.bit)
+        fault_dict = fault_from_args(args)
+        if fault_dict is not None:
+            spec = site_spec(info, target, fault_dict,
+                             workload=args.workload)
+            fault = (kernel, spec)
+            from repro.injection.faultmodels import resolve_model
+            print(resolve_model(spec).describe(spec), file=sys.stderr)
 
     print("booting %s..." % args.workload, file=sys.stderr)
     snapshot = _boot(kernel, binaries, args.workload)
 
     if args.command in ("golden", "dump"):
         _, result, state = _traced_run(snapshot, channels,
-                                       args.capacity, flip=flip)
+                                       args.capacity, flip=flip,
+                                       fault=fault)
         print("run status: %s (exit %r)"
               % (result.status, result.exit_code), file=sys.stderr)
         if flip is not None and "tsc" not in state:
@@ -159,7 +182,8 @@ def main(argv=None):
     # diff: golden first, then the corrupted twin of the same snapshot.
     _, golden_result, _ = _traced_run(snapshot, channels, args.capacity)
     machine, result, state = _traced_run(snapshot, channels,
-                                         args.capacity, flip=flip)
+                                         args.capacity, flip=flip,
+                                         fault=fault)
     if "tsc" not in state:
         print("injection never activated; traces are identical",
               file=sys.stderr)

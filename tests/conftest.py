@@ -33,3 +33,9 @@ def harness(kernel, binaries, profile):
 def traced_harness(kernel, binaries, profile):
     from repro.injection.runner import InjectionHarness
     return InjectionHarness(kernel, binaries, profile, trace=True)
+
+
+@pytest.fixture(scope="session")
+def retry_harness(kernel, binaries, profile):
+    from repro.injection.runner import InjectionHarness
+    return InjectionHarness(kernel, binaries, profile, disk_retries=2)

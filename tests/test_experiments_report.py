@@ -35,6 +35,11 @@ class StubCtx:
         # the divergence exhibit must degrade to "-" rates.
         return self._campaigns[key]
 
+    def fault_campaign(self, kind, variant=""):
+        # every fault-model campaign reuses the sample results; the
+        # study must digest them regardless of model kind or variant.
+        return self._campaigns["A"]
+
     def all_results(self):
         out = []
         for key in "ABC":
@@ -55,7 +60,8 @@ def test_full_report_contains_every_exhibit(kernel, binaries, profile,
                     "Table 7", "availability", "recovery-kernel study",
                     "sensitivity", "assertion placement",
                     "register-corruption",
-                    "flight-recorder divergence validation"):
+                    "flight-recorder divergence validation",
+                    "pluggable fault-model study"):
         assert heading in text, heading
     assert "Generated in" in text
 

@@ -1,5 +1,7 @@
 """Whole-pipeline determinism: same seed, same outcomes, bit for bit."""
 
+import json
+
 import pytest
 
 
@@ -82,3 +84,90 @@ class TestTracedCampaignDeterminism:
                                               **self.CAMPAIGN)
         assert resumed.meta["engine"]["resumed_results"] == 3
         assert self.trace_metrics(resumed) == self.trace_metrics(serial)
+
+
+class TestFaultModelDeterminism:
+    """One campaign per pluggable fault model, three execution modes.
+
+    Every model's parameters ride the spec's ``fault_model`` dict
+    through worker pickling, journal JSON and resume; serial, parallel
+    and interrupted-then-resumed runs must agree bit for bit.
+    """
+
+    CAMPAIGN = dict(seed=2003, max_specs=5, grade=False)
+
+    @staticmethod
+    def _run(harness, kind, **kwargs):
+        from repro.injection.faultmodels import run_fault_model_campaign
+        merged = dict(TestFaultModelDeterminism.CAMPAIGN)
+        merged.update(kwargs)
+        return run_fault_model_campaign(harness, kind, **merged)
+
+    @pytest.fixture(scope="class")
+    def serials(self, harness):
+        from repro.injection.faultmodels import FAULT_KINDS
+        return {kind: self._run(harness, kind) for kind in FAULT_KINDS}
+
+    @pytest.mark.parametrize("kind",
+                             ("disk", "intermittent", "mem", "reg_trap"))
+    def test_parallel_matches_serial(self, harness, serials, kind):
+        parallel = self._run(harness, kind, jobs=2)
+        assert ([r.to_dict() for r in parallel.results]
+                == [r.to_dict() for r in serials[kind].results])
+
+    @pytest.mark.parametrize("kind",
+                             ("disk", "intermittent", "mem", "reg_trap"))
+    def test_resume_matches_serial(self, harness, serials, kind,
+                                   tmp_path):
+        journal_path = str(tmp_path / ("%s.jsonl" % kind))
+
+        def interrupt(done, total, result):
+            if done == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            self._run(harness, kind, journal_path=journal_path,
+                      progress=interrupt)
+        resumed = self._run(harness, kind, journal_path=journal_path,
+                            resume=True)
+        assert resumed.meta["engine"]["resumed_results"] == 2
+        assert ([r.to_dict() for r in resumed.results]
+                == [r.to_dict() for r in serials[kind].results])
+
+
+def test_pre_framework_journal_resumes(harness, tmp_path):
+    """A v1 journal (no schema_version, no fault fields) resumes cleanly.
+
+    Simulated by journaling a default instruction-flip campaign and
+    stripping every post-v1 artifact from the file; the plan
+    fingerprint is unchanged (the default model adds nothing to it),
+    so newer code must load the old records and only run the rest.
+    """
+    campaign = dict(seed=2003, byte_stride=40, max_specs=6, grade=False)
+    serial = harness.run_campaign("A", **campaign)
+    journal_path = str(tmp_path / "v1.jsonl")
+
+    def interrupt(done, total, result):
+        if done == 3:
+            raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        harness.run_campaign("A", journal_path=journal_path,
+                             progress=interrupt, **campaign)
+    lines = open(journal_path).read().splitlines()
+    header = json.loads(lines[0])
+    assert header.pop("schema_version") is not None
+    rewritten = [json.dumps(header)]
+    for line in lines[1:]:
+        record = json.loads(line)
+        record["result"].pop("fault_model", None)
+        record["result"].pop("fault_target", None)
+        rewritten.append(json.dumps(record))
+    with open(journal_path, "w") as fh:
+        fh.write("\n".join(rewritten) + "\n")
+
+    resumed = harness.run_campaign("A", journal_path=journal_path,
+                                   resume=True, **campaign)
+    assert resumed.meta["engine"]["resumed_results"] == 3
+    assert ([r.to_dict() for r in resumed.results]
+            == [r.to_dict() for r in serial.results])
