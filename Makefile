@@ -2,8 +2,8 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-static bench-trace ci lint-kernel \
-	experiments experiments-full clean
+.PHONY: install test bench bench-static bench-trace bench-fabric ci \
+	lint-kernel experiments experiments-full clean
 
 install:
 	pip install -e .
@@ -39,7 +39,9 @@ ci:
 	PYTHONPATH=src $(PY) -m repro.experiments.static_propagation --smoke
 	PYTHONPATH=src $(PY) -m repro.experiments.trace_validation --smoke
 	PYTHONPATH=src $(PY) -m repro.experiments.fault_model_study --smoke
+	PYTHONPATH=src $(PY) -m repro.experiments.fabric_validation --smoke
 	PYTHONPATH=src $(PY) benchmarks/bench_trace.py --smoke --gate 1.5
+	PYTHONPATH=src $(PY) benchmarks/bench_fabric.py --smoke
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
@@ -51,6 +53,11 @@ bench-static:
 # Flight-recorder overhead -> BENCH_trace.json (gate: <= 1.5x).
 bench-trace:
 	PYTHONPATH=src $(PY) benchmarks/bench_trace.py --gate 1.5
+
+# Campaign-fabric boot amortization -> BENCH_fabric.json (gate: a warm
+# snapshot store means zero kernel boots).
+bench-fabric:
+	PYTHONPATH=src $(PY) benchmarks/bench_fabric.py
 
 # EXPERIMENTS.md at the default (quick) scale; standard takes ~1 h.
 experiments:

@@ -61,6 +61,7 @@ class ExperimentContext:
         self._recovery_campaigns = {}
         self._traced_campaigns = {}
         self._fault_campaigns = {}
+        self._snapshot_store = None
 
     # -- lazily built shared state ------------------------------------------
 
@@ -122,9 +123,71 @@ class ExperimentContext:
                 disk_retries=DEFAULT_DISK_RETRIES)
         return self._retry_harness
 
+    @property
+    def snapshot_store(self):
+        """Shared boot-snapshot store (``<results_dir>/snapshots``).
+
+        ``None`` without a results directory — the store is an on-disk
+        cache, and a context with nowhere to persist results has
+        nowhere to persist snapshots either.
+        """
+        if self._snapshot_store is None and self.results_dir is not None:
+            from repro.injection.fabric import SnapshotStore
+            self._snapshot_store = SnapshotStore(
+                os.path.join(self.results_dir, "snapshots"))
+        return self._snapshot_store
+
     def campaign(self, key):
         """Results for campaign *key* at this context's scale (cached)."""
         return self._campaign(key)
+
+    def sharded_campaign(self, key, shards=3, pool=None, chaos=0):
+        """Campaign *key* executed through the fabric (cached).
+
+        Same plan (seed, stride, cap) as :meth:`campaign`, split into
+        *shards* content-addressed shards and dispatched to a local
+        pool by :class:`~repro.injection.fabric.FabricCoordinator`;
+        by the merge-equivalence property the results are bit-identical
+        to :meth:`campaign`'s, so the cache is shared with the plain
+        variant.  *chaos* > 0 SIGKILLs that many shard workers mid-run
+        (they are retried and their journals resumed).
+        """
+        cache = self._cache_for("")
+        if key in cache:
+            return cache[key]
+        cached = self._load_cached(key, "")
+        if cached is not None:
+            cache[key] = cached
+            return cached
+        from repro.injection.fabric import (
+            FabricConfig,
+            FabricCoordinator,
+        )
+        import tempfile
+        stride, max_specs = SCALES[self.scale][key]
+        self._log("running campaign %s [fabric %d shards] (stride %d)..."
+                  % (key, shards, stride))
+        start = time.time()
+        config = FabricConfig(pool=pool or max(2, self.jobs),
+                              chaos_kills=chaos, chaos_seed=self.seed)
+        harness = InjectionHarness(self.kernel, self.binaries,
+                                   self.profile,
+                                   snapshot_store=self.snapshot_store)
+        coordinator = FabricCoordinator(harness, config)
+        if self.results_dir is not None:
+            workdir = os.path.join(self.results_dir,
+                                   "fabric_%s_%s_seed%d"
+                                   % (key, self.scale, self.seed))
+        else:
+            workdir = tempfile.mkdtemp(prefix="fabric_%s_" % key)
+        results = coordinator.run_campaign(
+            key, seed=self.seed, byte_stride=stride,
+            max_specs=max_specs, shard_count=shards, workdir=workdir)
+        self._log("campaign %s [fabric]: %d injections in %.1fs"
+                  % (key, len(results), time.time() - start))
+        cache[key] = results
+        self._store_cached(key, results, "")
+        return results
 
     def recovery_campaign(self, key):
         """Campaign *key* re-run under the recovery kernel (cached).

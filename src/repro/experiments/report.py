@@ -5,6 +5,7 @@ import time
 from repro.experiments import (
     assertions_study,
     availability_model,
+    fabric_validation,
     fault_model_study,
     register_extension,
     fig1_subsystem_sizes,
@@ -53,6 +54,7 @@ _EXHIBITS = (
     ("§7.4 — strategic assertion placement", assertions_study),
     ("Extension — register-corruption campaign R", register_extension),
     ("Extension — pluggable fault-model study", fault_model_study),
+    ("Extension — campaign-fabric equivalence", fabric_validation),
 )
 
 

@@ -132,6 +132,55 @@ class JournalMismatch(RuntimeError):
     """The on-disk journal belongs to a different campaign plan."""
 
 
+def read_journal_lines(path):
+    """Parse a JSONL journal tolerantly.
+
+    Returns ``(records, clean_size)``: every complete record in file
+    order, and the byte offset just past the last complete line.  A
+    torn trailing line — the write that was in flight when its writer
+    was SIGKILLed — parses as garbage (or as JSON missing its
+    terminating newline); it and anything after it is excluded rather
+    than raised on, and ``clean_size`` points before it so a writer can
+    physically truncate the tear instead of gluing new records onto it.
+    """
+    records = []
+    clean = 0
+    with open(path, "rb") as fh:
+        data = fh.read()
+    offset = 0
+    for raw in data.splitlines(keepends=True):
+        line = raw.strip()
+        if line:
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                break
+            if not raw.endswith(b"\n"):
+                # Complete JSON whose newline never made it to disk:
+                # still a tear (an append would corrupt the line), so
+                # the record is re-run rather than trusted.
+                break
+            records.append(record)
+        offset += len(raw)
+        clean = offset
+    return records, clean
+
+
+def prefer_result(first, second):
+    """The canonical result among duplicates journaled for one index.
+
+    Replayed work is deterministic, so duplicates are normally
+    byte-identical and the first write wins; the one asymmetry is a
+    HARNESS_ERROR placeholder (a retried shard's worker died), which a
+    real replayed result displaces.  Deduplication lives here — in the
+    journal/merge layer — and nowhere else; the engine *asserts* it
+    never completes an index twice instead of quietly tolerating it.
+    """
+    if first.outcome == HARNESS_ERROR and second.outcome != HARNESS_ERROR:
+        return second
+    return first
+
+
 class CampaignJournal:
     """Append-only JSONL record of completed experiments.
 
@@ -139,7 +188,13 @@ class CampaignJournal:
     every further line is ``{"index": i, "result": {...}}``.  Records
     are flushed and fsynced as written, so the journal survives a
     SIGKILL of the whole campaign; a torn final line (the write that
-    was in flight) is tolerated and simply re-run on resume.
+    was in flight) is truncated away on the next ``start`` and simply
+    re-run, never raised on and never appended onto.
+
+    Loading deduplicates replayed indices with :func:`prefer_result`
+    (exactly-once semantics: retried shards and resumed runs may
+    legally replay work; the journal is the single place duplicates
+    are resolved).
 
     The header also records ``schema_version``
     (:data:`~repro.injection.campaigns.SPEC_SCHEMA_VERSION`).  Loading
@@ -152,6 +207,8 @@ class CampaignJournal:
     def __init__(self, path):
         self.path = path
         self._fh = None
+        self._clean_size = None
+        self._seen = set()
 
     # -- reading ------------------------------------------------------------
 
@@ -160,36 +217,45 @@ class CampaignJournal:
 
         Raises :class:`JournalMismatch` if the journal on disk was
         written for a different plan.  Returns ``{}`` when no journal
-        exists yet.
+        exists yet.  A journal whose *header* is torn (the writer died
+        inside its very first write) counts as empty and is rewritten.
         """
         if not os.path.exists(self.path):
             return {}
-        completed = {}
-        with open(self.path) as fh:
-            lines = fh.read().splitlines()
-        if not lines:
+        records, self._clean_size = read_journal_lines(self.path)
+        if not records:
             return {}
-        try:
-            header = json.loads(lines[0])
-        except ValueError:
-            raise JournalMismatch("unreadable journal header in %s"
-                                  % self.path)
+        self._check_header(records[0], fingerprint)
+        completed = {}
+        for record in records[1:]:
+            if record.get("type") != "result":
+                continue
+            index = self._local_index(record["index"])
+            if index is None:
+                continue
+            result = InjectionResult.from_dict(record["result"])
+            if index in completed:
+                completed[index] = prefer_result(completed[index],
+                                                 result)
+            else:
+                completed[index] = result
+        self._note_loaded(completed)
+        return completed
+
+    def _check_header(self, header, fingerprint):
         if header.get("type") != "header" \
                 or header.get("fingerprint") != fingerprint:
             raise JournalMismatch(
                 "journal %s was written for a different campaign plan "
                 "(fingerprint %r, expected %r)"
                 % (self.path, header.get("fingerprint"), fingerprint))
-        for line in lines[1:]:
-            try:
-                record = json.loads(line)
-            except ValueError:
-                break           # torn in-flight write; re-run it
-            if record.get("type") != "result":
-                continue
-            completed[record["index"]] = \
-                InjectionResult.from_dict(record["result"])
-        return completed
+
+    def _local_index(self, stored_index):
+        """Map a journaled index to the engine's index space."""
+        return stored_index
+
+    def _note_loaded(self, completed):
+        self._seen.update(completed)
 
     # -- writing ------------------------------------------------------------
 
@@ -201,16 +267,41 @@ class CampaignJournal:
         if fresh or not os.path.exists(self.path) \
                 or os.path.getsize(self.path) == 0:
             mode = "w"
+        if mode == "a":
+            if self._clean_size is None:
+                _, self._clean_size = read_journal_lines(self.path)
+            if self._clean_size < os.path.getsize(self.path):
+                # Physically drop the torn tail so the next record
+                # starts on a fresh line instead of gluing onto the
+                # interrupted one (which would poison every later
+                # resume past this point).
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(self._clean_size)
+            if self._clean_size == 0:
+                mode = "w"
         self._fh = open(self.path, mode)
         if mode == "w":
-            from repro.injection.campaigns import SPEC_SCHEMA_VERSION
-            self._write({"type": "header", "fingerprint": fingerprint,
-                         "campaign": campaign_key, "seed": seed,
-                         "n_specs": n_specs,
-                         "schema_version": SPEC_SCHEMA_VERSION})
+            self._seen = set()
+            self._write(self._header(fingerprint, campaign_key, seed,
+                                     n_specs))
+
+    def _header(self, fingerprint, campaign_key, seed, n_specs):
+        from repro.injection.campaigns import SPEC_SCHEMA_VERSION
+        return {"type": "header", "fingerprint": fingerprint,
+                "campaign": campaign_key, "seed": seed,
+                "n_specs": n_specs,
+                "schema_version": SPEC_SCHEMA_VERSION}
+
+    def _stored_index(self, index):
+        """Map an engine index to the journaled index space."""
+        return index
 
     def record(self, index, result):
-        self._write({"type": "result", "index": index,
+        stored = self._stored_index(index)
+        if stored in self._seen:
+            return          # exactly-once: replays never re-journal
+        self._seen.add(stored)
+        self._write({"type": "result", "index": stored,
                      "result": result.to_dict()})
 
     def _write(self, record):
@@ -284,7 +375,7 @@ class CampaignEngine:
     # -- public entry point --------------------------------------------------
 
     def execute(self, campaign_key, specs, seed, byte_stride, grade=True,
-                progress=None):
+                progress=None, journal=None):
         """Run *specs*; returns ``(results, engine_meta)``.
 
         ``results`` is ordered by spec index regardless of completion
@@ -292,14 +383,19 @@ class CampaignEngine:
         (mode, worker failures, degradation, resume) and is the only
         part of a campaign's output that may differ between serial and
         parallel execution.
+
+        *journal* lets a caller supply a pre-built journal object (the
+        fabric's :class:`~repro.injection.fabric.ShardJournal` records
+        global plan indices under a shard header); by default one is
+        constructed from ``config.journal_path``.
         """
         config = self.config
         fingerprint = plan_fingerprint(campaign_key, specs, seed,
                                        byte_stride)
-        journal = None
         completed = {}
-        if config.journal_path is not None:
+        if journal is None and config.journal_path is not None:
             journal = CampaignJournal(config.journal_path)
+        if journal is not None:
             if config.resume:
                 completed = journal.load(fingerprint)
                 completed = {i: r for i, r in completed.items()
@@ -411,14 +507,28 @@ class CampaignEngine:
                                        progress, outstanding)
                 now = time.monotonic()
                 for worker in list(workers):
-                    if worker.current is None:
-                        continue
                     if not worker.process.is_alive():
-                        self._fail(worker, KIND_WORKER_DIED, specs,
-                                   results, journal, progress, queue,
-                                   attempts, not_before, outstanding,
-                                   meta, workers, ctx, grade, seed)
-                    elif now > worker.deadline:
+                        # A worker that died *after* sending its result
+                        # leaves it sitting in the pipe.  Harvest it
+                        # before deciding anything: the experiment is
+                        # done and journaled exactly once; re-enqueueing
+                        # it would run (and journal) it twice.  An idle
+                        # dead worker is retired too — assigning to it
+                        # would hit a broken pipe.
+                        self._drain_worker(worker, specs, results,
+                                           journal, progress,
+                                           outstanding)
+                        if worker.current is None:
+                            self._retire(worker, meta, workers, ctx,
+                                         specs, grade, seed)
+                        else:
+                            self._fail(worker, KIND_WORKER_DIED, specs,
+                                       results, journal, progress,
+                                       queue, attempts, not_before,
+                                       outstanding, meta, workers, ctx,
+                                       grade, seed)
+                    elif worker.current is not None \
+                            and now > worker.deadline:
                         self._fail(worker, KIND_WORKER_TIMEOUT, specs,
                                    results, journal, progress, queue,
                                    attempts, not_before, outstanding,
@@ -440,12 +550,21 @@ class CampaignEngine:
             for position, index in enumerate(queue):
                 if not_before.get(index, 0) <= now:
                     queue.pop(position)
-                    worker.assign(index, config.timeout)
+                    try:
+                        worker.assign(index, config.timeout)
+                    except OSError:
+                        # Died between the liveness check and the
+                        # send; requeue and let the next liveness pass
+                        # retire the body.
+                        worker.current = None
+                        queue.append(index)
                     break
 
     def _drain_worker(self, worker, specs, results, journal, progress,
                       outstanding):
         try:
+            if not worker.conn.poll():
+                return          # nothing delivered (yet, or ever)
             index, payload = worker.conn.recv()
         except (EOFError, OSError):
             return              # death; the liveness check handles it
@@ -456,6 +575,19 @@ class CampaignEngine:
             self._complete(index, result, specs, results, journal,
                            progress)
             outstanding.discard(index)
+
+    def _retire(self, worker, meta, workers, ctx, specs, grade, seed):
+        """Replace a worker that died *after* delivering its result.
+
+        The death still counts against the failure budget (the rig is
+        unhealthy), but the completed experiment is never re-enqueued —
+        that is the exactly-once half of the worker-death ladder.
+        """
+        meta["worker_failures"] += 1
+        worker.kill()
+        workers.remove(worker)
+        if meta["worker_failures"] < self.config.max_worker_failures:
+            workers.append(self._spawn_worker(ctx, specs, grade, seed))
 
     def _fail(self, worker, kind, specs, results, journal, progress,
               queue, attempts, not_before, outstanding, meta, workers,
@@ -485,6 +617,13 @@ class CampaignEngine:
 
     def _complete(self, index, result, specs, results, journal,
                   progress):
+        # Exactly-once invariant: deduplication of replayed work lives
+        # in the journal/merge layer alone; a second completion here
+        # means the dispatch bookkeeping double-ran an experiment.
+        if index in results:
+            raise RuntimeError(
+                "spec index %d completed twice; duplicate indices must "
+                "never reach CampaignResults" % index)
         results[index] = result
         if journal is not None:
             journal.record(index, result)

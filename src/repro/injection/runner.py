@@ -16,6 +16,7 @@ from repro.injection.engine import (
     CampaignEngine,
     EngineConfig,
     atomic_write_json,
+    plan_fingerprint,
 )
 from repro.injection.outcomes import (
     CRASH_DUMPED,
@@ -142,7 +143,7 @@ class InjectionHarness:
     def __init__(self, kernel, binaries, profile, watchdog_factor=3,
                  watchdog_slack=250_000, recovery=False, trace=False,
                  trace_channels=DEFAULT_CHANNELS, trace_capacity=None,
-                 disk_retries=0):
+                 disk_retries=0, snapshot_store=None):
         self.kernel = kernel
         self.binaries = binaries
         self.profile = profile
@@ -153,6 +154,14 @@ class InjectionHarness:
         self.trace = trace
         self.trace_channels = tuple(trace_channels)
         self.trace_capacity = trace_capacity
+        #: Optional :class:`~repro.injection.fabric.SnapshotStore`:
+        #: post-boot golden state is thawed from / frozen into it so a
+        #: kernel/workload pair boots once per store, not once per
+        #: harness process.  Traced harnesses bypass the store (live
+        #: trace objects are not serialized).
+        self.snapshot_store = snapshot_store
+        #: Real (non-store) kernel boots this harness has performed.
+        self.boots = 0
         self._golden = {}
         self._workload_rank = {}
         self._golden_critical = None
@@ -161,9 +170,23 @@ class InjectionHarness:
 
     # -- golden runs --------------------------------------------------------
 
+    def _store_key(self, workload):
+        store = self.snapshot_store
+        if store is None or self.trace:
+            return None, None
+        return store, store.key(self.kernel, workload,
+                                recovery=self.recovery,
+                                disk_retries=self.disk_retries)
+
     def golden(self, workload):
         run = self._golden.get(workload)
         if run is None:
+            store, key = self._store_key(workload)
+            if store is not None:
+                run = store.load(key, self.kernel)
+                if run is not None:
+                    self._golden[workload] = run
+                    return run
             disk = build_standard_disk(self.binaries, workload)
             machine = Machine(self.kernel, disk)
             if self.recovery:
@@ -176,6 +199,7 @@ class InjectionHarness:
                 machine.enable_disk_retry(self.disk_retries)
             machine.run_until_console(BOOT_MARKER,
                                       max_cycles=10_000_000)
+            self.boots += 1
             boot_cycles = machine.cpu.cycles
             snapshot = machine.snapshot()
             if self.trace:
@@ -194,6 +218,8 @@ class InjectionHarness:
                             boot_cycles)
             run.snapshot = snapshot
             self._golden[workload] = run
+            if store is not None:
+                store.save(key, run)
         return run
 
     def golden_critical_files(self):
@@ -243,12 +269,21 @@ class InjectionHarness:
         time) and reading back the dump's timestamp.
         """
         if self._crash_overhead is None:
+            store = None
+            if self.snapshot_store is not None:
+                store = self.snapshot_store
+                cached = store.load_constant(self.kernel,
+                                             "crash_overhead")
+                if cached is not None:
+                    self._crash_overhead = cached
+                    return self._crash_overhead
             workload = "syscall"
             golden = self.golden(workload)
             target = self.kernel.symbols["do_system_call"]
             machine = Machine(self.kernel, golden.disk_image)
             machine.run_until_console(BOOT_MARKER,
                                       max_cycles=10_000_000)
+            self.boots += 1
             state = {}
 
             def callback(m):
@@ -263,6 +298,9 @@ class InjectionHarness:
             else:
                 self._crash_overhead = max(
                     0, result.crash.tsc - state["tsc"])
+            if store is not None:
+                store.save_constant(self.kernel, "crash_overhead",
+                                    self._crash_overhead)
         return self._crash_overhead
 
     # -- single experiment ------------------------------------------------------------
@@ -542,15 +580,10 @@ class InjectionHarness:
         not enter the journal fingerprint, so enriched runs resume
         cleanly over journals written without it and vice versa.
         """
-        if functions is None:
-            functions = select_targets(self.kernel, self.profile,
-                                       campaign_key)
-        specs = plan_campaign(self.kernel, campaign_key, functions,
-                              seed=seed, byte_stride=byte_stride,
-                              max_per_function=max_per_function,
-                              static_verdicts=static_verdicts)
-        if max_specs is not None:
-            specs = specs[:max_specs]
+        functions, specs = self.plan_specs(
+            campaign_key, functions=functions, seed=seed,
+            byte_stride=byte_stride, max_per_function=max_per_function,
+            max_specs=max_specs, static_verdicts=static_verdicts)
         config = EngineConfig(jobs=jobs, timeout=timeout,
                               retries=retries,
                               max_worker_failures=max_worker_failures,
@@ -566,6 +599,29 @@ class InjectionHarness:
             "seed": seed,
             "byte_stride": byte_stride,
             "injected": len(specs),
+            "fingerprint": plan_fingerprint(campaign_key, specs, seed,
+                                            byte_stride),
             "engine": engine_meta,
         }
         return CampaignResults(campaign_key, results, meta)
+
+    def plan_specs(self, campaign_key, functions=None, seed=2003,
+                   byte_stride=1, max_per_function=None,
+                   max_specs=None, static_verdicts=False):
+        """Deterministic planning half of :meth:`run_campaign`.
+
+        Returns ``(functions, specs)``.  Split out so the campaign
+        fabric (:mod:`repro.injection.fabric`) can re-plan the exact
+        spec list on any host and carve shards out of it without
+        executing anything.
+        """
+        if functions is None:
+            functions = select_targets(self.kernel, self.profile,
+                                       campaign_key)
+        specs = plan_campaign(self.kernel, campaign_key, functions,
+                              seed=seed, byte_stride=byte_stride,
+                              max_per_function=max_per_function,
+                              static_verdicts=static_verdicts)
+        if max_specs is not None:
+            specs = specs[:max_specs]
+        return functions, specs

@@ -61,7 +61,8 @@ def test_full_report_contains_every_exhibit(kernel, binaries, profile,
                     "sensitivity", "assertion placement",
                     "register-corruption",
                     "flight-recorder divergence validation",
-                    "pluggable fault-model study"):
+                    "pluggable fault-model study",
+                    "campaign-fabric equivalence"):
         assert heading in text, heading
     assert "Generated in" in text
 

@@ -111,6 +111,84 @@ class TestJournalAndResume:
                                resume=True)
         assert result_dicts(resumed) == result_dicts(expected)
 
+    def test_writer_sigkilled_mid_record_truncates_and_resumes(
+            self, harness, expected, tmp_path):
+        """A journal writer killed mid-record leaves a torn line; the
+        resume must drop it, physically truncate it, and re-run only
+        what the tear ate."""
+        import multiprocessing
+        journal_path = str(tmp_path / "campaign.jsonl")
+
+        def doomed():
+            def tear(done, total, result):
+                if done == 2:
+                    # Mimic the in-flight write the SIGKILL interrupts:
+                    # half a record, no newline, then death.
+                    with open(journal_path, "a") as fh:
+                        fh.write('{"type": "result", "index": 2, "re')
+                        fh.flush()
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+            run_campaign(harness, journal_path=journal_path,
+                         progress=tear)
+
+        ctx = multiprocessing.get_context("fork")
+        writer = ctx.Process(target=doomed)
+        writer.start()
+        writer.join(timeout=120)
+        assert writer.exitcode == -signal.SIGKILL
+        raw = open(journal_path).read()
+        assert not raw.endswith("\n")       # the tear really is there
+        resumed = run_campaign(harness, journal_path=journal_path,
+                               resume=True)
+        assert result_dicts(resumed) == result_dicts(expected)
+        assert resumed.meta["engine"]["resumed_results"] == 2
+        # the torn bytes were physically truncated, not appended onto
+        lines = open(journal_path).read().splitlines()
+        assert all(json.loads(line) for line in lines)
+        indices = [json.loads(line)["index"] for line in lines[1:]]
+        assert sorted(indices) == list(range(CAMPAIGN["max_specs"]))
+
+    def test_journal_load_dedups_replayed_indices(self, harness,
+                                                  expected, tmp_path):
+        """Duplicate records for one index are legal (retried shards
+        replay work) and resolve first-wins, except a HARNESS_ERROR
+        placeholder loses to a real replayed result."""
+        from repro.injection.engine import (
+            harness_error_result,
+            plan_fingerprint,
+        )
+        specs = planned_specs(harness)
+        fingerprint = plan_fingerprint("C", specs, CAMPAIGN["seed"],
+                                       CAMPAIGN["byte_stride"])
+        real = expected.results[1]
+        placeholder = harness_error_result(specs[1], "worker_died",
+                                           "tb", CAMPAIGN["seed"])
+        journal_path = str(tmp_path / "campaign.jsonl")
+        journal = CampaignJournal(journal_path)
+        journal.start(fingerprint, "C", CAMPAIGN["seed"], len(specs))
+        journal.close()
+        with open(journal_path, "a") as fh:
+            for result in (placeholder, real, placeholder):
+                fh.write(json.dumps({"type": "result", "index": 1,
+                                     "result": result.to_dict()})
+                         + "\n")
+        loaded = CampaignJournal(journal_path).load(fingerprint)
+        # HARNESS_ERROR first, real replay second: the replay wins.
+        assert loaded[1].to_dict() == real.to_dict()
+
+    def test_duplicate_completion_is_an_error(self, harness, expected):
+        """Dedup lives in the journal layer alone; the engine must
+        refuse a second completion of the same index outright."""
+        from repro.injection.engine import CampaignEngine
+        engine = CampaignEngine(harness)
+        results = {}
+        engine._complete(3, expected.results[3], [None] * 6, results,
+                         None, None)
+        with pytest.raises(RuntimeError, match="completed twice"):
+            engine._complete(3, expected.results[3], [None] * 6,
+                             results, None, None)
+
     def test_resume_rejects_foreign_journal(self, harness, tmp_path):
         journal_path = str(tmp_path / "campaign.jsonl")
         with open(journal_path, "w") as fh:
@@ -173,6 +251,52 @@ class TestWorkerFaultTolerance:
         assert result_dicts(out) == result_dicts(expected)
         assert out.meta["engine"]["worker_failures"] == 1
         assert out.meta["engine"]["degraded"] is False
+
+    def test_death_after_delivery_never_reruns_the_spec(
+            self, harness, expected, monkeypatch, tmp_path):
+        """A worker that dies right after sending its (journaled)
+        result must be retired, not re-enqueued: the result is
+        harvested from the pipe and the spec runs exactly once."""
+        import repro.injection.engine as engine_mod
+        target = planned_specs(harness)[3]
+        runs = tmp_path / "target-runs"
+        parent = os.getpid()
+        real_spec = harness.run_spec
+        real_main = engine_mod._worker_main
+
+        def counting(spec, grade=True):
+            if os.getpid() != parent and match(spec, target):
+                with open(runs, "a") as fh:
+                    fh.write("x")
+            return real_spec(spec, grade=grade)
+
+        class DieAfterSend:
+            def __init__(self, conn, specs):
+                self._conn = conn
+                self._specs = specs
+
+            def recv(self):
+                return self._conn.recv()
+
+            def close(self):
+                self._conn.close()
+
+            def send(self, payload):
+                self._conn.send(payload)
+                if match(self._specs[payload[0]], target):
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+        def dying_main(h, specs, grade, seed, conn):
+            real_main(h, specs, grade, seed,
+                      DieAfterSend(conn, specs))
+
+        monkeypatch.setattr(harness, "run_spec", counting)
+        monkeypatch.setattr(engine_mod, "_worker_main", dying_main)
+        out = run_campaign(harness, jobs=2)
+        assert result_dicts(out) == result_dicts(expected)
+        assert runs.read_text() == "x"      # ran exactly once
+        assert out.meta["engine"]["worker_failures"] == 1
+        assert out.meta["engine"]["harness_errors"] == 0
 
     def test_retries_exhausted_yields_harness_error(self, harness,
                                                     monkeypatch,

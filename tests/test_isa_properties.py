@@ -274,7 +274,11 @@ class TestDisasmRoundTripsAssemblerSurface:
         mnemonic = text.split()[0]
         assert "_" not in mnemonic, (line, text)
         # Operands survive the trip: each named register in the source
-        # appears (AT&T-prefixed) in the rendering.
+        # appears (AT&T-prefixed) in the rendering.  Exception:
+        # "xchg eax, eax" assembles to 0x90, which *is* nop on x86 —
+        # the architectural alias renders without operands.
+        if text == "nop":
+            return
         if ins.op not in ("mov_from_cr", "mov_to_cr", "mov_from_dr",
                           "mov_to_dr"):
             for token in line.replace(",", " ").split()[1:]:
