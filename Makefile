@@ -2,8 +2,8 @@
 
 PY ?= python3
 
-.PHONY: install test bench bench-static bench-trace bench-fabric ci \
-	lint-kernel experiments experiments-full clean
+.PHONY: install test bench bench-static bench-trace bench-fabric \
+	bench-delta ci lint-kernel experiments experiments-full clean
 
 install:
 	pip install -e .
@@ -40,8 +40,11 @@ ci:
 	PYTHONPATH=src $(PY) -m repro.experiments.trace_validation --smoke
 	PYTHONPATH=src $(PY) -m repro.experiments.fault_model_study --smoke
 	PYTHONPATH=src $(PY) -m repro.experiments.fabric_validation --smoke
+	PYTHONPATH=src $(PY) -m repro.experiments.delta_validation --smoke
 	PYTHONPATH=src $(PY) benchmarks/bench_trace.py --smoke --gate 1.5
 	PYTHONPATH=src $(PY) benchmarks/bench_fabric.py --smoke
+	PYTHONPATH=src $(PY) benchmarks/bench_delta.py --smoke \
+		--max-fraction 0.5
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
@@ -58,6 +61,12 @@ bench-trace:
 # snapshot store means zero kernel boots).
 bench-fabric:
 	PYTHONPATH=src $(PY) benchmarks/bench_fabric.py
+
+# Delta-campaign reuse on a one-function edit -> BENCH_delta.json
+# (gates: delta == scratch bit-identical, re-run fraction <= 0.5,
+# wall-clock speedup >= 1).
+bench-delta:
+	PYTHONPATH=src $(PY) benchmarks/bench_delta.py --max-fraction 0.5
 
 # EXPERIMENTS.md at the default (quick) scale; standard takes ~1 h.
 experiments:

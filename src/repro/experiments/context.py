@@ -61,6 +61,7 @@ class ExperimentContext:
         self._recovery_campaigns = {}
         self._traced_campaigns = {}
         self._fault_campaigns = {}
+        self._delta_campaigns = {}
         self._snapshot_store = None
 
     # -- lazily built shared state ------------------------------------------
@@ -242,6 +243,52 @@ class ExperimentContext:
             self._fault_campaigns[cache_key] = results
             self._store_cached(name, results, variant)
         return self._fault_campaigns[cache_key]
+
+    def delta_campaign(self, key, source_edits):
+        """Campaign *key* re-planned incrementally after a source edit.
+
+        Runs (or loads) the base campaign on :attr:`kernel`, rebuilds
+        the kernel with *source_edits* applied, and executes only the
+        injection sites the static differ cannot prove unchanged
+        (:mod:`repro.staticanalysis.delta`); every other record is
+        carried forward from the base campaign's journal.  When the
+        base run kept no journal (in-memory or JSON-cached results),
+        one is materialized first.  ``results.meta["delta"]`` holds
+        the re-run fraction, the per-reason live counts and the
+        carry-forward provenance.
+        """
+        edits = tuple(tuple(edit) for edit in source_edits)
+        cache_key = (key, edits)
+        if cache_key not in self._delta_campaigns:
+            import tempfile
+            from repro.staticanalysis.delta import write_results_journal
+            base = self.campaign(key)
+            journal = self._journal_path(key)
+            if journal is None or not os.path.exists(journal):
+                journal = os.path.join(
+                    tempfile.mkdtemp(prefix="delta_source_"),
+                    "campaign_%s.journal.jsonl" % key)
+                write_results_journal(base, journal)
+            stride, max_specs = SCALES[self.scale][key]
+            self._log("rebuilding kernel with %d source edit(s)..."
+                      % len(edits))
+            new_kernel = build_kernel(source_edits=edits)
+            harness = InjectionHarness(new_kernel, self.binaries,
+                                       self.profile)
+            self._log("running delta campaign %s (stride %d)..."
+                      % (key, stride))
+            start = time.time()
+            results = harness.run_campaign(
+                key, seed=self.seed, byte_stride=stride,
+                max_specs=max_specs, jobs=self.jobs,
+                delta_from=journal, delta_base_kernel=self.kernel)
+            delta = results.meta["delta"]
+            self._log("delta campaign %s: %d carried, %d live "
+                      "(fraction %.4f) in %.1fs"
+                      % (key, delta["carried"], delta["live"],
+                         delta["rerun_fraction"], time.time() - start))
+            self._delta_campaigns[cache_key] = results
+        return self._delta_campaigns[cache_key]
 
     def _harness_for(self, variant):
         if variant == "recovery":

@@ -5,6 +5,7 @@ import time
 from repro.experiments import (
     assertions_study,
     availability_model,
+    delta_validation,
     fabric_validation,
     fault_model_study,
     register_extension,
@@ -55,6 +56,7 @@ _EXHIBITS = (
     ("Extension — register-corruption campaign R", register_extension),
     ("Extension — pluggable fault-model study", fault_model_study),
     ("Extension — campaign-fabric equivalence", fabric_validation),
+    ("Extension — delta-campaign equivalence", delta_validation),
 )
 
 

@@ -304,6 +304,24 @@ class CampaignJournal:
         self._write({"type": "result", "index": stored,
                      "result": result.to_dict()})
 
+    def record_carried(self, index, result, provenance):
+        """Journal a result carried forward from another campaign's
+        journal (see :mod:`repro.staticanalysis.delta`).
+
+        The envelope is a normal result record plus a ``carried``
+        provenance block (source journal fingerprint, base/new kernel
+        fingerprints); loaders ignore the extra key, so resume and
+        shard-merge treat carried results exactly like locally
+        executed ones and the exactly-once invariant is shared.
+        """
+        stored = self._stored_index(index)
+        if stored in self._seen:
+            return
+        self._seen.add(stored)
+        self._write({"type": "result", "index": stored,
+                     "result": result.to_dict(),
+                     "carried": dict(provenance)})
+
     def _write(self, record):
         self._fh.write(json.dumps(record) + "\n")
         self._fh.flush()

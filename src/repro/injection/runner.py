@@ -562,7 +562,8 @@ class InjectionHarness:
                      progress=None, max_specs=None, jobs=1,
                      timeout=None, retries=2, max_worker_failures=3,
                      journal_path=None, resume=False,
-                     static_verdicts=False):
+                     static_verdicts=False, delta_from=None,
+                     delta_base_kernel=None):
         """Plan and execute a whole campaign; returns CampaignResults.
 
         Execution goes through the fault-tolerant engine
@@ -579,7 +580,32 @@ class InjectionHarness:
         with the symbolic error-propagation verdict.  Enrichment does
         not enter the journal fingerprint, so enriched runs resume
         cleanly over journals written without it and vice versa.
+
+        *delta_from* switches to an incremental delta campaign
+        (:mod:`repro.staticanalysis.delta`): a prior campaign journal
+        run against *delta_base_kernel* whose records are carried
+        forward wherever the static differ proves them bit-identical,
+        leaving only the impacted remainder to execute.
         """
+        if delta_from is not None:
+            if delta_base_kernel is None:
+                raise ValueError(
+                    "delta_from requires delta_base_kernel (the "
+                    "kernel image the source journal ran against)")
+            if static_verdicts:
+                raise ValueError(
+                    "delta campaigns cannot enrich specs: carried "
+                    "records would mix with enriched live ones")
+            from repro.staticanalysis.delta import run_delta_campaign
+            return run_delta_campaign(
+                self, delta_base_kernel, delta_from, campaign_key,
+                seed=seed, byte_stride=byte_stride,
+                functions=functions,
+                max_per_function=max_per_function,
+                max_specs=max_specs, grade=grade, progress=progress,
+                jobs=jobs, timeout=timeout, retries=retries,
+                max_worker_failures=max_worker_failures,
+                journal_path=journal_path)
         functions, specs = self.plan_specs(
             campaign_key, functions=functions, seed=seed,
             byte_stride=byte_stride, max_per_function=max_per_function,

@@ -91,19 +91,54 @@ def kernel_source_inventory():
     return counts
 
 
-def build_kernel(layout=None):
+def apply_source_edits(source, unit_name, edits):
+    """Apply the ``(unit, old, new)`` edits that target *unit_name*.
+
+    ``unit`` selects a compilation unit by substring of its name
+    (``"arch"`` matches ``"arch/i386/traps.c"``); an edit whose ``old``
+    text is absent from the selected unit raises, so a stale edit can
+    never silently build the unedited kernel.
+    """
+    for unit, old, new in edits:
+        if unit not in unit_name:
+            continue
+        if old not in source:
+            raise ValueError("source edit %r not found in unit %s"
+                             % (old, unit_name))
+        source = source.replace(old, new)
+    return source
+
+
+def build_kernel(layout=None, source_edits=None):
     """Compile, link, and assemble the kernel.
 
     Returns a :class:`KernelImage` loaded (virtually) at
     ``layout.KERNEL_TEXT``; the machine layer copies ``image.code`` to
     physical ``layout.KERNEL_PHYS``.
+
+    ``source_edits`` is an optional sequence of ``(unit, old, new)``
+    textual replacements applied to the matching compilation units
+    before compiling — the rebuild hook used by the delta-campaign
+    machinery (:mod:`repro.staticanalysis.delta`) to produce kernel
+    variants.  Every edit must name a unit that exists and text that
+    occurs in it.
     """
     if layout is None:
         layout = KernelLayout()
+    edits = list(source_edits or ())
+    if edits:
+        known = [name for name, _, _ in KERNEL_UNITS]
+        for unit, _, _ in edits:
+            if not any(unit in name for name in known):
+                raise ValueError("source edit names unknown unit %r "
+                                 "(have: %s)" % (unit, ", ".join(known)))
     sources = [("include/generated.h", "lib", layout.minc_header()),
                ("include/defs.h", "lib", defs_src.SOURCE)]
     for unit_name, subsystem, module in KERNEL_UNITS:
-        sources.append((unit_name, subsystem, module.SOURCE))
+        text = module.SOURCE
+        if edits:
+            text = apply_source_edits(text, unit_name, edits)
+        sources.append((unit_name, subsystem, text))
     unit = compile_unit(sources, externs=ASM_SYMBOLS)
     stubs = arch_src.ASM_STUBS % {
         "boot_stack_top": layout.BOOT_STACK_TOP,

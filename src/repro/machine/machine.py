@@ -304,12 +304,14 @@ class Machine:
         )
 
     def run_until_console(self, marker, max_cycles=DEFAULT_WATCHDOG,
-                          chunk=4096):
+                          chunk=4096, coverage=None):
         """Run until *marker* appears on the console (boot milestone).
 
         Used to reproduce the paper's protocol: the injector is armed on
         a running system, just before the benchmark starts.  Raises
-        WatchdogExpired if the marker never appears.
+        WatchdogExpired if the marker never appears.  *coverage*, when
+        given, collects every executed EIP (the delta planner uses it
+        to learn which functions boot executes).
         """
         needle = marker.encode("latin-1")
         cpu = self.cpu
@@ -317,7 +319,8 @@ class Machine:
             if cpu.cycles >= max_cycles:
                 raise WatchdogExpired("marker %r never appeared" % marker)
             try:
-                cpu.run(min(cpu.cycles + chunk, max_cycles))
+                cpu.run(min(cpu.cycles + chunk, max_cycles),
+                        coverage=coverage)
             except WatchdogExpired:
                 if cpu.cycles >= max_cycles:
                     raise

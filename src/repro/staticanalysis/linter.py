@@ -41,6 +41,15 @@ the default rule set must stay finding-free for CI:
     unknowable).  Computed by
     :class:`repro.staticanalysis.propagation.PropagationAnalyzer` —
     the static side of the paper's Figure 8 spread measurement.
+
+``fingerprint-opaque``
+    The function's outgoing control transfers cannot be fully
+    enumerated statically — an indirect call/jump, a branch target
+    outside every known function, or undecodable bytes.  The delta
+    planner (:mod:`repro.staticanalysis.delta`) must treat every such
+    function as impacted whenever *any* function changes, so each
+    finding is a standing tax on incremental campaigns; the count
+    going up in review is a cue to reconsider the construct.
 """
 
 import re
@@ -64,7 +73,7 @@ RULES = ("unreachable-block", "fall-off-end", "uncovered-uaccess",
 
 #: Opt-in rules: informative, not invariant-violating (a default run
 #: must stay finding-free, since kerncheck's exit status is the count).
-OPTIONAL_RULES = ("propagation-leak",)
+OPTIONAL_RULES = ("propagation-leak", "fingerprint-opaque")
 
 
 class LintFinding:
@@ -145,6 +154,7 @@ class KernelLinter:
             f.start for f in kernel.functions
             if f.name in NORETURN_FUNCTIONS)
         self._propagation = None
+        self._opacity = None
 
     def _ex_covered(self, addr):
         return any(start <= addr < end
@@ -163,6 +173,8 @@ class KernelLinter:
             findings += self._check_stack(cfg)
         if "propagation-leak" in self.rules:
             findings += self._check_propagation_leak(info)
+        if "fingerprint-opaque" in self.rules:
+            findings += self._check_fingerprint_opaque(info)
         return findings
 
     def lint_image(self, functions=None):
@@ -303,3 +315,16 @@ class KernelLinter:
                             message)
                 for addr, message in
                 self._propagation.leak_channels(info.name)]
+
+    def _check_fingerprint_opaque(self, info):
+        if self._opacity is None:
+            from repro.staticanalysis.delta import opaque_functions
+            self._opacity = opaque_functions(self.kernel)
+        reasons = self._opacity.get(info.name)
+        if not reasons:
+            return []
+        return [LintFinding(
+            "fingerprint-opaque", info.name, info.start,
+            "outgoing edges not statically enumerable (%s): "
+            "conservatively impacted by every kernel change"
+            % "; ".join(reasons))]

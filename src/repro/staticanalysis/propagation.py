@@ -41,6 +41,7 @@ bound under-approximates, the upper bound over-approximates.  The
 campaigns and ``--smoke`` gates the two acceptance rates in CI.
 """
 
+import hashlib
 import heapq
 
 from repro.isa.registers import REG_NAMES
@@ -152,19 +153,28 @@ def latency_within_bounds(latency_cycles, lo, hi):
 
 
 class SiteVerdict:
-    """Static prediction for one flip site."""
+    """Static prediction for one flip site.
+
+    ``escapes`` is the broad flag (corrupted defs can leave the home
+    *subsystem*, e.g. through a call with corrupted arguments);
+    ``escapes_caller`` is the narrower — and for the delta planner
+    decisive — fact that corruption *survives the return* (in eax or
+    a global store), so execution after the home function can diverge
+    anywhere in its caller cone.
+    """
 
     __slots__ = ("seed", "traps", "latency_lo", "latency_hi",
-                 "subsystems", "escapes")
+                 "subsystems", "escapes", "escapes_caller")
 
     def __init__(self, seed, traps, latency_lo, latency_hi, subsystems,
-                 escapes):
+                 escapes, escapes_caller=False):
         self.seed = seed
         self.traps = frozenset(traps)
         self.latency_lo = latency_lo
         self.latency_hi = latency_hi
         self.subsystems = frozenset(subsystems)
         self.escapes = escapes
+        self.escapes_caller = escapes_caller
 
     @property
     def predicts_crash(self):
@@ -182,13 +192,15 @@ class SiteVerdict:
             "latency_hi": self.latency_hi,
             "subsystems": sorted(self.subsystems),
             "escapes": self.escapes,
+            "escapes_caller": self.escapes_caller,
         }
 
     @classmethod
     def from_dict(cls, data):
         return cls(data["seed"], data["traps"], data["latency_lo"],
                    data["latency_hi"], data["subsystems"],
-                   data["escapes"])
+                   data["escapes"],
+                   data.get("escapes_caller", False))
 
     def __repr__(self):
         hi = "inf" if self.latency_hi is None else self.latency_hi
@@ -330,7 +342,14 @@ class PropagationAnalyzer:
 
     Caches per-function CFGs, depth maps and summaries so analyzing
     every site of the kernel image is one pass over each function plus
-    O(1) summary lookups at call boundaries.
+    O(1) summary lookups at call boundaries.  The summary cache is
+    keyed by ``(name, composed byte-fingerprint)`` — the function's
+    raw bytes hashed together with those of its transitive direct
+    callees — never by name alone, so a summary dict that outlives a
+    kernel rebuild (a warm analyzer, a persisted cache) can only ever
+    serve entries whose code is provably identical; a rebuilt
+    function, or any function calling into one, misses and
+    recomputes.
 
     >>> analyzer = PropagationAnalyzer(kernel)
     >>> analyzer.analyze_site("sys_open", addr, 0, 3)
@@ -343,11 +362,59 @@ class PropagationAnalyzer:
         self._cfgs = {}
         self._depths = {}
         self._summaries = {}
+        self._byte_fps = {}
+        self._summary_keys = {}
         self._in_progress = set()
         self._callers = None
         self._noreturn_addrs = frozenset(
             f.start for f in kernel.functions
             if f.name in NORETURN_FUNCTIONS)
+
+    # -- cache keys --------------------------------------------------
+
+    def byte_fingerprint(self, name):
+        """sha256 (truncated) of the function's raw image bytes."""
+        fp = self._byte_fps.get(name)
+        if fp is None:
+            info = self._by_name[name]
+            code = bytes(self.kernel.code[
+                info.start - self.kernel.base:
+                info.end - self.kernel.base])
+            fp = hashlib.sha256(code).hexdigest()[:16]
+            self._byte_fps[name] = fp
+        return fp
+
+    def summary_key(self, name):
+        """Composed cache key: own bytes + transitive callees' bytes.
+
+        A :class:`FunctionSummary` folds in callee facts, so byte
+        identity of the function alone is not enough for reuse — the
+        key hashes the whole forward call closure.
+        """
+        key = self._summary_keys.get(name)
+        if key is None:
+            closure = set()
+            work = [name]
+            while work:
+                current = work.pop()
+                if current in closure or current not in self._by_name:
+                    continue
+                closure.add(current)
+                cfg = self.cfg(current)
+                if cfg is None:
+                    continue
+                for _, target in cfg.calls:
+                    if target is None:
+                        continue
+                    callee = self._find_function(target)
+                    if callee is not None:
+                        work.append(callee.name)
+            blob = "|".join("%s=%s" % (n, self.byte_fingerprint(n))
+                            for n in sorted(closure))
+            key = (name,
+                   hashlib.sha256(blob.encode()).hexdigest()[:16])
+            self._summary_keys[name] = key
+        return key
 
     # -- shared per-function state ----------------------------------
 
@@ -441,20 +508,21 @@ class PropagationAnalyzer:
     # -- per-function summaries (the FastFlip composition unit) ------
 
     def summary(self, name):
-        cached = self._summaries.get(name)
-        if cached is not None:
-            return cached
         info = self._by_name.get(name)
         if info is None or name in self._in_progress:
             # Unknown callee or call-graph cycle: sound bottom.
             return FunctionSummary(name, None, 0, 1, None,
                                    (info.subsystem,) if info else ())
+        key = self.summary_key(name)
+        cached = self._summaries.get(key)
+        if cached is not None:
+            return cached
         self._in_progress.add(name)
         try:
             summary = self._compute_summary(info)
         finally:
             self._in_progress.discard(name)
-        self._summaries[name] = summary
+        self._summaries[key] = summary
         return summary
 
     def _compute_summary(self, info):
@@ -612,7 +680,7 @@ class PropagationAnalyzer:
         if ins is None:
             return SiteVerdict(
                 CORRUPT_VALUE, WILD_TRAPS | {TRAP_NONE}, 0, None,
-                {WILD_SUBSYSTEM}, True)
+                {WILD_SUBSYSTEM}, True, escapes_caller=True)
         home = info.subsystem
         code = self.kernel.code[info.start - self.kernel.base:
                                 info.end - self.kernel.base]
@@ -626,7 +694,8 @@ class PropagationAnalyzer:
                 or mut.length != ins.length:
             # Stream desync: the following bytes re-decode shifted.
             return SiteVerdict(CORRUPT_PC, WILD_TRAPS | {TRAP_NONE}, 0,
-                               None, {home, WILD_SUBSYSTEM}, True)
+                               None, {home, WILD_SUBSYSTEM}, True,
+                               escapes_caller=True)
         if _same_semantics(ins, mut):
             return SiteVerdict(CLEAN, {TRAP_NONE}, None, None, set(),
                                False)
@@ -1042,7 +1111,8 @@ class PropagationAnalyzer:
         if escapes_caller:
             hi = None
         escapes = bool(subsystems - {home, None}) or escapes_caller
-        return SiteVerdict(seed, traps, lo, hi, subsystems, escapes)
+        return SiteVerdict(seed, traps, lo, hi, subsystems, escapes,
+                           escapes_caller=escapes_caller)
 
     def _latency_bounds(self, cfg, site_ins, solve):
         """[lo, hi] instruction distances from the site to its events."""

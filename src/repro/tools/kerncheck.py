@@ -15,8 +15,11 @@ the build when an invariant regresses.
 ``--format json`` emits a machine-readable report (tool metadata +
 findings array); ``--format sarif`` emits SARIF 2.1.0 so CI systems
 can annotate findings natively.  The default remains the one-line-per-
-finding text output.  Opt-in rules (``propagation-leak``) run only
-when named explicitly with ``--rule``.
+finding text output.  Opt-in rules (``propagation-leak``,
+``fingerprint-opaque``) run only when named explicitly with
+``--rule``; the text summary line always reports the image's
+fingerprint-opaque count so the delta-campaign tax stays visible even
+in default runs.
 """
 
 import argparse
@@ -39,6 +42,8 @@ _RULE_DESCRIPTIONS = {
     "stack-imbalance": "push/pop depth imbalance on some path",
     "propagation-leak": "corrupted definitions can escape the home"
                         " subsystem",
+    "fingerprint-opaque": "outgoing edges not statically enumerable;"
+                          " impacted by every delta-campaign change",
 }
 
 
@@ -154,8 +159,11 @@ def main(argv=None):
         for finding in findings:
             print(finding.format(kernel))
         if not args.quiet:
-            print("kerncheck: %d function(s), %d finding(s)"
-                  % (len(functions), len(findings)))
+            from repro.staticanalysis.delta import opaque_functions
+            opaque = opaque_functions(kernel)
+            print("kerncheck: %d function(s), %d finding(s),"
+                  " %d fingerprint-opaque"
+                  % (len(functions), len(findings), len(opaque)))
     return min(len(findings), 125)
 
 

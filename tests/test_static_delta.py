@@ -1,0 +1,240 @@
+"""Static differ: fingerprints, impact closure, dispatch resolution.
+
+Covers the fingerprint layer of :mod:`repro.staticanalysis.delta`:
+re-decode stability, the single-byte-edit property (hypothesis), the
+function-level diff of the two canonical source edits, opacity
+accounting, user-binary syscall scanning and syscall-dispatch
+resolution — plus the propagation-summary cache keyed by composed
+byte fingerprints (the satellite of the same PR).
+"""
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.build import KernelImage, build_kernel
+from repro.staticanalysis.delta import (
+    RECOVERY_GATE_EDIT,
+    KernelFingerprints,
+    _execution_cone,
+    diff_kernels,
+    fingerprint_kernel,
+    issuable_syscalls,
+    opaque_functions,
+    resolve_syscall_dispatch,
+    user_syscall_numbers,
+)
+from repro.staticanalysis.propagation import PropagationAnalyzer
+
+#: Size-preserving one-function edit (imm8 before and after): only
+#: ``sys_stat`` changes, nothing moves, the data section is untouched.
+SYS_STAT_EDIT = (
+    ("fs/vfs+ext2.c",
+     "put_user(buf_user + 8, nblocks);",
+     "put_user(buf_user + 9, nblocks);"),
+)
+
+#: Syscall numbers whose handlers no shipped user binary can issue
+#: (``sys_ni_syscall``, ``sys_stat``, ``sys_brk``, ``sys_sched_yield``,
+#: ``sys_kill``, ``sys_sysinfo``).
+_UNISSUED = {0, 11, 16, 17, 18, 23}
+
+
+@pytest.fixture(scope="module")
+def prints(kernel):
+    return fingerprint_kernel(kernel)
+
+
+@pytest.fixture(scope="module")
+def sys_stat_kernel():
+    return build_kernel(source_edits=SYS_STAT_EDIT)
+
+
+@pytest.fixture(scope="module")
+def recovery_kernel():
+    return build_kernel(source_edits=RECOVERY_GATE_EDIT)
+
+
+@pytest.fixture(scope="module")
+def reverse_reach(prints):
+    """``{name: set(names whose forward closure contains name)}``."""
+    reach = {}
+    for name in prints.own:
+        for member in prints._closure(name):
+            reach.setdefault(member, set()).add(name)
+    return reach
+
+
+def _patched(kernel, offset, byte):
+    code = bytearray(kernel.code)
+    code[offset] = byte
+    return KernelImage(bytes(code), kernel.base, kernel.symbols,
+                       kernel.functions, kernel.layout,
+                       kernel.source_lines)
+
+
+# -- fingerprints -----------------------------------------------------
+
+
+def test_fingerprints_stable_across_redecode(kernel, prints):
+    again = KernelFingerprints(kernel)
+    assert again.own == prints.own
+    assert again.composed == prints.composed
+    assert again.data == prints.data
+
+
+def test_fingerprints_stable_across_rebuild(kernel, prints):
+    rebuilt = fingerprint_kernel(build_kernel())
+    assert rebuilt.own == prints.own
+    assert rebuilt.composed == prints.composed
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_single_byte_edit_changes_exactly_one_own_fingerprint(
+        kernel, prints, reverse_reach, data):
+    """Flip one code byte: the containing function's own fingerprint
+    changes, and exactly the transitive callers' composed ones do."""
+    functions = [f for f in kernel.functions if f.end - f.start >= 4]
+    info = data.draw(st.sampled_from(functions))
+    offset = data.draw(st.integers(info.start - kernel.base,
+                                   info.end - kernel.base - 1))
+    flip = data.draw(st.integers(1, 255))
+    patched = _patched(kernel, offset, kernel.code[offset] ^ flip)
+    try:
+        new = fingerprint_kernel(patched)
+    except Exception:
+        assume(False)
+    own_changed = {n for n in prints.own if prints.own[n] != new.own[n]}
+    assert own_changed == {info.name}
+    composed_changed = {n for n in prints.composed
+                        if prints.composed[n] != new.composed[n]}
+    assert composed_changed == (reverse_reach.get(info.name, set())
+                                | {info.name})
+
+
+def test_data_edit_is_a_global_blocker(kernel, prints):
+    data_start = kernel.symbols["__data_start"]
+    patched = _patched(kernel, data_start - kernel.base + 8,
+                       kernel.code[data_start - kernel.base + 8] ^ 1)
+    diff = diff_kernels(kernel, patched)
+    assert diff.data_changed
+    assert any("data-section-changed" in reason
+               for reason in diff.global_reasons)
+
+
+# -- diffing the canonical edits --------------------------------------
+
+
+def test_sys_stat_edit_diff(kernel, prints, sys_stat_kernel):
+    diff = diff_kernels(prints, sys_stat_kernel)
+    assert diff.changed == {"sys_stat"}
+    assert not diff.moved
+    assert not diff.data_changed
+    assert not diff.global_reasons
+    assert not diff.trap_impacted
+    assert "sys_stat" in diff.impacted
+    # Opaque functions are impacted by construction on any change.
+    assert set(opaque_functions(kernel)) <= diff.impacted
+
+
+def test_recovery_edit_diff(kernel, prints, recovery_kernel):
+    diff = diff_kernels(prints, recovery_kernel)
+    assert diff.changed == {"oops_recoverable"}
+    assert not diff.moved
+    assert not diff.global_reasons
+    # The gate sits on the oops path: trap delivery is impacted.
+    assert diff.trap_impacted
+
+
+def test_identical_kernels_diff_empty(kernel, prints):
+    diff = diff_kernels(prints, prints)
+    assert not diff.any_change
+    assert not diff.impacted
+    assert not diff.global_reasons
+
+
+# -- opacity ----------------------------------------------------------
+
+
+def test_opaque_functions_counts_the_dispatcher(kernel):
+    opaque = opaque_functions(kernel)
+    assert "do_system_call" in opaque
+    assert opaque["do_system_call"] == ["indirect call"]
+    for reasons in opaque.values():
+        assert reasons
+
+
+# -- user syscall scanning + dispatch resolution ----------------------
+
+
+def test_user_syscall_numbers_are_exact(binaries):
+    for binary in binaries.values():
+        numbers = user_syscall_numbers(binary)
+        assert numbers is not None
+        assert all(isinstance(n, int) and 0 <= n < 64
+                   for n in numbers)
+
+
+def test_issuable_syscalls_excludes_dead_handlers(binaries):
+    numbers = issuable_syscalls(binaries)
+    assert numbers
+    assert not numbers & _UNISSUED
+
+
+def test_resolve_syscall_dispatch(kernel, prints, binaries):
+    full = resolve_syscall_dispatch(kernel, prints)
+    assert "do_system_call" in full
+    assert "sys_stat" in full["do_system_call"]
+    restricted = resolve_syscall_dispatch(
+        kernel, prints, numbers=issuable_syscalls(binaries))
+    assert restricted["do_system_call"] < full["do_system_call"]
+    assert "sys_stat" not in restricted["do_system_call"]
+
+
+def test_execution_cone_respects_dispatch(kernel, prints, binaries):
+    dispatch = resolve_syscall_dispatch(
+        kernel, prints, numbers=issuable_syscalls(binaries))
+    # Through the resolved dispatcher the cone closes without going
+    # opaque — and never reaches the handlers no binary can issue.
+    cone = _execution_cone(prints, {"do_system_call"}, dispatch)
+    assert cone is not None
+    assert "sys_stat" not in cone
+    # Without the resolution the dispatcher's indirect call is a wall.
+    assert _execution_cone(prints, {"do_system_call"}, {}) is None
+    assert _execution_cone(prints, None, dispatch) is None
+
+
+# -- satellite: summary cache keyed by composed byte fingerprint ------
+
+
+def test_summary_cache_recomputes_only_the_edited_function(
+        kernel, sys_stat_kernel):
+    warm = PropagationAnalyzer(kernel)
+    for info in kernel.functions:
+        warm.summary(info.name)
+
+    cold = PropagationAnalyzer(sys_stat_kernel)
+    cold._summaries = dict(warm._summaries)  # transplanted warm cache
+    computed = []
+    original = cold._compute_summary
+
+    def recording(info):
+        computed.append(info.name)
+        return original(info)
+
+    cold._compute_summary = recording
+    for info in sys_stat_kernel.functions:
+        cold.summary(info.name)
+    assert set(computed) == {"sys_stat"}
+
+
+def test_summary_key_tracks_byte_closure(kernel, sys_stat_kernel):
+    base = PropagationAnalyzer(kernel)
+    edited = PropagationAnalyzer(sys_stat_kernel)
+    assert base.summary_key("sys_stat") != edited.summary_key("sys_stat")
+    assert base.summary_key("sys_getpid") == \
+        edited.summary_key("sys_getpid")
+    assert base.byte_fingerprint("sys_stat") != \
+        edited.byte_fingerprint("sys_stat")
