@@ -3,7 +3,8 @@
 PY ?= python3
 
 .PHONY: install test bench bench-static bench-trace bench-fabric \
-	bench-delta ci lint-kernel experiments experiments-full clean
+	bench-delta bench-equiv ci lint-kernel experiments \
+	experiments-full clean
 
 install:
 	pip install -e .
@@ -41,9 +42,13 @@ ci:
 	PYTHONPATH=src $(PY) -m repro.experiments.fault_model_study --smoke
 	PYTHONPATH=src $(PY) -m repro.experiments.fabric_validation --smoke
 	PYTHONPATH=src $(PY) -m repro.experiments.delta_validation --smoke
+	PYTHONPATH=src $(PY) -m repro.experiments.equivalence_validation \
+		--smoke --jobs 4
 	PYTHONPATH=src $(PY) benchmarks/bench_trace.py --smoke --gate 1.5
 	PYTHONPATH=src $(PY) benchmarks/bench_fabric.py --smoke
 	PYTHONPATH=src $(PY) benchmarks/bench_delta.py --smoke \
+		--max-fraction 0.5
+	PYTHONPATH=src $(PY) benchmarks/bench_equiv.py --smoke --jobs 4 \
 		--max-fraction 0.5
 
 bench:
@@ -67,6 +72,11 @@ bench-fabric:
 # wall-clock speedup >= 1).
 bench-delta:
 	PYTHONPATH=src $(PY) benchmarks/bench_delta.py --max-fraction 0.5
+
+# Equivalence-class pruning -> BENCH_equiv.json (gate: injected
+# fraction <= 0.5; extrapolation accuracy and speedup reported).
+bench-equiv:
+	PYTHONPATH=src $(PY) benchmarks/bench_equiv.py --max-fraction 0.5
 
 # EXPERIMENTS.md at the default (quick) scale; standard takes ~1 h.
 experiments:

@@ -322,6 +322,25 @@ class CampaignJournal:
                      "result": result.to_dict(),
                      "carried": dict(provenance)})
 
+    def record_extrapolated(self, index, result, provenance):
+        """Journal a result extrapolated from a class pilot's outcome
+        (see :mod:`repro.staticanalysis.equivalence`).
+
+        Same contract as :meth:`record_carried`: a normal result
+        record plus an ``extrapolated`` provenance block
+        (``{pilot_index, class_fp, n_members}``).  Loaders ignore the
+        extra key, so resume and shard-merge treat extrapolated
+        results exactly like executed ones and the exactly-once
+        invariant is shared.
+        """
+        stored = self._stored_index(index)
+        if stored in self._seen:
+            return
+        self._seen.add(stored)
+        self._write({"type": "result", "index": stored,
+                     "result": result.to_dict(),
+                     "extrapolated": dict(provenance)})
+
     def _write(self, record):
         self._fh.write(json.dumps(record) + "\n")
         self._fh.flush()

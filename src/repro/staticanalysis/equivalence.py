@@ -1,0 +1,792 @@
+"""Fault-site equivalence classes: pilot campaigns + audited
+extrapolation.
+
+The campaigns inject every sampled bit-flip site even though most
+sites are provably redundant: flips with the same instruction shape,
+the same flipped-bit semantic role, the same liveness of the clobbered
+definitions and the same symbolic propagation verdict overwhelmingly
+produce the same dynamic outcome.  PR 8's delta campaigns exploit
+that redundancy across kernel *versions*; this module exploits it
+across *sites within one kernel* (the scaling move of the
+CentOS-like-OS study, arXiv 2210.08728 — see PAPERS.md).
+
+Class fingerprint
+-----------------
+
+:class:`SitePartitioner` keys every plannable injection site by a
+canonical **class fingerprint** — a sha256 digest over:
+
+* the instruction shape: op, coarse instruction class, encoded length
+  (:func:`repro.injection.campaigns.instruction_class`);
+* the flipped bit's semantic role — the
+  :func:`repro.staticanalysis.predict.classify_flip` verdict for the
+  exact ``(byte, bit)``, so an opcode-smashing flip never shares a
+  class with a dead-write flip of the same instruction;
+* liveness of the clobbered definitions: the instruction's may-defs
+  intersected with the live-after set from
+  :mod:`repro.staticanalysis.dataflow`;
+* the propagation verdict digest from
+  :mod:`repro.staticanalysis.propagation` — predicted trap set,
+  order-of-magnitude latency band, reachable-subsystem spread and the
+  escape flags of the site's :class:`SiteVerdict`;
+* containing-function and call-graph context: the function's
+  *composed* fingerprint from :mod:`repro.staticanalysis.delta`
+  (own instruction stream + forward call closure) and its subsystem.
+
+Sites carrying a pluggable ``fault_model`` dict have no flipped
+instruction byte; they class by the canonical model dict plus the
+same function context instead.
+
+Pilot campaigns
+---------------
+
+:func:`plan_equivalence` partitions a campaign plan, refines each
+static class by the deterministic activation decision (workload
+assignment + golden coverage — an uncovered site's outcome is provably
+``NOT_ACTIVATED``, so uncovered sites collapse into one dormant class
+per workload), then selects ``K`` seeded pilots per class (default 2)
+and a seeded audit fraction of the non-pilot members.
+
+:func:`run_equiv_campaign` executes in two rounds through the standard
+fault-tolerant engine.  Round one runs only the pilots; a class whose
+pilots already disagree is split on the first discriminating site
+feature (byte offset, then bit, then instruction address, then
+singletons) and the subgroups are re-piloted, so gross static
+misgroupings are caught and repaired *before* any accuracy is
+measured.  Round two runs the audits and grades each one against its
+refined class's pilot outcome — that measured purity is the
+``audit_accuracy`` the ``equivalence_validation`` exhibit gates.  A
+class an audit catches impure is split and re-piloted the same way
+until every group's observed outcomes agree.
+
+Only then does extrapolation happen: each remaining member is
+journaled via
+:meth:`~repro.injection.engine.CampaignJournal.record_extrapolated`
+with ``{"pilot_index", "class_fp", "n_members"}`` provenance.  The
+journal keeps a plain full-plan header, so
+``CampaignJournal.load``/resume and the fabric's
+``merge_shard_journals`` accept it unchanged (extrapolated records are
+ordinary result records with one extra key that loaders ignore).
+
+An extrapolated record clones its pilot's dynamic fields;
+site-identity and static-enrichment fields are the member's own.
+Crash loci, latencies and console tails are therefore the *pilot's* —
+the documented approximation, bounded by the audit and gated by the
+``equivalence_validation`` exhibit and ``benchmarks/bench_equiv.py``
+on every CI run.  Harness errors describe the rig, not the kernel:
+a group that observed one never extrapolates — every member runs.
+"""
+
+import hashlib
+import json
+import os
+import random
+import tempfile
+
+from repro.injection.campaigns import instruction_class
+from repro.injection.engine import (
+    CampaignEngine,
+    CampaignJournal,
+    EngineConfig,
+    plan_fingerprint,
+)
+from repro.injection.outcomes import HARNESS_ERROR, InjectionResult
+from repro.staticanalysis.dataflow import (
+    ALL_RESOURCES,
+    instr_defs_uses,
+)
+from repro.staticanalysis.delta import fingerprint_kernel
+from repro.staticanalysis.predict import PRED_UNKNOWN, PreClassifier
+from repro.staticanalysis.propagation import (
+    PropagationAnalyzer,
+    trap_of_cause,
+)
+
+#: Ladder of site features an impure class is split on, most
+#: semantically meaningful first; a class no feature discriminates
+#: falls apart into singletons (which are trivially pure).
+SPLIT_FEATURES = ("byte_offset", "bit", "instr_addr")
+
+#: Result fields that identify the *site* (or derive statically from
+#: its spec); an extrapolated record takes these from the member spec
+#: and everything else from its pilot's dynamic outcome.
+_SITE_FIELDS = (
+    "campaign", "function", "subsystem", "addr", "byte_offset", "bit",
+    "mnemonic", "instr_class", "is_branch", "pred_class", "pred_traps",
+    "pred_latency_lo", "pred_latency_hi", "pred_subsystems",
+    "pred_seed", "workload",
+)
+
+
+def _digest(payload):
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def _latency_band(value):
+    """Order-of-magnitude band of a latency bound (``None`` = open)."""
+    if value is None:
+        return "open"
+    value = int(value)
+    if value <= 0:
+        return "0"
+    return "1e%d" % (len(str(value)) - 1)
+
+
+class SitePartitioner:
+    """Static equivalence-class fingerprints for injection sites.
+
+    Stateless apart from caches; the same kernel image always yields
+    the same features and the same class fingerprint for a site, so
+    fingerprints are stable across partitioner instances (and across
+    re-decodes of the image).
+    """
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self._pre = PreClassifier(kernel)
+        self._analyzer = PropagationAnalyzer(kernel)
+        self._prints = None
+        self._cache = {}
+
+    def _composed_fp(self, function):
+        if self._prints is None:
+            self._prints = fingerprint_kernel(self.kernel)
+        return self._prints.composed.get(function, "?")
+
+    def features(self, spec):
+        """Canonical (JSON-able) class features of one planned spec."""
+        fault_model = getattr(spec, "fault_model", None)
+        if fault_model is not None:
+            return {
+                "kind": "model",
+                "model": fault_model,
+                "function": spec.function,
+                "subsystem": spec.subsystem,
+                "context": self._composed_fp(spec.function),
+            }
+        return self.features_site(spec.function, spec.instr_addr,
+                                  spec.byte_offset, spec.bit)
+
+    def features_site(self, function, instr_addr, byte_offset, bit):
+        """Class features of a raw ``(function, addr, byte, bit)``."""
+        key = (function, instr_addr, byte_offset, bit)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        state = self._pre._function_state(function)
+        if state is None:
+            feats = {"kind": "unknown", "function": function}
+            self._cache[key] = feats
+            return feats
+        info, code, instrs, live = state
+        ins = instrs.get(instr_addr)
+        verdict = self._analyzer.analyze_site(function, instr_addr,
+                                              byte_offset, bit)
+        feats = {
+            "kind": "flip",
+            "subsystem": info.subsystem,
+            "context": self._composed_fp(function),
+            "traps": sorted(verdict.traps),
+            "latency": [_latency_band(verdict.latency_lo),
+                        _latency_band(verdict.latency_hi)],
+            "spread": sorted(verdict.subsystems),
+            "escapes": [bool(verdict.escapes),
+                        bool(verdict.escapes_caller)],
+        }
+        if ins is None:
+            feats.update(op=None, iclass=None, ilen=None,
+                         flip=PRED_UNKNOWN, live_defs=["?"])
+        else:
+            from repro.staticanalysis.predict import classify_flip
+            live_after = live.get(instr_addr, ALL_RESOURCES)
+            effect = instr_defs_uses(ins)
+            feats.update(
+                op=ins.op,
+                iclass=instruction_class(ins),
+                ilen=ins.length,
+                flip=classify_flip(code, info.start, ins, byte_offset,
+                                   bit, live_after),
+                live_defs=sorted(effect.may_defs & live_after),
+            )
+        self._cache[key] = feats
+        return feats
+
+    def fingerprint(self, spec):
+        """The class fingerprint of one planned spec."""
+        return _digest(self.features(spec))
+
+    def fingerprint_site(self, function, instr_addr, byte_offset, bit):
+        return _digest(self.features_site(function, instr_addr,
+                                          byte_offset, bit))
+
+    def partition(self, specs):
+        """Group spec indices by class fingerprint.
+
+        Returns ``{class_fp: [indices]}`` (indices in plan order).
+        """
+        classes = {}
+        for index, spec in enumerate(specs):
+            classes.setdefault(self.fingerprint(spec), []).append(index)
+        return classes
+
+
+class EquivClass:
+    """One activation-refined equivalence class inside a plan."""
+
+    __slots__ = ("fp", "features", "members", "pilots", "audits")
+
+    def __init__(self, fp, features, members, pilots, audits):
+        self.fp = fp
+        self.features = features
+        self.members = tuple(members)
+        self.pilots = tuple(pilots)
+        self.audits = tuple(audits)
+
+    @property
+    def injected(self):
+        return tuple(sorted(set(self.pilots) | set(self.audits)))
+
+
+class EquivalencePlan:
+    """A campaign plan split into pilots, audits and extrapolations."""
+
+    __slots__ = ("campaign", "seed", "byte_stride", "functions",
+                 "specs", "fingerprint", "classes", "pilots_per_class",
+                 "audit_fraction")
+
+    def __init__(self, campaign, seed, byte_stride, functions, specs,
+                 fingerprint, classes, pilots_per_class,
+                 audit_fraction):
+        self.campaign = campaign
+        self.seed = seed
+        self.byte_stride = byte_stride
+        self.functions = functions
+        self.specs = specs
+        self.fingerprint = fingerprint
+        self.classes = classes
+        self.pilots_per_class = pilots_per_class
+        self.audit_fraction = audit_fraction
+
+    @property
+    def injected_indices(self):
+        injected = set()
+        for cls in self.classes.values():
+            injected.update(cls.injected)
+        return sorted(injected)
+
+    @property
+    def injected_fraction(self):
+        if not self.specs:
+            return 0.0
+        return len(self.injected_indices) / len(self.specs)
+
+    def summary(self):
+        sizes = sorted((len(c.members) for c in self.classes.values()),
+                       reverse=True)
+        return {
+            "campaign": self.campaign,
+            "seed": self.seed,
+            "byte_stride": self.byte_stride,
+            "n_specs": len(self.specs),
+            "n_classes": len(self.classes),
+            "pilots": sum(len(c.pilots)
+                          for c in self.classes.values()),
+            "audits": sum(len(c.audits)
+                          for c in self.classes.values()),
+            "planned_injected": len(self.injected_indices),
+            "planned_fraction": round(self.injected_fraction, 4),
+            "pilots_per_class": self.pilots_per_class,
+            "audit_fraction": self.audit_fraction,
+            "largest_class": sizes[0] if sizes else 0,
+            "singletons": sum(1 for s in sizes if s == 1),
+        }
+
+
+def _refined_classes(harness, specs, partitioner):
+    """Activation-refined partition: ``{fp: (features, [indices])}``.
+
+    A covered site's class is its static fingerprint refined by the
+    assigned workload; uncovered sites collapse into one dormant class
+    per workload — their outcome is provably ``NOT_ACTIVATED``
+    (deterministic coverage), so static features cannot discriminate
+    further.
+    """
+    refined = {}
+    for index, spec in enumerate(specs):
+        covered = harness.assign_workload(spec)
+        if covered:
+            features = dict(partitioner.features(spec))
+            features["workload"] = spec.workload
+            fp = _digest(features)
+        else:
+            features = {"kind": "dormant", "workload": spec.workload}
+            fp = _digest(features)
+        entry = refined.setdefault(fp, (features, []))
+        entry[1].append(index)
+    return refined
+
+
+def plan_equivalence(harness, campaign_key, seed=2003, byte_stride=1,
+                     functions=None, max_per_function=None,
+                     max_specs=None, specs=None, pilots_per_class=2,
+                     audit_fraction=0.15, prune_dead=False,
+                     partitioner=None):
+    """Partition campaign *campaign_key* into equivalence classes and
+    select seeded pilots + audits; returns an :class:`EquivalencePlan`.
+
+    *specs* short-circuits planning with a pre-built spec list (how
+    fault-model campaigns and externally pruned plans compose);
+    *prune_dead* drops statically dead sites before partitioning,
+    exactly like ``run_campaign``'s planner flag.
+    """
+    if specs is None:
+        functions, specs = harness.plan_specs(
+            campaign_key, functions=functions, seed=seed,
+            byte_stride=byte_stride,
+            max_per_function=max_per_function, max_specs=max_specs,
+            prune_dead=prune_dead)
+    else:
+        specs = list(specs)
+        functions = functions or []
+        if prune_dead:
+            from repro.injection.campaigns import apply_predictions
+            specs = apply_predictions(harness.kernel, specs,
+                                      prune_dead=True)
+    fingerprint = plan_fingerprint(campaign_key, specs, seed,
+                                   byte_stride)
+    if partitioner is None:
+        partitioner = SitePartitioner(harness.kernel)
+    refined = _refined_classes(harness, specs, partitioner)
+    classes = {}
+    for fp in sorted(refined):
+        features, members = refined[fp]
+        rng = random.Random(repr((seed, "equiv-pilot", fp)))
+        pilots = sorted(rng.sample(members,
+                                   min(pilots_per_class,
+                                       len(members))))
+        rest = [m for m in members if m not in pilots]
+        rng = random.Random(repr((seed, "equiv-audit", fp)))
+        audits = [m for m in rest if rng.random() < audit_fraction]
+        classes[fp] = EquivClass(fp, features, members, pilots, audits)
+    _ensure_audited(classes, seed)
+    return EquivalencePlan(campaign_key, seed, byte_stride, functions,
+                           specs, fingerprint, classes,
+                           pilots_per_class, audit_fraction)
+
+
+def _ensure_audited(classes, seed):
+    """Guarantee at least one audit when any class has siblings.
+
+    The seeded Bernoulli draw can legitimately select zero audits on a
+    tiny plan, which would leave extrapolation accuracy unmeasured;
+    force one audit in the largest multi-member class instead.
+    """
+    if any(c.audits for c in classes.values()):
+        return
+    candidates = [c for c in classes.values()
+                  if len(c.members) > len(c.pilots)]
+    if not candidates:
+        return
+    target = max(candidates,
+                 key=lambda c: (len(c.members), c.fp))
+    rest = [m for m in target.members if m not in target.pilots]
+    rng = random.Random(repr((seed, "equiv-audit-force", target.fp)))
+    classes[target.fp] = EquivClass(target.fp, target.features,
+                                    target.members, target.pilots,
+                                    (rng.choice(rest),))
+
+
+class _EquivJournal(CampaignJournal):
+    """Journal adapter for running a subset of a plan's indices.
+
+    The engine executes pilots/audits as a dense local spec list; this
+    adapter journals them under their *global* plan indices beneath a
+    plain full-plan header, so the on-disk file is an ordinary
+    campaign journal of the whole plan (loadable, resumable and
+    fabric-mergeable as the degenerate 1/1 shard) that simply has not
+    completed its extrapolated indices yet.
+    """
+
+    def __init__(self, path, indices, fingerprint, campaign, seed,
+                 n_specs):
+        super().__init__(path)
+        self._indices = tuple(indices)
+        self._by_global = {g: i for i, g in enumerate(self._indices)}
+        self._plan_fp = fingerprint
+        self._campaign = campaign
+        self._plan_seed = seed
+        self._n_specs = n_specs
+
+    def _check_header(self, header, fingerprint):
+        super()._check_header(header, self._plan_fp)
+
+    def _local_index(self, stored_index):
+        return self._by_global.get(stored_index)
+
+    def _note_loaded(self, completed):
+        self._seen.update(self._indices[i] for i in completed)
+
+    def _stored_index(self, index):
+        return self._indices[index]
+
+    def _header(self, fingerprint, campaign_key, seed, n_specs):
+        return super()._header(self._plan_fp, self._campaign,
+                               self._plan_seed, self._n_specs)
+
+
+def _site_fields(spec):
+    """The member-identity field overrides for an extrapolated record."""
+    fields = {
+        "campaign": spec.campaign,
+        "function": spec.function,
+        "subsystem": spec.subsystem,
+        "addr": spec.instr_addr,
+        "byte_offset": spec.byte_offset,
+        "bit": spec.bit,
+        "mnemonic": spec.mnemonic,
+        "workload": spec.workload,
+        "fault_model": None,
+        "fault_target": None,
+    }
+    for name in ("instr_class", "is_branch", "pred_class",
+                 "pred_traps", "pred_latency_lo", "pred_latency_hi",
+                 "pred_subsystems", "pred_seed"):
+        fields[name] = getattr(spec, name, None)
+    if getattr(spec, "fault_model", None) is not None:
+        from repro.injection.faultmodels import resolve_model
+        model = resolve_model(spec)
+        fields["fault_model"] = model.kind
+        fields["fault_target"] = model.target_name(spec)
+    return fields
+
+
+def extrapolate_result(spec, pilot_result):
+    """Clone *pilot_result*'s dynamic outcome onto *spec*'s site."""
+    payload = pilot_result.to_dict()
+    payload.update(_site_fields(spec))
+    payload.pop("repro", None)
+    return InjectionResult.from_dict(payload)
+
+
+def _split_groups(fp, members, specs, ran):
+    """Split an impure group on its first discriminating feature.
+
+    Walks :data:`SPLIT_FEATURES` and accepts the first feature that
+    both discriminates (>1 subgroup) and explains the observed
+    disagreement (every subgroup's real outcomes agree); otherwise the
+    group falls apart into singletons.  Returns
+    ``[(sub_fp, feature, members)]``.
+    """
+    for feature in SPLIT_FEATURES:
+        subgroups = {}
+        for m in members:
+            subgroups.setdefault(getattr(specs[m], feature),
+                                 []).append(m)
+        if len(subgroups) <= 1:
+            continue
+        consistent = all(
+            len({ran[m].outcome for m in group if m in ran}) <= 1
+            for group in subgroups.values())
+        if not consistent:
+            continue
+        return [(_digest(["split", fp, feature, repr(value)]),
+                 feature, group)
+                for value, group in sorted(subgroups.items(),
+                                           key=lambda kv: repr(kv[0]))]
+    return [(_digest(["split", fp, "singleton", m]), "singleton", [m])
+            for m in members]
+
+
+def _execute_subset(harness, plan, indices, journal_path, grade,
+                    progress, jobs, timeout, retries,
+                    max_worker_failures):
+    """Run the plan's *indices* through the engine, resuming over the
+    shared full-plan journal; returns ``{global_index: result}``."""
+    indices = sorted(indices)
+    subset = [plan.specs[i] for i in indices]
+    journal = _EquivJournal(journal_path, indices, plan.fingerprint,
+                            plan.campaign, plan.seed, len(plan.specs))
+    config = EngineConfig(jobs=jobs, timeout=timeout, retries=retries,
+                          max_worker_failures=max_worker_failures,
+                          resume=True)
+    engine = CampaignEngine(harness, config)
+    results, engine_meta = engine.execute(
+        plan.campaign, subset, plan.seed, plan.byte_stride,
+        grade=grade, progress=progress, journal=journal)
+    return ({g: results[i] for i, g in enumerate(indices)},
+            engine_meta)
+
+
+def _converge_groups(plan, pending, ran, execute, stats):
+    """Split groups until every group's observed outcomes agree.
+
+    Walks the split ladder on any group whose real results disagree,
+    re-pilots subgroups left without a real result, and runs *every*
+    member of a group that observed a harness error (a harness error
+    describes the rig, not the kernel, so it never extrapolates).
+    Returns ``(final_groups, ran)`` with ``final_groups`` a list of
+    ``(fp, members)`` whose ran members all agree.
+    """
+    final = []
+    while pending:
+        need = set()
+        for fp, members in pending:
+            if not any(m in ran for m in members):
+                need.add(min(members))
+        if need:
+            stats["rounds"] += 1
+            stats["repilot_runs"] += len(need)
+            ran, _ = execute(set(ran) | need)
+        next_pending = []
+        for fp, members in pending:
+            outcomes = {ran[m].outcome for m in members if m in ran}
+            if len(outcomes) == 1 \
+                    and HARNESS_ERROR not in outcomes:
+                final.append((fp, members))
+            elif len(members) == 1 or HARNESS_ERROR in outcomes:
+                unran = [m for m in members if m not in ran]
+                if unran:
+                    stats["rounds"] += 1
+                    stats["repilot_runs"] += len(unran)
+                    ran, _ = execute(set(ran) | set(unran))
+                final.append((fp, members))
+            else:
+                stats["splits"] += 1
+                for sub_fp, _, group in _split_groups(
+                        fp, members, plan.specs, ran):
+                    next_pending.append((sub_fp, group))
+        pending = next_pending
+    return final, ran
+
+
+def run_equiv_campaign(harness, campaign_key, seed=2003, byte_stride=1,
+                       functions=None, max_per_function=None,
+                       max_specs=None, specs=None, grade=True,
+                       progress=None, jobs=1, timeout=None, retries=2,
+                       max_worker_failures=3, journal_path=None,
+                       resume=False, pilots_per_class=2,
+                       audit_fraction=0.15, prune_dead=False,
+                       partitioner=None):
+    """Run an equivalence-pruned campaign; returns ``CampaignResults``.
+
+    Plans with :func:`plan_equivalence`, then executes over a plain
+    full-plan journal in two rounds: pilots first (classes whose
+    pilots disagree are split and re-piloted before anything else),
+    then the seeded audits, each graded against its refined class's
+    pilot outcome.  Classes an audit catches impure are split and
+    re-piloted until every group's observed outcomes agree; the
+    remaining members are journaled via ``record_extrapolated`` with
+    ``{pilot_index, class_fp, n_members}`` provenance.
+    ``meta["equivalence"]`` carries the plan summary plus the measured
+    audit accuracy and injected fraction.
+    """
+    from repro.injection.runner import CampaignResults
+    plan = plan_equivalence(
+        harness, campaign_key, seed=seed, byte_stride=byte_stride,
+        functions=functions, max_per_function=max_per_function,
+        max_specs=max_specs, specs=specs,
+        pilots_per_class=pilots_per_class,
+        audit_fraction=audit_fraction, prune_dead=prune_dead,
+        partitioner=partitioner)
+    if journal_path is None:
+        workdir = tempfile.mkdtemp(prefix="equiv_campaign_")
+        journal_path = os.path.join(workdir, "equiv.journal.jsonl")
+    if not resume:
+        fresh = CampaignJournal(journal_path)
+        fresh.start(plan.fingerprint, campaign_key, seed,
+                    len(plan.specs), fresh=True)
+        fresh.close()
+
+    def execute(indices):
+        return _execute_subset(
+            harness, plan, indices, journal_path, grade, progress,
+            jobs, timeout, retries, max_worker_failures)
+
+    pilot_set, audit_set = set(), set()
+    for cls in plan.classes.values():
+        pilot_set.update(cls.pilots)
+        audit_set.update(cls.audits)
+    audit_set -= pilot_set
+    stats = {"splits": 0, "repilot_runs": 0, "rounds": 0}
+
+    # -- round 1: pilots; repair classes whose pilots disagree -------
+    if pilot_set:
+        ran, engine_meta = execute(pilot_set)
+    else:
+        ran, engine_meta = {}, {}
+    pending = [(cls.fp, list(cls.members))
+               for fp, cls in sorted(plan.classes.items())]
+    refined, ran = _converge_groups(plan, pending, ran, execute, stats)
+
+    # -- round 2: audits, graded against the refined groups ----------
+    group_of = {}
+    for fp, members in refined:
+        ran_members = [m for m in members if m in ran]
+        outcome = (ran[min(ran_members)].outcome
+                   if ran_members else None)
+        for member in members:
+            group_of[member] = (fp, outcome)
+    if audit_set:
+        ran, _ = execute(set(ran) | audit_set)
+    audit_checked = audit_matched = 0
+    impure = set()
+    for index in sorted(audit_set):
+        fp, outcome = group_of[index]
+        if outcome is None:
+            continue
+        audit_checked += 1
+        if ran[index].outcome == outcome:
+            audit_matched += 1
+        else:
+            impure.add(fp)
+
+    # -- split impure groups and re-pilot until every group agrees ---
+    final, ran = _converge_groups(plan, refined, ran, execute, stats)
+
+    # -- extrapolate the remaining members off their group pilots ----
+    results = dict(ran)
+    extrapolated = 0
+    journal = CampaignJournal(journal_path)
+    journal.load(plan.fingerprint)
+    journal.start(plan.fingerprint, campaign_key, seed,
+                  len(plan.specs), fresh=False)
+    try:
+        for fp, members in final:
+            ran_members = [m for m in members if m in ran]
+            pilot = min(ran_members)
+            provenance = {"pilot_index": pilot, "class_fp": fp,
+                          "n_members": len(members)}
+            for member in members:
+                if member in ran:
+                    continue
+                result = extrapolate_result(plan.specs[member],
+                                            ran[pilot])
+                journal.record_extrapolated(member, result, provenance)
+                results[member] = result
+                extrapolated += 1
+    finally:
+        journal.close()
+
+    ordered = [results[i] for i in range(len(plan.specs))]
+    injected = len(ran)
+    meta = {
+        "campaign": campaign_key,
+        "seed": seed,
+        "byte_stride": byte_stride,
+        "n_targets": len(plan.functions),
+        "fingerprint": plan.fingerprint,
+        "engine": engine_meta,
+        "equivalence": dict(
+            plan.summary(),
+            injected=injected,
+            injected_fraction=(
+                round(injected / len(plan.specs), 4)
+                if plan.specs else 0.0),
+            extrapolated=extrapolated,
+            audit_checked=audit_checked,
+            audit_matched=audit_matched,
+            audit_accuracy=(
+                round(audit_matched / audit_checked, 4)
+                if audit_checked else None),
+            impure_classes=len(impure),
+            splits=stats["splits"],
+            repilot_runs=stats["repilot_runs"],
+            repilot_rounds=stats["rounds"],
+        ),
+    }
+    return CampaignResults(campaign_key, results=ordered, meta=meta)
+
+
+# ---------------------------------------------------------------------------
+# journal audit + dump annotation
+
+
+def journal_extrapolation(path):
+    """Provenance census of a campaign journal.
+
+    Returns ``{"executed", "extrapolated", "carried", "provenance"}``
+    where ``provenance`` maps class fingerprints to member counts of
+    the well-formed ``extrapolated`` blocks.  Used by ``kequiv audit``
+    and the ``equivalence_validation`` exhibit to check that *every*
+    extrapolated record carries ``{pilot_index, class_fp}``.
+    """
+    from repro.injection.engine import read_journal_lines
+    records, _ = read_journal_lines(path)
+    census = {"executed": 0, "extrapolated": 0, "carried": 0,
+              "malformed": 0, "provenance": {}}
+    for record in records[1:]:
+        if record.get("type") != "result":
+            continue
+        block = record.get("extrapolated")
+        if block is None:
+            if record.get("carried") is not None:
+                census["carried"] += 1
+            else:
+                census["executed"] += 1
+            continue
+        census["extrapolated"] += 1
+        if not isinstance(block, dict) \
+                or not isinstance(block.get("pilot_index"), int) \
+                or not isinstance(block.get("class_fp"), str):
+            census["malformed"] += 1
+            continue
+        fp = block["class_fp"]
+        census["provenance"][fp] = census["provenance"].get(fp, 0) + 1
+    return census
+
+
+def describe_site_class(kernel, function, instr_addr, byte_offset, bit,
+                        crash_cause=None, partitioner=None):
+    """``EQUIV:`` annotation lines for one injection site.
+
+    Enumerates the sibling sites of the containing function at the
+    same bit position, reports the site's class fingerprint, its
+    pilot-or-member role (pilot = first class member in enumeration
+    order), the function-local class size and — when a dynamic crash
+    cause is known — the audit verdict against the class's predicted
+    trap set.
+    """
+    part = partitioner or SitePartitioner(kernel)
+    feats = part.features_site(function, instr_addr, byte_offset, bit)
+    fp = _digest(feats)
+    state = part._pre._function_state(function)
+    size = role = None
+    if state is not None:
+        info, _, instrs, _ = state
+        first = None
+        size = 0
+        for addr in sorted(instrs):
+            for byte in range(instrs[addr].length):
+                if part.fingerprint_site(function, addr, byte,
+                                         bit) != fp:
+                    continue
+                size += 1
+                if first is None:
+                    first = (addr, byte)
+        role = ("pilot" if first == (instr_addr, byte_offset)
+                else "member")
+    lines = ["EQUIV:"]
+    lines.append("  class %s  (%s of %s function-local site(s) "
+                 "at bit %d)"
+                 % (fp, role or "?", size if size is not None else "?",
+                    bit))
+    if feats.get("kind") == "flip":
+        lines.append("  key: op=%s class=%s len=%s flip=%s live-defs=%s"
+                     % (feats["op"], feats["iclass"], feats["ilen"],
+                        feats["flip"],
+                        ",".join(feats["live_defs"]) or "-"))
+        lines.append("  verdict: traps=%s latency=[%s..%s] spread=%s"
+                     % (",".join(feats["traps"]) or "-",
+                        feats["latency"][0], feats["latency"][1],
+                        ",".join(feats["spread"]) or "-"))
+    if crash_cause is not None:
+        trap = trap_of_cause(crash_cause)
+        traps = feats.get("traps") or []
+        verdict = ("consistent" if trap in traps
+                   else "OUTSIDE predicted trap set")
+        lines.append("  audit: observed %s -> %s (%s)"
+                     % (crash_cause, trap, verdict))
+    else:
+        lines.append("  audit: no dynamic crash to compare")
+    return lines

@@ -1,11 +1,15 @@
-"""Shared ``--model`` plumbing for the ksymoops and ktrace CLIs.
+"""Shared CLI plumbing for the fault-injection tools.
 
-Both tools historically hardwired the instruction-stream flip; these
-helpers let them arm any :mod:`repro.injection.faultmodels` model at a
-(function, byte, bit) site and print the matching ``FAULT:``
-annotation, e.g.::
+``--model`` helpers (ksymoops, ktrace): both tools historically
+hardwired the instruction-stream flip; these helpers let them arm any
+:mod:`repro.injection.faultmodels` model at a (function, byte, bit)
+site and print the matching ``FAULT:`` annotation, e.g.::
 
     FAULT: reg flip edx bit 17 @ trap entry
+
+Campaign-sizing helpers (kdelta, kequiv): the shared
+``campaign --seed --stride --max-specs --scale`` option group and the
+scale-preset resolution both campaign CLIs size their plans with.
 """
 
 from repro.injection.campaigns import InjectionSpec
@@ -16,6 +20,30 @@ from repro.isa.registers import REG_NAMES
 #: register bit, ``mem`` reuses BYTE as the region offset).
 MODEL_CHOICES = ("instr", "mem", "reg", "reg_trap", "intermittent",
                  "disk")
+
+
+def add_campaign_options(parser):
+    """Install the shared campaign sizing options (kdelta, kequiv)."""
+    parser.add_argument("campaign", help="campaign key (A, B, C, ...)")
+    parser.add_argument("--seed", type=int, default=2003)
+    parser.add_argument("--stride", type=int, default=None,
+                        help="byte stride (default from --scale)")
+    parser.add_argument("--max-specs", type=int, default=None,
+                        help="spec cap (default from --scale)")
+    parser.add_argument("--scale", default="quick",
+                        help="sizing preset supplying stride/cap "
+                             "defaults (tiny/quick/standard/full)")
+
+
+def scale_params(args):
+    """Resolve ``(byte_stride, max_specs)`` from the parsed options."""
+    from repro.experiments.context import SCALES
+    stride, cap = args.stride, args.max_specs
+    if stride is None or cap is None:
+        preset = SCALES[args.scale][args.campaign]
+        stride = preset[0] if stride is None else stride
+        cap = preset[1] if cap is None else cap
+    return stride, cap
 
 
 def add_model_options(parser):

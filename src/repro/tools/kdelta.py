@@ -58,30 +58,18 @@ def _edits(args, parser):
 
 
 def _add_plan_options(parser):
-    parser.add_argument("campaign", help="campaign key (A, B, C, ...)")
+    from repro.tools.faultcli import add_campaign_options
+    add_campaign_options(parser)
     parser.add_argument("--from", dest="source", required=True,
                         metavar="JOURNAL",
                         help="prior campaign journal (run against the "
                              "unedited kernel)")
-    parser.add_argument("--seed", type=int, default=2003)
-    parser.add_argument("--stride", type=int, default=None,
-                        help="byte stride (default from --scale)")
-    parser.add_argument("--max-specs", type=int, default=None,
-                        help="spec cap (default from --scale)")
-    parser.add_argument("--scale", default="quick",
-                        help="sizing preset supplying stride/cap "
-                             "defaults (tiny/quick/standard/full)")
     _add_edit_options(parser)
 
 
 def _scale_params(args):
-    from repro.experiments.context import SCALES
-    stride, cap = args.stride, args.max_specs
-    if stride is None or cap is None:
-        preset = SCALES[args.scale][args.campaign]
-        stride = preset[0] if stride is None else stride
-        cap = preset[1] if cap is None else cap
-    return stride, cap
+    from repro.tools.faultcli import scale_params
+    return scale_params(args)
 
 
 def _build_kernels(edits):

@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Partition, plan, run and audit equivalence-pruned campaigns.
+
+    python3 -m repro.tools.kequiv classes A [--functions F ...] [opts]
+    python3 -m repro.tools.kequiv plan A [--pilots K] [--audit F] [opts]
+    python3 -m repro.tools.kequiv run A [--journal OUT.jsonl] \\
+        [--save OUT.json] [--jobs N] [opts]
+    python3 -m repro.tools.kequiv audit JOURNAL [--json]
+
+``classes`` prints the static equivalence partition of a campaign
+plan — one line per class fingerprint with its size, kind and key
+features.  ``plan`` prints the pilot/audit selection on top of it
+(planned injected fraction before any run).  ``run`` executes the
+pilot campaign: only pilots + audits boot kernels, class siblings are
+extrapolated into the journal with ``{pilot_index, class_fp,
+n_members}`` provenance, and classes the audit catches impure are
+split and re-piloted (see
+:mod:`repro.staticanalysis.equivalence`).  ``audit`` reads any
+campaign journal back and reports the executed / extrapolated /
+carried census plus per-class provenance — the same check the
+``equivalence_validation`` exhibit gates in CI.
+
+Campaign sizing (``--seed --stride --max-specs --scale``) is the
+shared :mod:`repro.tools.faultcli` plumbing used by kdelta.
+"""
+
+import argparse
+import json
+import sys
+
+
+def _harness():
+    from repro.injection.runner import InjectionHarness
+    from repro.kernel.build import build_kernel
+    from repro.profiling.sampler import profile_kernel
+    from repro.userland.build import build_all_programs
+    from repro.userland.programs import WORKLOADS
+    print("building kernel + workloads...", file=sys.stderr)
+    kernel = build_kernel()
+    binaries = build_all_programs()
+    profile = profile_kernel(kernel, binaries, WORKLOADS)
+    return InjectionHarness(kernel, binaries, profile)
+
+
+def _functions(harness, args):
+    if not args.functions:
+        return None
+    from repro.injection.campaigns import select_targets
+    targets = select_targets(harness.kernel, harness.profile,
+                             args.campaign)
+    wanted = [f for f in targets if f.name in set(args.functions)]
+    missing = set(args.functions) - {f.name for f in wanted}
+    if missing:
+        args.parser.error("not campaign-%s targets: %s"
+                          % (args.campaign,
+                             ", ".join(sorted(missing))))
+    return wanted
+
+
+def _plan(args):
+    from repro.staticanalysis.equivalence import plan_equivalence
+    from repro.tools.faultcli import scale_params
+    harness = _harness()
+    stride, cap = scale_params(args)
+    plan = plan_equivalence(
+        harness, args.campaign, seed=args.seed, byte_stride=stride,
+        max_specs=cap, functions=_functions(harness, args),
+        pilots_per_class=args.pilots, audit_fraction=args.audit,
+        prune_dead=args.prune_dead)
+    return harness, plan, stride, cap
+
+
+def _class_row(cls):
+    features = cls.features
+    kind = features.get("kind", "?")
+    if kind == "flip":
+        detail = "op=%s class=%s flip=%s" % (
+            features.get("op"), features.get("iclass"),
+            features.get("flip"))
+    elif kind == "model":
+        detail = "model=%s" % features.get("model", {}).get("kind")
+    else:
+        detail = "workload=%s" % features.get("workload")
+    return {"fp": cls.fp, "size": len(cls.members), "kind": kind,
+            "pilots": len(cls.pilots), "audits": len(cls.audits),
+            "detail": detail}
+
+
+def cmd_classes(args):
+    _, plan, stride, _ = _plan(args)
+    rows = sorted((_class_row(c) for c in plan.classes.values()),
+                  key=lambda r: (-r["size"], r["fp"]))
+    if args.json:
+        json.dump({"summary": plan.summary(), "classes": rows},
+                  sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    print("campaign %s seed %d stride %d: %d site(s), %d class(es)"
+          % (plan.campaign, plan.seed, stride, len(plan.specs),
+             len(plan.classes)))
+    for row in rows:
+        print("%s  size %4d  %-8s %d pilot(s) %d audit(s)  %s"
+              % (row["fp"], row["size"], row["kind"], row["pilots"],
+                 row["audits"], row["detail"]))
+    return 0
+
+
+def cmd_plan(args):
+    _, plan, _, _ = _plan(args)
+    summary = plan.summary()
+    if args.json:
+        json.dump(summary, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    print("campaign %s seed %d stride %d: %d specs"
+          % (summary["campaign"], summary["seed"],
+             summary["byte_stride"], summary["n_specs"]))
+    print("%d class(es) (largest %d, %d singleton(s))"
+          % (summary["n_classes"], summary["largest_class"],
+             summary["singletons"]))
+    print("pilots %d (+%d audit(s)) -> planned injected %d of %d "
+          "(fraction %.4f)"
+          % (summary["pilots"], summary["audits"],
+             summary["planned_injected"], summary["n_specs"],
+             summary["planned_fraction"]))
+    return 0
+
+
+def _progress(done, total, result):
+    if done % 25 == 0 or done == total:
+        print("  %d/%d (%s)" % (done, total, result.outcome),
+              file=sys.stderr, flush=True)
+
+
+def cmd_run(args):
+    from repro.tools.faultcli import scale_params
+    harness = _harness()
+    stride, cap = scale_params(args)
+    results = harness.run_campaign(
+        args.campaign, seed=args.seed, byte_stride=stride,
+        max_specs=cap, functions=_functions(harness, args),
+        jobs=args.jobs, journal_path=args.journal,
+        progress=_progress, equivalence=True,
+        equiv_pilots=args.pilots, equiv_audit=args.audit,
+        prune_dead=args.prune_dead)
+    equiv = results.meta["equivalence"]
+    if args.json:
+        json.dump(equiv, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        accuracy = equiv["audit_accuracy"]
+        print("equivalence campaign %s: %d results, injected %d "
+              "(fraction %.4f), extrapolated %d"
+              % (args.campaign, len(results), equiv["injected"],
+                 equiv["injected_fraction"], equiv["extrapolated"]))
+        print("audit %d/%d (%s), %d impure class(es), %d split(s), "
+              "%d re-pilot run(s)"
+              % (equiv["audit_matched"], equiv["audit_checked"],
+                 "accuracy %.4f" % accuracy
+                 if accuracy is not None else "no audits",
+                 equiv["impure_classes"], equiv["splits"],
+                 equiv["repilot_runs"]))
+    if args.save:
+        results.save(args.save)
+        print("results -> %s" % args.save, file=sys.stderr)
+    return 0
+
+
+def cmd_audit(args):
+    from repro.staticanalysis.equivalence import journal_extrapolation
+    census = journal_extrapolation(args.journal)
+    if args.json:
+        json.dump(census, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0 if not census["malformed"] else 1
+    print("%s: %d executed, %d extrapolated, %d carried, "
+          "%d malformed"
+          % (args.journal, census["executed"], census["extrapolated"],
+             census["carried"], census["malformed"]))
+    for fp, count in sorted(census["provenance"].items()):
+        print("  class %s: %d extrapolated member(s)" % (fp, count))
+    if census["malformed"]:
+        print("MALFORMED: %d extrapolated record(s) missing "
+              "{pilot_index, class_fp} provenance"
+              % census["malformed"])
+        return 1
+    return 0
+
+
+def _add_equiv_options(parser):
+    from repro.tools.faultcli import add_campaign_options
+    add_campaign_options(parser)
+    parser.add_argument("--functions", nargs="+", default=None,
+                        metavar="NAME",
+                        help="restrict the plan to these campaign "
+                             "targets")
+    parser.add_argument("--pilots", type=int, default=2,
+                        help="pilots per class (default 2)")
+    parser.add_argument("--audit", type=float, default=0.15,
+                        help="audit fraction of non-pilot members "
+                             "(default 0.15)")
+    parser.add_argument("--prune-dead", action="store_true",
+                        help="drop statically dead sites before "
+                             "partitioning")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_classes = sub.add_parser(
+        "classes", help="print the static equivalence partition")
+    _add_equiv_options(p_classes)
+    p_classes.add_argument("--json", action="store_true")
+    p_classes.set_defaults(func=cmd_classes)
+
+    p_plan = sub.add_parser(
+        "plan", help="print the pilot/audit selection")
+    _add_equiv_options(p_plan)
+    p_plan.add_argument("--json", action="store_true")
+    p_plan.set_defaults(func=cmd_plan)
+
+    p_run = sub.add_parser(
+        "run", help="execute a pilot campaign with extrapolation")
+    _add_equiv_options(p_run)
+    p_run.add_argument("--journal", default=None,
+                       help="journal path (extrapolated records are "
+                            "stamped with provenance)")
+    p_run.add_argument("--jobs", type=int, default=1)
+    p_run.add_argument("--save", default=None,
+                       help="write CampaignResults JSON")
+    p_run.add_argument("--json", action="store_true")
+    p_run.set_defaults(func=cmd_run)
+
+    p_audit = sub.add_parser(
+        "audit", help="provenance census of a campaign journal")
+    p_audit.add_argument("journal")
+    p_audit.add_argument("--json", action="store_true")
+    p_audit.set_defaults(func=cmd_audit)
+
+    args = parser.parse_args(argv)
+    args.parser = parser
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -156,7 +156,11 @@ def main(argv=None):
         json.dump(findings_sarif(findings), sys.stdout, indent=1)
         sys.stdout.write("\n")
     else:
-        for finding in findings:
+        # Deterministic order (rule, then address) so CI artifact
+        # diffs are stable across linter-internal iteration order.
+        for finding in sorted(findings,
+                              key=lambda f: (f.rule, f.addr,
+                                             f.function)):
             print(finding.format(kernel))
         if not args.quiet:
             from repro.staticanalysis.delta import opaque_functions

@@ -1,0 +1,219 @@
+"""Equivalence classes: fingerprints, pilot plans and extrapolation.
+
+Covers the static partitioner (fingerprint stability across fresh
+partitioners and across an image re-decode — a hypothesis property),
+the class-key invariants (same class => same instruction class and
+predicted trap set), plan determinism, and a small end-to-end pruned
+campaign whose journal must stay loadable, resumable, fabric-mergeable
+and delta-consumable while every extrapolated record carries
+provenance.
+"""
+
+import json
+import shutil
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.staticanalysis.equivalence import (
+    SitePartitioner,
+    journal_extrapolation,
+    plan_equivalence,
+)
+
+
+@pytest.fixture(scope="module")
+def partitioner(kernel):
+    return SitePartitioner(kernel)
+
+
+@pytest.fixture(scope="module")
+def fs_functions(kernel):
+    return [f for f in kernel.functions
+            if f.subsystem == "fs" and f.end - f.start >= 4]
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_fingerprint_stable_across_partitioners(kernel, partitioner,
+                                                fs_functions, data):
+    """The class fingerprint of a site is a pure function of the
+    image: fresh partitioners (fresh caches, fresh decode) agree."""
+    info = data.draw(st.sampled_from(fs_functions))
+    state = partitioner._pre._function_state(info.name)
+    if state is None:
+        return
+    instrs = state[2]
+    addr = data.draw(st.sampled_from(sorted(instrs)))
+    byte = data.draw(st.integers(0, instrs[addr].length - 1))
+    bit = data.draw(st.integers(0, 7))
+    fp = partitioner.fingerprint_site(info.name, addr, byte, bit)
+    again = SitePartitioner(kernel).fingerprint_site(info.name, addr,
+                                                    byte, bit)
+    assert again == fp
+
+
+def test_fingerprint_stable_across_redecode(kernel, partitioner,
+                                            fs_functions):
+    from repro.kernel.build import build_kernel
+    redecoded = SitePartitioner(build_kernel())
+    info = fs_functions[0]
+    state = partitioner._pre._function_state(info.name)
+    for addr in sorted(state[2])[:6]:
+        for bit in (0, 5):
+            assert (redecoded.fingerprint_site(info.name, addr, 0, bit)
+                    == partitioner.fingerprint_site(info.name, addr, 0,
+                                                    bit))
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(data=st.data())
+def test_same_class_shares_instr_class_and_traps(kernel, harness,
+                                                 partitioner, data):
+    """Two sites in one class always agree on the parts of the key a
+    reader relies on: instruction class and predicted trap set."""
+    _, specs = harness.plan_specs("A", seed=2003, byte_stride=9,
+                                  max_specs=120)
+    classes = partitioner.partition(specs)
+    multi = [v for v in classes.values() if len(v) > 1]
+    if not multi:
+        return
+    members = data.draw(st.sampled_from(multi))
+    first, second = (specs[i] for i in data.draw(
+        st.tuples(st.sampled_from(members), st.sampled_from(members))))
+    fresh = SitePartitioner(kernel)
+    a = fresh.features(first)
+    b = fresh.features(second)
+    assert a.get("iclass") == b.get("iclass")
+    assert a.get("traps") == b.get("traps")
+
+
+def test_plan_is_deterministic(harness):
+    plans = [plan_equivalence(harness, "A", seed=2003, byte_stride=9,
+                              max_specs=60) for _ in range(2)]
+    first, second = plans
+    assert first.fingerprint == second.fingerprint
+    assert sorted(first.classes) == sorted(second.classes)
+    for fp, cls in first.classes.items():
+        other = second.classes[fp]
+        assert cls.members == other.members
+        assert cls.pilots == other.pilots
+        assert cls.audits == other.audits
+
+
+def test_plan_selects_pilots_and_audits(harness):
+    plan = plan_equivalence(harness, "A", seed=2003, byte_stride=9,
+                            max_specs=60)
+    assert 0 < len(plan.injected_indices) <= len(plan.specs)
+    for cls in plan.classes.values():
+        assert len(cls.pilots) == min(2, len(cls.members))
+        assert set(cls.pilots) <= set(cls.members)
+        assert set(cls.audits) <= set(cls.members) - set(cls.pilots)
+    # _ensure_audited: any multi-member partition measures accuracy.
+    if any(len(c.members) > len(c.pilots)
+           for c in plan.classes.values()):
+        assert any(c.audits for c in plan.classes.values())
+
+
+def test_plan_composes_with_prune_dead(harness):
+    plain = plan_equivalence(harness, "A", seed=2003, byte_stride=9,
+                             max_specs=60)
+    pruned = plan_equivalence(harness, "A", seed=2003, byte_stride=9,
+                              max_specs=60, prune_dead=True)
+    assert len(pruned.specs) <= len(plain.specs)
+    assert pruned.summary()["n_specs"] == len(pruned.specs)
+
+
+def test_fault_model_specs_partition_by_model(harness, partitioner):
+    """Fault-model campaigns compose: specs carrying a ``fault_model``
+    dict class by model identity, not by instruction bytes."""
+    from repro.injection.faultmodels import plan_fault_model_campaign
+    specs = plan_fault_model_campaign(harness.kernel, harness.profile,
+                                      "mem", seed=2003, max_specs=6)
+    feats = partitioner.features(specs[0])
+    assert feats["kind"] == "model"
+    fps = {partitioner.fingerprint(s) for s in specs}
+    assert len(fps) >= 1       # digests, not crashes
+
+
+class TestEquivCampaignJournal:
+    """A small real pruned campaign and its journal contracts."""
+
+    CAMPAIGN = dict(seed=2003, byte_stride=3, max_specs=18, grade=False)
+
+    @pytest.fixture(scope="class")
+    def journal_path(self, tmp_path_factory):
+        return str(tmp_path_factory.mktemp("equiv") / "equiv.jsonl")
+
+    @pytest.fixture(scope="class")
+    def campaign(self, harness, journal_path):
+        return harness.run_campaign("C", equivalence=True,
+                                    journal_path=journal_path,
+                                    **self.CAMPAIGN)
+
+    def test_extrapolation_happened(self, campaign):
+        meta = campaign.meta["equivalence"]
+        assert meta["extrapolated"] >= 1
+        assert meta["injected"] + meta["extrapolated"] \
+            == len(campaign.results)
+        assert meta["injected_fraction"] < 1.0
+
+    def test_every_extrapolated_record_carries_provenance(
+            self, campaign, journal_path):
+        census = journal_extrapolation(journal_path)
+        meta = campaign.meta["equivalence"]
+        assert census["malformed"] == 0
+        assert census["extrapolated"] == meta["extrapolated"]
+        assert census["executed"] == meta["injected"]
+        assert sum(census["provenance"].values()) \
+            == meta["extrapolated"]
+
+    def test_journal_loads_complete_as_plain_campaign(
+            self, campaign, journal_path):
+        from repro.injection.engine import CampaignJournal
+        loaded = CampaignJournal(journal_path).load(
+            campaign.meta["fingerprint"])
+        assert len(loaded) == len(campaign.results)
+        assert ([loaded[i].to_dict()
+                 for i in range(len(campaign.results))]
+                == [r.to_dict() for r in campaign.results])
+
+    def test_plain_campaign_resumes_from_equiv_journal(
+            self, harness, campaign, journal_path, tmp_path):
+        copy = str(tmp_path / "resume.jsonl")
+        shutil.copyfile(journal_path, copy)
+        resumed = harness.run_campaign("C", journal_path=copy,
+                                       resume=True, **self.CAMPAIGN)
+        assert resumed.meta["engine"]["resumed_results"] \
+            == len(campaign.results)
+        assert ([r.to_dict() for r in resumed.results]
+                == [r.to_dict() for r in campaign.results])
+
+    def test_fabric_merge_accepts_equiv_journal(self, campaign,
+                                                journal_path):
+        from repro.injection.fabric import merge_shard_journals
+        merged = merge_shard_journals(
+            [journal_path], plan_fp=campaign.meta["fingerprint"],
+            n_specs=len(campaign.results))
+        assert len(merged.results) == len(campaign.results)
+        assert not merged.missing
+
+    def test_delta_planner_reads_equiv_journal(self, campaign,
+                                               journal_path):
+        from repro.staticanalysis.delta import load_journal_results
+        header, by_coords = load_journal_results(journal_path)
+        assert header["fingerprint"] == campaign.meta["fingerprint"]
+        assert len(by_coords) == len(campaign.results)
+
+    def test_kequiv_audit_cli(self, journal_path, capsys):
+        from repro.tools import kequiv
+        assert kequiv.main(["audit", journal_path]) == 0
+        out = capsys.readouterr().out
+        assert "extrapolated" in out
+        assert kequiv.main(["audit", journal_path, "--json"]) == 0
+        census = json.loads(capsys.readouterr().out)
+        assert census["malformed"] == 0
+        assert census["extrapolated"] >= 1

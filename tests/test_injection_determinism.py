@@ -135,6 +135,66 @@ class TestFaultModelDeterminism:
                 == [r.to_dict() for r in serials[kind].results])
 
 
+class TestEquivalenceDeterminism:
+    """Equivalence-pruned campaigns, three execution modes.
+
+    Pilot selection, audit draws, impure-class splitting and the
+    extrapolated records all derive from the seed and the static
+    partition, so serial, parallel and interrupted-then-resumed runs
+    must agree bit for bit — including the ``extrapolated`` provenance
+    blocks in the journal.
+    """
+
+    # The C slice is dormancy-heavy (see above), so classes collapse
+    # per workload and a real fraction of the plan is extrapolated
+    # rather than injected.
+    CAMPAIGN = dict(seed=2003, byte_stride=3, max_specs=18, grade=False,
+                    equivalence=True)
+
+    @pytest.fixture(scope="class")
+    def serial(self, harness, tmp_path_factory):
+        journal = str(tmp_path_factory.mktemp("equiv-serial")
+                      / "serial.jsonl")
+        return harness.run_campaign("C", journal_path=journal,
+                                    **self.CAMPAIGN)
+
+    def test_campaign_extrapolates_something(self, serial):
+        assert serial.meta["equivalence"]["extrapolated"] >= 1
+
+    def test_parallel_matches_serial(self, harness, serial, tmp_path):
+        journal = str(tmp_path / "parallel.jsonl")
+        parallel = harness.run_campaign("C", jobs=2,
+                                        journal_path=journal,
+                                        **self.CAMPAIGN)
+        assert ([r.to_dict() for r in parallel.results]
+                == [r.to_dict() for r in serial.results])
+        assert (parallel.meta["equivalence"]
+                == serial.meta["equivalence"])
+
+    def test_resume_matches_serial(self, harness, serial, tmp_path):
+        from repro.staticanalysis.equivalence import \
+            journal_extrapolation
+        journal = str(tmp_path / "resume.jsonl")
+
+        def interrupt(done, total, result):
+            if done == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            harness.run_campaign("C", journal_path=journal,
+                                 progress=interrupt, **self.CAMPAIGN)
+        resumed = harness.run_campaign("C", journal_path=journal,
+                                       resume=True, **self.CAMPAIGN)
+        assert ([r.to_dict() for r in resumed.results]
+                == [r.to_dict() for r in serial.results])
+        assert (resumed.meta["equivalence"]
+                == serial.meta["equivalence"])
+        census = journal_extrapolation(journal)
+        assert census["malformed"] == 0
+        assert (census["extrapolated"]
+                == serial.meta["equivalence"]["extrapolated"])
+
+
 def test_pre_framework_journal_resumes(harness, tmp_path):
     """A v1 journal (no schema_version, no fault fields) resumes cleanly.
 

@@ -116,3 +116,33 @@ class TestKerncheckFormats:
         assert status == min(report["finding_count"], 125)
         assert all(f["rule"] == "propagation-leak"
                    for f in report["findings"])
+
+    def test_text_output_is_sorted_by_rule_then_addr(self, kerncheck,
+                                                     capsys,
+                                                     monkeypatch):
+        # CI diffs kerncheck text artifacts, so the line order must
+        # not depend on linter-internal iteration order.
+        from repro.staticanalysis.linter import LintFinding
+        unsorted_findings = [
+            LintFinding("stack-imbalance", "g", 0x2000, "m1"),
+            LintFinding("fall-off-end", "h", 0x3000, "m2"),
+            LintFinding("stack-imbalance", "f", 0x1000, "m3"),
+            LintFinding("fall-off-end", "h", 0x0100, "m4"),
+        ]
+
+        class StubLinter:
+            def __init__(self, kernel, rules=None):
+                pass
+
+            def lint_image(self, functions):
+                return list(unsorted_findings)
+
+        monkeypatch.setattr(kerncheck, "KernelLinter", StubLinter)
+        assert kerncheck.main(["--quiet"]) == 4
+        lines = capsys.readouterr().out.splitlines()
+        keys = []
+        for finding in sorted(unsorted_findings,
+                              key=lambda f: (f.rule, f.addr,
+                                             f.function)):
+            keys.append(finding.format(None))
+        assert lines == keys
