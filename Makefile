@@ -3,7 +3,7 @@
 PY ?= python3
 
 .PHONY: install test bench bench-static bench-trace bench-fabric \
-	bench-delta bench-equiv ci lint-kernel experiments \
+	bench-delta bench-equiv bench-jit ci lint-kernel experiments \
 	experiments-full clean
 
 install:
@@ -30,7 +30,7 @@ ci:
 	$(MAKE) lint-kernel
 	@if $(PY) -c "import pytest_cov" >/dev/null 2>&1; then \
 		PYTHONPATH=src $(PY) -m pytest -x -q --cov=repro \
-			--cov-report=term --cov-fail-under=60; \
+			--cov-report=term --cov-fail-under=65; \
 	else \
 		echo "pytest-cov not installed; running without coverage"; \
 		PYTHONPATH=src $(PY) -m pytest -x -q; \
@@ -40,11 +40,14 @@ ci:
 	PYTHONPATH=src $(PY) -m repro.experiments.static_propagation --smoke
 	PYTHONPATH=src $(PY) -m repro.experiments.trace_validation --smoke
 	PYTHONPATH=src $(PY) -m repro.experiments.fault_model_study --smoke
+	PYTHONPATH=src $(PY) -m repro.experiments.fault_model_study --smoke \
+		--translate
 	PYTHONPATH=src $(PY) -m repro.experiments.fabric_validation --smoke
 	PYTHONPATH=src $(PY) -m repro.experiments.delta_validation --smoke
 	PYTHONPATH=src $(PY) -m repro.experiments.equivalence_validation \
 		--smoke --jobs 4
 	PYTHONPATH=src $(PY) benchmarks/bench_trace.py --smoke --gate 1.5
+	PYTHONPATH=src $(PY) benchmarks/bench_jit.py --smoke --gate 3.0
 	PYTHONPATH=src $(PY) benchmarks/bench_fabric.py --smoke
 	PYTHONPATH=src $(PY) benchmarks/bench_delta.py --smoke \
 		--max-fraction 0.5
@@ -77,6 +80,11 @@ bench-delta:
 # fraction <= 0.5; extrapolation accuracy and speedup reported).
 bench-equiv:
 	PYTHONPATH=src $(PY) benchmarks/bench_equiv.py --max-fraction 0.5
+
+# Translated-execution speedup -> BENCH_jit.json (gate: >= 3x over
+# the interpreter on the syscall workload, bit-identical).
+bench-jit:
+	PYTHONPATH=src $(PY) benchmarks/bench_jit.py --gate 3.0
 
 # EXPERIMENTS.md at the default (quick) scale; standard takes ~1 h.
 experiments:

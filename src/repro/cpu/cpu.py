@@ -11,6 +11,8 @@ per-page write-generation counters — an injected bit flip bumps the page
 version and naturally invalidates stale decodes.
 """
 
+import struct
+
 from repro.isa.conditions import cc_holds
 from repro.isa.decoder import DecodeError, decode
 from repro.cpu.traps import (
@@ -50,6 +52,12 @@ MSR_ESP0 = 0x175       # kernel stack pointer used on CPL3 -> CPL0 traps
 MSR_IDT_BASE = 0x176   # software-loaded IDT base (lidt stand-in)
 
 _PARITY = tuple(1 if bin(i).count("1") % 2 == 0 else 0 for i in range(256))
+
+#: pre-bound little-endian dword codecs for the batched stack fast
+#: paths (trap frames are 3-6 words; iret pops 2-3).
+_PACK_WORDS = {n: struct.Struct("<%dI" % n).pack for n in (2, 3, 4, 5, 6)}
+_UNPACK_WORDS = {n: struct.Struct("<%dI" % n).unpack_from
+                 for n in (2, 3, 4, 5, 6)}
 
 _REP_CHUNK = 8192  # max string-op iterations per execution slice
 
@@ -110,6 +118,11 @@ class CPU:
         self.on_trap_entry = None    # (cpu, vector, error_code, eip)
         self.alarm_cycle = None      # cycle stamp, or None
         self.on_alarm = None         # (cpu)
+        # Optional translated-execution engine
+        # (repro.cpu.translate.BlockCache); when armed, run() dispatches
+        # pre-compiled basic blocks instead of interpreting, with
+        # bit-identical architectural and counter state.
+        self.translator = None
 
     # ------------------------------------------------------------------
     # memory access helpers (cycle-accounted, privilege-aware)
@@ -151,6 +164,10 @@ class CPU:
                             (value & ((1 << (8 * size)) - 1)).to_bytes(
                                 size, "little")
                         bus.page_versions[phys >> 12] += 1
+                        watch = bus.code_watch
+                        if watch is not None \
+                                and phys >> 12 in watch.page_ranges:
+                            watch.note_write(phys, size)
                         return
         self.bus.write(vaddr, size, value & ((1 << (8 * size)) - 1),
                        self.cpl == 3)
@@ -267,22 +284,54 @@ class CPU:
             self.cpl = 0
             self.regs[4] = self.esp0
             self.segs[2] = KERNEL_DS
-        try:
-            if was_user:
-                self.push32(old_ss)
-                self.push32(old_esp)
-            self.push32(self.eflags())
-            self.push32(USER_CS if was_user else KERNEL_CS)
-            self.push32(return_eip & M32)
-            if error_code is not None and vector in _ERROR_CODE_VECTORS:
-                self.push32(error_code & M32)
-        except Trap:
-            # Undo partial privilege switch before escalating.
-            if was_user:
-                self.cpl = 3
-                self.regs[4] = old_esp
-                self.segs[2] = old_ss
-            raise
+        words = []
+        if was_user:
+            words.append(old_ss)
+            words.append(old_esp)
+        words.append(self.eflags())
+        words.append(USER_CS if was_user else KERNEL_CS)
+        words.append(return_eip & M32)
+        if error_code is not None and vector in _ERROR_CODE_VECTORS:
+            words.append(error_code & M32)
+        # Frame fast path: when the whole frame lands on one writable,
+        # TLB-resident page with no trace_write hook armed, store it in
+        # one slice with the identical per-push cycle/version/watch
+        # accounting; otherwise (or on any miss) fall back to the
+        # per-push loop, which handles faults mid-frame.
+        n = len(words)
+        esp = self.regs[4]
+        bus = self.bus
+        done = False
+        if self.trace_write is None and bus.paging_enabled \
+                and esp >= 4 * n:
+            base = esp - 4 * n
+            if (base & 0xFFF) + 4 * n <= 4096:
+                entry = bus.tlb.get(base >> 12)
+                if entry is not None and entry[1] & 2 \
+                        and not (self.cpl == 3 and not entry[1] & 4):
+                    phys = (entry[0] << 12) | (base & 0xFFF)
+                    if phys + 4 * n <= bus.ram_size:
+                        bus.ram[phys:phys + 4 * n] = \
+                            _PACK_WORDS[n](*words[::-1])
+                        bus.page_versions[phys >> 12] += n
+                        watch = bus.code_watch
+                        if watch is not None \
+                                and phys >> 12 in watch.page_ranges:
+                            watch.note_write(phys, 4 * n)
+                        self.cycles += n
+                        self.regs[4] = base
+                        done = True
+        if not done:
+            try:
+                for word in words:
+                    self.push32(word)
+            except Trap:
+                # Undo partial privilege switch before escalating.
+                if was_user:
+                    self.cpl = 3
+                    self.regs[4] = old_esp
+                    self.segs[2] = old_ss
+                raise
         self.if_flag = 0  # interrupt gate semantics (as Linux uses)
         self.eip = handler & M32
         self.cycles += 8
@@ -356,6 +405,10 @@ class CPU:
             MachineShutdown: the kernel powered the machine off.
             WatchdogExpired, CpuHalted, TripleFault.
         """
+        if self.translator is not None and coverage is None:
+            # Translated fast path (repro.cpu.translate); coverage runs
+            # stay interpreted — they need the per-instruction hook.
+            return self.translator.run(self, max_cycles)
         while True:
             if self.cycles >= max_cycles:
                 raise WatchdogExpired("cycle budget %d exhausted"
@@ -785,13 +838,48 @@ def _h_lret(cpu, ins):
     cpu.next_eip = offset
 
 
+def _pops_fast(cpu, n):
+    """Pop ``n`` dwords in one slice when they sit on one resident page.
+
+    Cycle, ESP, and permission accounting are identical to ``n``
+    ``pop32`` calls; returns ``None`` (state untouched) whenever the
+    per-pop path could behave differently — page split, TLB miss, user
+    bit, beyond-RAM — so callers fall back to exact ``pop32``s.
+    """
+    esp = cpu.regs[4]
+    bus = cpu.bus
+    if not bus.paging_enabled or (esp & 0xFFF) + 4 * n > 4096:
+        return None
+    entry = bus.tlb.get(esp >> 12)
+    if entry is None or (cpu.cpl == 3 and not entry[1] & 4):
+        return None
+    phys = (entry[0] << 12) | (esp & 0xFFF)
+    if phys + 4 * n > bus.ram_size:
+        return None
+    values = _UNPACK_WORDS[n](bus.ram, phys)
+    cpu.cycles += n
+    cpu.regs[4] = (esp + 4 * n) & M32
+    return values
+
+
 def _h_iret(cpu, ins):
-    new_eip = cpu.pop32()
-    cs_sel = cpu.pop32() & 0xFFFF
-    new_eflags = cpu.pop32()
+    popped = _pops_fast(cpu, 3)
+    if popped is None:
+        new_eip = cpu.pop32()
+        cs_sel = cpu.pop32() & 0xFFFF
+        new_eflags = cpu.pop32()
+    else:
+        new_eip = popped[0]
+        cs_sel = popped[1] & 0xFFFF
+        new_eflags = popped[2]
     if cs_sel == USER_CS:
-        new_esp = cpu.pop32()
-        new_ss = cpu.pop32() & 0xFFFF
+        popped = _pops_fast(cpu, 2)
+        if popped is None:
+            new_esp = cpu.pop32()
+            new_ss = cpu.pop32() & 0xFFFF
+        else:
+            new_esp = popped[0]
+            new_ss = popped[1] & 0xFFFF
         if new_ss not in _VALID_STACK_SEL:
             raise Trap(VEC_GPF, error_code=new_ss)
         cpu.set_eflags(new_eflags)

@@ -44,6 +44,13 @@ class MemoryBus:
         #: remap becomes visible exactly when a real CPU would see it.
         self.tlb_gen = 0
         self.paging_enabled = False
+        #: optional write observer (repro.cpu.translate.BlockCache):
+        #: every store path reports the physical byte range written so
+        #: translated blocks covering those bytes are evicted.  The
+        #: decode cache needs no callback — it revalidates against
+        #: page_versions — but both caches are fed by the same store
+        #: paths, keeping one invalidation protocol for both.
+        self.code_watch = None
 
     # -- device plumbing ---------------------------------------------------
 
@@ -134,7 +141,18 @@ class MemoryBus:
     def phys_write(self, phys, size, value):
         if phys + size <= self.ram_size:
             self.ram[phys:phys + size] = value.to_bytes(size, "little")
-            self.page_versions[phys >> PAGE_SHIFT] += 1
+            first = phys >> PAGE_SHIFT
+            self.page_versions[first] += 1
+            # A write may straddle a page boundary; bump the second
+            # page's generation too, or decodes cached there go stale.
+            last = (phys + size - 1) >> PAGE_SHIFT
+            if last != first:
+                self.page_versions[last] += 1
+            watch = self.code_watch
+            if watch is not None \
+                    and (first in watch.page_ranges
+                         or last in watch.page_ranges):
+                watch.note_write(phys, size)
             return
         device, offset = self._device_at(phys)
         if device is not None:
@@ -144,11 +162,16 @@ class MemoryBus:
         return bytes(self.ram[phys:phys + length])
 
     def phys_write_bytes(self, phys, data):
+        if not data:
+            return
         self.ram[phys:phys + len(data)] = data
         first = phys >> PAGE_SHIFT
         last = (phys + len(data) - 1) >> PAGE_SHIFT
         for page in range(first, last + 1):
             self.page_versions[page] += 1
+        watch = self.code_watch
+        if watch is not None:
+            watch.note_write(phys, len(data))
 
     # -- virtual access (used by the CPU) -------------------------------------
 

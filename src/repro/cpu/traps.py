@@ -58,7 +58,8 @@ class Trap(Exception):
     """
 
     def __init__(self, vector, error_code=None, cr2=None, return_eip=None):
-        super().__init__(trap_name(vector))
+        # The message is rendered lazily (__str__): traps are raised on
+        # every syscall/page-fault, and almost none are ever displayed.
         self.vector = vector
         self.error_code = error_code
         self.cr2 = cr2
@@ -66,6 +67,9 @@ class Trap(Exception):
         # traps (int n, int3, into) push the address of the *next*
         # instruction.  ``return_eip`` is set by trap-type raisers.
         self.return_eip = return_eip
+
+    def __str__(self):
+        return trap_name(self.vector)
 
 
 class TripleFault(Exception):

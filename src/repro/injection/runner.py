@@ -143,7 +143,7 @@ class InjectionHarness:
     def __init__(self, kernel, binaries, profile, watchdog_factor=3,
                  watchdog_slack=250_000, recovery=False, trace=False,
                  trace_channels=DEFAULT_CHANNELS, trace_capacity=None,
-                 disk_retries=0, snapshot_store=None):
+                 disk_retries=0, snapshot_store=None, translate=False):
         self.kernel = kernel
         self.binaries = binaries
         self.profile = profile
@@ -152,6 +152,12 @@ class InjectionHarness:
         self.recovery = recovery
         self.disk_retries = disk_retries
         self.trace = trace
+        #: Execute every machine (golden and injected) through the
+        #: translated fast path (:mod:`repro.cpu.translate`).  Purely a
+        #: throughput knob: results are bit-identical to interpretation
+        #: (tests/test_translate_differential.py), so it is *not* part
+        #: of the snapshot-store key.
+        self.translate = bool(translate)
         self.trace_channels = tuple(trace_channels)
         self.trace_capacity = trace_capacity
         #: Optional :class:`~repro.injection.fabric.SnapshotStore`:
@@ -185,10 +191,15 @@ class InjectionHarness:
             if store is not None:
                 run = store.load(key, self.kernel)
                 if run is not None:
+                    # Execution mode is not part of the store key
+                    # (translated results are bit-identical); stamp the
+                    # thawed snapshot so clones run in this harness's
+                    # mode regardless of who froze it.
+                    run.snapshot.translate = self.translate
                     self._golden[workload] = run
                     return run
             disk = build_standard_disk(self.binaries, workload)
-            machine = Machine(self.kernel, disk)
+            machine = Machine(self.kernel, disk, translate=self.translate)
             if self.recovery:
                 # Arm the ladder pre-boot so the post-boot snapshot
                 # (and every per-experiment clone) inherits it.
@@ -280,7 +291,8 @@ class InjectionHarness:
             workload = "syscall"
             golden = self.golden(workload)
             target = self.kernel.symbols["do_system_call"]
-            machine = Machine(self.kernel, golden.disk_image)
+            machine = Machine(self.kernel, golden.disk_image,
+                              translate=self.translate)
             machine.run_until_console(BOOT_MARKER,
                                       max_cycles=10_000_000)
             self.boots += 1

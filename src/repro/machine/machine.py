@@ -55,7 +55,8 @@ class RunResult:
     """Outcome of one machine run."""
 
     def __init__(self, status, exit_code, console, crash, cycles, instret,
-                 disk_image, detail="", crashes=None, trace=None):
+                 disk_image, detail="", crashes=None, trace=None,
+                 translation=None):
         #: "shutdown" (clean power-off), "halted" (CPU wedged — a dumped
         #: crash if ``crash`` is set, otherwise a hang), "watchdog"
         #: (hang), or "triple_fault" (unknown crash, no dump possible).
@@ -78,6 +79,12 @@ class RunResult:
         #: :class:`~repro.tracing.ring.Trace` snapshot when the machine
         #: ran with :meth:`Machine.enable_trace`, else ``None``.
         self.trace = trace
+        #: Translation-cache telemetry dict (blocks translated, hits,
+        #: invalidations, single_steps, resident) when the machine ran
+        #: with ``Machine(translate=True)``, else ``None``.  Telemetry
+        #: only — a translated run's architectural results are
+        #: bit-identical to the interpreter's.
+        self.translation = translation
 
     @property
     def crashed(self):
@@ -133,7 +140,8 @@ class Machine:
     protocol.
     """
 
-    def __init__(self, kernel, disk_image, layout=None, timer=True):
+    def __init__(self, kernel, disk_image, layout=None, timer=True,
+                 translate=False):
         self.kernel = kernel
         self.layout = layout or kernel.layout or KernelLayout()
         lay = self.layout
@@ -162,6 +170,22 @@ class Machine:
             self.cpu.timer_next = lay.TIMER_INTERVAL
         self._page_table_pages = builder.next_free
         self.tracer = None
+        self.translate = bool(translate)
+        self.block_cache = None
+        if self.translate:
+            self._arm_translation()
+
+    def _arm_translation(self):
+        """Attach a translated-execution block cache to this machine.
+
+        Per-machine (closures are cheap to build but the underlying RAM
+        diverges between clones); the CFG leader sweep is cached on the
+        kernel image so campaigns pay it once.
+        """
+        from repro.cpu.translate import BlockCache, kernel_block_leaders
+        self.block_cache = BlockCache(
+            self.bus, leaders=kernel_block_leaders(self.kernel))
+        self.cpu.translator = self.block_cache
 
     # -- injection plumbing -------------------------------------------------
 
@@ -301,6 +325,8 @@ class Machine:
             crashes=crashes,
             trace=(self.tracer.snapshot() if self.tracer is not None
                    else None),
+            translation=(self.block_cache.stats()
+                         if self.block_cache is not None else None),
         )
 
     def run_until_console(self, marker, max_cycles=DEFAULT_WATCHDOG,
@@ -364,7 +390,10 @@ class Machine:
                            bytes(self.disk.image), detail,
                            crashes=crashes,
                            trace=(self.tracer.snapshot()
-                                  if self.tracer is not None else None))
+                                  if self.tracer is not None else None),
+                           translation=(self.block_cache.stats()
+                                        if self.block_cache is not None
+                                        else None))
         return result, samples
 
 
@@ -396,6 +425,11 @@ class MachineSnapshot:
         self.dr = list(cpu.dr)
         self.fields = {name: getattr(cpu, name)
                        for name in self.CPU_FIELDS}
+        #: Clones inherit the execution mode; since translated and
+        #: interpreted runs are bit-identical, a snapshot restored from
+        #: a store may have this overridden by the harness that loads
+        #: it (the state itself is mode-independent).
+        self.translate = getattr(machine, "translate", False)
 
     def clone(self):
         """Materialize a runnable Machine from this snapshot."""
@@ -428,6 +462,10 @@ class MachineSnapshot:
         machine.cpu = cpu
         machine._page_table_pages = None
         machine.tracer = None
+        machine.translate = getattr(self, "translate", False)
+        machine.block_cache = None
+        if machine.translate:
+            machine._arm_translation()
         return machine
 
 

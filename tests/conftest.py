@@ -36,6 +36,12 @@ def traced_harness(kernel, binaries, profile):
 
 
 @pytest.fixture(scope="session")
+def translated_harness(kernel, binaries, profile):
+    from repro.injection.runner import InjectionHarness
+    return InjectionHarness(kernel, binaries, profile, translate=True)
+
+
+@pytest.fixture(scope="session")
 def retry_harness(kernel, binaries, profile):
     from repro.injection.runner import InjectionHarness
     return InjectionHarness(kernel, binaries, profile, disk_retries=2)

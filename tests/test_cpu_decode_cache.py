@@ -53,6 +53,76 @@ target:
         # some iterations added 1, later ones added 3: total > 10
         assert cpu.regs[0] > 10
 
+    def test_executed_store_invalidates_memoized_decode(self):
+        # The program patches an instruction it has ALREADY executed
+        # (and therefore memoized): the CPU's own store path must bump
+        # the page generation so the next fetch re-decodes.  An
+        # external phys_write doing so (the test above) is necessary
+        # but not sufficient — injected faults arrive through hooks,
+        # kernel self-modification arrives through executed stores.
+        source = """
+_start:
+    mov eax, 0
+    mov ecx, 6
+loop:
+    mov dword [patch + 2], %d
+patch:
+    add eax, 1
+    nop
+    dec ecx
+    jne loop
+    hlt
+"""
+        # The stored dword must rewrite only the immediate (patch+2)
+        # and reproduce the following three bytes verbatim.
+        prog = assemble(source % 0, base=0x1000)
+        off = prog.symbols["patch"] - 0x1000 + 2
+        tail = prog.code[off + 1:off + 4]
+        newdw = int.from_bytes(bytes([3]) + tail, "little")
+
+        cpu, _ = flat_cpu(source % newdw)
+        from repro.cpu.cpu import CpuHalted
+        try:
+            cpu.run(1_000_000)
+        except CpuHalted:
+            pass
+        # every iteration executed the patched `add eax, 3`
+        assert cpu.regs[0] == 18
+
+    def test_straddling_write_invalidates_second_page(self):
+        # A write beginning on page 1 and ending on page 2 must bump
+        # BOTH page generations: the patched instruction lives wholly
+        # on page 2, so if only the first page were bumped its memo
+        # entry would stay "valid" and serve the stale decode.
+        source = """
+loop:
+target:
+    add eax, 1
+    dec ecx
+    jne loop
+    hlt
+"""
+        cpu, program = flat_cpu(source, base=0x2000)
+        assert program.symbols["target"] == 0x2000
+        cpu.regs[0] = 0
+        cpu.regs[1] = 10
+        from repro.cpu.cpu import CpuHalted, WatchdogExpired
+        try:
+            cpu.run(6)
+        except (CpuHalted, WatchdogExpired):
+            pass
+        assert 0 < cpu.regs[0] < 10  # mid-loop, decode memoized
+        # bytes 0x1FFF..0x2002: keep 0x1FFF..0x2001, imm 1 -> 3
+        head = bytes(cpu.bus.ram[0x1FFF:0x2002])
+        value = int.from_bytes(head + bytes([3]), "little")
+        cpu.bus.phys_write(0x1FFF, 4, value)
+        try:
+            cpu.run(10_000)
+        except CpuHalted:
+            pass
+        assert cpu.regs[0] > 10, \
+            "second-page decode served stale after straddling write"
+
     def test_same_bytes_same_cache_when_untouched(self):
         source = """
 _start:

@@ -117,6 +117,17 @@ class TestFaultModelDeterminism:
 
     @pytest.mark.parametrize("kind",
                              ("disk", "intermittent", "mem", "reg_trap"))
+    def test_translated_matches_serial(self, translated_harness,
+                                       serials, kind):
+        # The translated fast path is a fourth execution mode: the
+        # same campaign through the block cache must reproduce the
+        # interpreter's results bit for bit, fault model included.
+        translated = self._run(translated_harness, kind)
+        assert ([r.to_dict() for r in translated.results]
+                == [r.to_dict() for r in serials[kind].results])
+
+    @pytest.mark.parametrize("kind",
+                             ("disk", "intermittent", "mem", "reg_trap"))
     def test_resume_matches_serial(self, harness, serials, kind,
                                    tmp_path):
         journal_path = str(tmp_path / ("%s.jsonl" % kind))

@@ -55,6 +55,45 @@ class TestBitIdentity:
                                              grade=False)
             assert arch_fingerprint(traced) == arch_fingerprint(plain)
 
+    def test_translated_golden_run_is_bit_identical(self, harness,
+                                                    translated_harness):
+        plain = harness.golden("syscall")
+        translated = translated_harness.golden("syscall")
+        assert translated.console == plain.console
+        assert translated.exit_code == plain.exit_code
+        assert translated.cycles == plain.cycles
+        assert translated.boot_cycles == plain.boot_cycles
+        assert translated.final_disk == plain.final_disk
+
+    def test_translated_injected_runs_are_bit_identical(
+            self, harness, translated_harness):
+        import copy
+        specs = fs_sample(harness)
+        assert specs
+        for spec in specs:
+            plain = harness.run_spec(copy.deepcopy(spec), grade=False)
+            translated = translated_harness.run_spec(
+                copy.deepcopy(spec), grade=False)
+            assert translated.to_dict() == plain.to_dict()
+
+    def test_translated_traced_runs_match_traced(self, kernel, binaries,
+                                                 profile,
+                                                 traced_harness):
+        # The strongest stamp contract: with tracing on, every trace_*
+        # enrichment field derives from hook firing order and exact
+        # cycle stamps, so a translated traced run must reproduce the
+        # interpreter's traced result INCLUDING the trace fields.
+        import copy
+        from repro.injection.runner import InjectionHarness
+        translated_traced = InjectionHarness(kernel, binaries, profile,
+                                             trace=True, translate=True)
+        for spec in fs_sample(traced_harness):
+            plain = traced_harness.run_spec(copy.deepcopy(spec),
+                                            grade=False)
+            translated = translated_traced.run_spec(
+                copy.deepcopy(spec), grade=False)
+            assert translated.to_dict() == plain.to_dict()
+
     def test_traced_crashes_measure_divergence(self, traced_harness):
         import copy
         specs = fs_sample(traced_harness, n=12)

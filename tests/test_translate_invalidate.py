@@ -1,0 +1,220 @@
+"""Block-cache self-invalidation: a stale closure never executes.
+
+The translated fast path (:mod:`repro.cpu.translate`) caches compiled
+closures keyed by PC.  Every store path notifies the cache with the
+physical byte range written; any translated block whose bytes overlap
+must be evicted *and*, when the store came from inside the running
+block itself, the closure must side-exit at the next instruction
+boundary instead of finishing stale.  These tests drive the cache and
+the plain interpreter through identical budget-interleaved flip
+protocols and require bit-identical architectural state throughout —
+the same contract the injection campaigns rely on.
+"""
+
+import hashlib
+
+from repro.cpu.cpu import CPU, CpuHalted, WatchdogExpired
+from repro.cpu.memory import MemoryBus
+from repro.cpu.translate import BlockCache
+from repro.isa.assembler import assemble
+
+BASE = 0x1000
+
+LOOP_SRC = """
+_start:
+    mov eax, 0
+    mov ecx, 200
+loop:
+target:
+    add eax, 1
+    nop
+    dec ecx
+    jne loop
+    hlt
+"""
+
+
+def build(source=LOOP_SRC, translate=False, ram=0x100000):
+    program = assemble(source, base=BASE)
+    bus = MemoryBus(ram)
+    bus.phys_write_bytes(BASE, program.code)
+    cpu = CPU(bus)
+    cpu.eip = BASE
+    cpu.regs[4] = 0x8000
+    cache = BlockCache(bus) if translate else None
+    return cpu, program, cache
+
+
+def fingerprint(cpu):
+    return (tuple(cpu.regs), cpu.eip, cpu.cycles, cpu.instret,
+            cpu.cf, cpu.zf, cpu.sf, cpu.of, cpu.pf,
+            hashlib.sha256(bytes(cpu.bus.ram)).hexdigest())
+
+
+def drive(cpu, cache, protocol, drain=1_000_000):
+    """Run ``protocol`` = [(absolute_budget, [(addr, size, val), ...])].
+
+    Both engines test ``cycles >= max_cycles`` at their loop heads, so
+    for any budget they stop at the identical architectural point —
+    which makes interleaved flips land on the same instruction
+    boundary on either engine.
+    """
+    step = (lambda b: cache.run(cpu, b)) if cache is not None \
+        else cpu.run
+    for budget, writes in protocol:
+        try:
+            step(budget)
+        except WatchdogExpired:
+            pass
+        except CpuHalted:
+            return
+        for addr, size, value in writes:
+            cpu.bus.phys_write(addr, size, value)
+    try:
+        step(drain)
+    except CpuHalted:
+        pass
+
+
+def both_engines(source, protocol):
+    """Run the protocol on interpreter and translated cache; return
+    (interp_fingerprint, translated_fingerprint, cache)."""
+    cpu_i, _, _ = build(source)
+    drive(cpu_i, None, protocol)
+    cpu_t, _, cache = build(source, translate=True)
+    drive(cpu_t, cache, protocol)
+    return fingerprint(cpu_i), fingerprint(cpu_t), cache
+
+
+class TestFlipInvalidation:
+    def test_flip_inside_block_matches_interpreter(self):
+        # Flip the `add eax, 1` immediate to 3 mid-loop: the resident
+        # block must be evicted and the retranslation must see the new
+        # byte — exactly when the interpreter's decode cache does.
+        program = assemble(LOOP_SRC, base=BASE)
+        target = program.symbols["target"]
+        protocol = [(40, [(target + 2, 1, 3)])]
+        fp_i, fp_t, cache = both_engines(LOOP_SRC, protocol)
+        assert fp_i == fp_t
+        assert cache.stats()["invalidations"] > 0
+        # some iterations added 1, the rest 3
+        assert fp_i[0][0] > 200
+
+    def test_intermittent_flip_restore(self):
+        # The intermittent fault model flips a byte and restores it a
+        # few cycles later.  Both the flip and the restore are stores
+        # into translated code: each must invalidate, and the restored
+        # block must execute the ORIGINAL semantics again.
+        program = assemble(LOOP_SRC, base=BASE)
+        target = program.symbols["target"]
+        protocol = [
+            (40, [(target + 2, 1, 5)]),     # flip imm 1 -> 5
+            (120, [(target + 2, 1, 1)]),    # restore
+        ]
+        fp_i, fp_t, cache = both_engines(LOOP_SRC, protocol)
+        assert fp_i == fp_t
+        assert cache.stats()["invalidations"] >= 2
+
+    def test_counters_reflect_flush(self):
+        cpu, program, cache = build(translate=True)
+        target = program.symbols["target"]
+        try:
+            cache.run(cpu, 40)
+        except WatchdogExpired:
+            pass
+        before = cache.stats()
+        assert before["resident"] == len(cache.blocks) > 0
+        cpu.bus.phys_write(target + 2, 1, 3)
+        after = cache.stats()
+        assert after["invalidations"] > before["invalidations"]
+        assert after["resident"] == len(cache.blocks)
+        assert after["resident"] < before["resident"]
+
+
+class TestBoundaryWrites:
+    def _resident_block(self):
+        cpu, program, cache = build(translate=True)
+        try:
+            cache.run(cpu, 40)
+        except WatchdogExpired:
+            pass
+        key = (cpu.bus.tlb_gen, BASE, 0)
+        block = cache.blocks[key]
+        assert block.ranges, "block registered no byte ranges"
+        return cpu, cache, key, block
+
+    def test_write_at_first_byte_evicts(self):
+        cpu, cache, key, block = self._resident_block()
+        _page, lo, _hi = block.ranges[0]
+        cpu.bus.phys_write(lo, 1, 0x90)
+        assert key not in cache.blocks
+        assert cache.stale
+
+    def test_write_at_last_byte_evicts(self):
+        cpu, cache, key, block = self._resident_block()
+        _page, _lo, hi = block.ranges[-1]
+        cpu.bus.phys_write(hi - 1, 1, 0x90)
+        assert key not in cache.blocks
+
+    def test_write_one_past_end_is_ignored(self):
+        cpu, cache, key, block = self._resident_block()
+        _page, _lo, hi = block.ranges[-1]
+        invalidations = cache.invalidations
+        cpu.bus.phys_write(hi, 1, 0x90)
+        assert key in cache.blocks
+        assert cache.invalidations == invalidations
+        assert not cache.stale
+
+    def test_write_just_before_start_is_ignored(self):
+        cpu, cache, key, block = self._resident_block()
+        _page, lo, _hi = block.ranges[0]
+        invalidations = cache.invalidations
+        cpu.bus.phys_write(lo - 1, 1, 0x90)
+        assert key in cache.blocks
+        assert cache.invalidations == invalidations
+
+
+class TestSelfModifyingStore:
+    SMC_SRC = """
+_start:
+    mov eax, 0
+    mov ecx, 6
+loop:
+    mov dword [patch + 2], %d
+patch:
+    add eax, 1
+    nop
+    dec ecx
+    jne loop
+    hlt
+"""
+
+    def _source(self):
+        # The store rewrites the add's immediate (patch+2) to 3 while
+        # preserving the following three bytes verbatim — a CPL0 store
+        # that lands INSIDE the very trace executing it.
+        prog = assemble(self.SMC_SRC % 0, base=BASE)
+        patch = prog.symbols["patch"]
+        code = prog.code
+        off = patch - BASE + 2
+        tail = code[off + 1:off + 4]
+        newdw = int.from_bytes(bytes([3]) + tail, "little")
+        return self.SMC_SRC % newdw
+
+    def test_mid_trace_store_side_exits(self):
+        # Without the stale side-exit the translated closure would run
+        # the OLD `add eax, 1` to block end while the interpreter
+        # fetches the new bytes immediately: eax would diverge.
+        source = self._source()
+        fp_i, fp_t, cache = both_engines(source, [])
+        assert fp_i == fp_t
+        assert fp_i[0][0] == 18  # every iteration saw the patched +3
+        assert cache.stats()["invalidations"] > 0
+
+    def test_smc_under_interleaved_budgets(self):
+        # Same program, but chop execution into small budget slices so
+        # dispatch re-enters mid-loop; identity must hold at every cut.
+        source = self._source()
+        protocol = [(b, []) for b in range(5, 60, 7)]
+        fp_i, fp_t, _cache = both_engines(source, protocol)
+        assert fp_i == fp_t
